@@ -1,0 +1,54 @@
+// Ablation: exact MIP (the paper's formulation) versus the greedy
+// sequential provisioner this implementation adds as its scalable mode.
+//
+// On a k=4 fat tree with an increasing number of guaranteed classes, both
+// solvers provision the same requests under the min-max-ratio heuristic.
+// Reported per solver: solve time and the achieved maximum link reservation
+// fraction r_max (the MIP optimizes it exactly; greedy only approximates it
+// through a convex congestion penalty).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "topo/generators.h"
+
+int main() {
+    using namespace merlin;
+
+    std::printf(
+        "Ablation — exact MIP vs greedy provisioning (fat tree k=4, "
+        "min-max-ratio, 10MB/s guarantees)\n\n");
+    std::printf("%10s | %12s %8s %6s | %12s %8s\n", "guaranteed", "mip(ms)",
+                "r_max", "nodes", "greedy(ms)", "r_max");
+
+    for (int guaranteed : {2, 4, 6, 8, 10, 12, 14}) {
+        const topo::Topology t = topo::fat_tree(4);
+        const ir::Policy policy =
+            bench::all_pairs_policy(t, guaranteed, mb_per_sec(10));
+
+        core::Compile_options mip_options = bench::scalability_options();
+        mip_options.solver = core::Solver::mip;
+        mip_options.heuristic = core::Heuristic::min_max_ratio;
+        const bench::Stopwatch mip_watch;
+        const core::Compilation with_mip =
+            core::compile(policy, t, mip_options);
+        const double mip_ms = mip_watch.ms();
+
+        core::Compile_options greedy_options = mip_options;
+        greedy_options.solver = core::Solver::greedy;
+        const bench::Stopwatch greedy_watch;
+        const core::Compilation with_greedy =
+            core::compile(policy, t, greedy_options);
+        const double greedy_ms = greedy_watch.ms();
+
+        std::printf("%10d | %12.1f %8.3f %6d | %12.1f %8.3f\n", guaranteed,
+                    mip_ms,
+                    with_mip.feasible ? with_mip.provision.r_max : -1,
+                    with_mip.provision.mip_nodes, greedy_ms,
+                    with_greedy.feasible ? with_greedy.provision.r_max : -1);
+    }
+    std::printf(
+        "\nexpected: identical or near-identical r_max at small sizes (LP "
+        "relaxations are integral),\nwith the MIP's solve time growing much "
+        "faster than greedy's\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 10: dynamic adaptation through negotiators, driving the simulator.
+//
+//   (a) AIMD: two hosts share a 600Mbps pool; the negotiator grants
+//       additive increases and forces multiplicative decreases on
+//       saturation. The enforced rates (caps pushed into the network)
+//       produce the classic sawtooth.
+//   (b) MMFS: four hosts (h1->h2, h3->h4) declare demands that change over
+//       time; the negotiator re-divides the shared bottleneck max-min
+//       fairly at each epoch.
+#include <cstdio>
+#include <vector>
+
+#include "negotiator/negotiator.h"
+#include "netsim/sim.h"
+#include "topo/parse.h"
+
+namespace {
+
+using namespace merlin;
+
+// Dumbbell: two hosts per side, shared 600Mbps middle link.
+topo::Topology dumbbell(Bandwidth middle) {
+    topo::Topology t;
+    const auto s1 = t.add_switch("s1");
+    const auto s2 = t.add_switch("s2");
+    t.add_link(s1, s2, middle);
+    for (int i = 1; i <= 2; ++i) {
+        const auto h = t.add_host("h" + std::to_string(i));
+        t.add_link(h, s1, gbps(1));
+    }
+    for (int i = 3; i <= 4; ++i) {
+        const auto h = t.add_host("h" + std::to_string(i));
+        t.add_link(h, s2, gbps(1));
+    }
+    return t;
+}
+
+void aimd_run() {
+    const topo::Topology t = dumbbell(mbps(600));
+    netsim::Simulator sim(t);
+    const netsim::FlowId f1 = sim.add_flow(
+        {"h1h3", t.require("h1"), t.require("h3"), {}, netsim::kUnlimited,
+         {}, mbps(10)});
+    const netsim::FlowId f2 = sim.add_flow(
+        {"h2h4", t.require("h2"), t.require("h4"), {}, netsim::kUnlimited,
+         {}, mbps(60)});
+
+    const negotiator::Aimd aimd(mbps(600), mbps(25), 0.5);
+    std::vector<Bandwidth> caps{mbps(10), mbps(60)};
+
+    std::printf("%6s %10s %10s\n", "t(s)", "h1->h3", "h2->h4");
+    for (int tick = 0; tick <= 70; ++tick) {
+        caps = aimd.step(caps, {true, true});
+        // The negotiator adjusts tenant caps; the network enforces them.
+        sim.remove_flow(f1);  // re-add with new caps (simplest re-config)
+        sim.remove_flow(f2);
+        (void)sim.add_flow({"h1h3", t.require("h1"), t.require("h3"), {},
+                            netsim::kUnlimited, {}, caps[0]});
+        (void)sim.add_flow({"h2h4", t.require("h2"), t.require("h4"), {},
+                            netsim::kUnlimited, {}, caps[1]});
+        sim.step(1.0);
+        if (tick % 2 == 0)
+            std::printf("%6d %9.0fM %9.0fM\n", tick, caps[0].mbps(),
+                        caps[1].mbps());
+    }
+}
+
+void mmfs_run() {
+    std::printf("%6s %10s %10s\n", "t(s)", "h1->h2", "h3->h4");
+    for (int t = 0; t <= 30; ++t) {
+        // h1's demand ramps, h3's demand steps down at t=15 and ends at 25.
+        const Bandwidth d1 =
+            mbps(static_cast<std::uint64_t>(40 + 15 * t));
+        const Bandwidth d2 = t < 15 ? mbps(400)
+                              : t < 25 ? mbps(150)
+                                       : Bandwidth{};
+        const auto alloc = negotiator::max_min_fair(mbps(500), {d1, d2});
+        if (t % 3 == 0)
+            std::printf("%6d %9.0fM %9.0fM\n", t, alloc[0].mbps(),
+                        alloc[1].mbps());
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Figure 10(a) — AIMD adaptation (two hosts, 600Mbps pool)\n");
+    aimd_run();
+    std::printf("\nFigure 10(b) — max-min fair sharing (four hosts)\n");
+    mmfs_run();
+    std::printf(
+        "\npaper: (a) sawtooth between ~150 and ~600 Mbps; (b) allocations "
+        "track demand changes while\nsumming to the pool\n");
+    return 0;
+}

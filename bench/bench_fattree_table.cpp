@@ -1,0 +1,60 @@
+// Table 7 (the paper's Figure 7): fat-tree provisioning breakdown.
+//
+// For fat trees of increasing arity, compile all-pairs connectivity with 5%
+// of the traffic classes guaranteed, and report the paper's columns:
+// traffic classes, hosts, switches, LP construction time, LP solution time,
+// and the rateless (sink tree) time.
+//
+// Scaling note: the paper drove Gurobi to ~230k classes / 11.5k guaranteed
+// on server hardware; our self-contained simplex is exercised on scaled
+// instances (the guaranteed count is capped per row below) — the *growth*
+// of LP solution time versus class count is the result under test, and the
+// full 5% is applied on the smaller trees.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "topo/generators.h"
+
+int main() {
+    using namespace merlin;
+    using bench::Stopwatch;
+
+    std::printf(
+        "Table 7 — fat trees, 5%% of classes guaranteed (guaranteed count "
+        "capped where marked)\n\n");
+    std::printf("%8s %10s %6s %8s %11s %14s %12s %13s\n", "classes",
+                "guaranteed", "hosts", "switches", "LP constr(ms)",
+                "LP solution(ms)", "rateless(ms)", "");
+
+    struct Row {
+        int k;
+        int guaranteed_cap;
+    };
+    for (const Row row : {Row{2, 64}, Row{4, 64}, Row{6, 1024}, Row{8, 1024}}) {
+        const topo::Topology t = topo::fat_tree(row.k);
+        const auto hosts = static_cast<int>(t.hosts().size());
+        const int classes = hosts * (hosts - 1);
+        const int five_percent = std::max(classes / 20, 1);
+        const int guaranteed = std::min(five_percent, row.guaranteed_cap);
+
+        const ir::Policy policy =
+            bench::all_pairs_policy(t, guaranteed, mb_per_sec(1));
+        const core::Compilation c =
+            core::compile(policy, t, bench::scalability_options());
+        if (!c.feasible) {
+            std::printf("k=%d INFEASIBLE: %s\n", row.k, c.diagnostic.c_str());
+            continue;
+        }
+        std::printf("%8d %10d %6d %8zu %13.1f %16.1f %12.1f  [%s]%s\n",
+                    classes, guaranteed, hosts, t.switches().size(),
+                    c.timing.lp_construction_ms, c.timing.lp_solve_ms,
+                    c.timing.rateless_ms, c.provision.solver,
+                    guaranteed < five_percent ? " (capped)" : "");
+    }
+    std::printf(
+        "\npaper (server-class machine, Gurobi): 870 classes -> 25/22/33 ms; "
+        "28730 -> 364/252/106 ms;\n95790 -> 13.3s/249s/0.2s; 229920 -> "
+        "86.7s/10476s/0.5s — same super-linear LP-solution growth\n");
+    return 0;
+}

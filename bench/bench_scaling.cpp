@@ -1,0 +1,80 @@
+// Figure 8: compilation time versus number of traffic classes.
+//
+//   (a) all-pairs connectivity on balanced trees         (rateless)
+//   (b) 5% guaranteed on balanced trees                  (MIP)
+//   (c) all-pairs connectivity on fat trees              (rateless)
+//   (d) 5% guaranteed on fat trees                       (MIP)
+//
+// Classes are ordered host pairs, as in the paper. Guaranteed counts are
+// capped on the largest instances (our simplex replaces Gurobi); the curve
+// shapes — near-linear rateless growth, super-linear MIP growth — are the
+// reproduction target.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "topo/generators.h"
+
+namespace {
+
+using namespace merlin;
+
+void sweep(const char* title, const std::vector<topo::Topology>& topologies,
+           bool guaranteed) {
+    std::printf("%s\n", title);
+    std::printf("%10s %8s %10s %14s\n", "classes", "hosts", "guaranteed",
+                "time(ms)");
+    for (const topo::Topology& t : topologies) {
+        const auto hosts = static_cast<int>(t.hosts().size());
+        const int classes = hosts * (hosts - 1);
+        const int wanted = guaranteed ? std::max(classes / 20, 1) : 0;
+        const int granted = std::min(wanted, 1024);
+        const ir::Policy policy =
+            bench::all_pairs_policy(t, granted, mb_per_sec(1));
+        const bench::Stopwatch watch;
+        const core::Compilation c =
+            core::compile(policy, t, bench::scalability_options());
+        const double ms = watch.ms();
+        if (!c.feasible) {
+            std::printf("%10d INFEASIBLE: %s\n", classes,
+                        c.diagnostic.c_str());
+            continue;
+        }
+        std::printf("%10d %8d %10d %14.1f  [%s]%s\n", classes, hosts,
+                    granted, ms,
+                    guaranteed ? c.provision.solver : "rateless",
+                    granted < wanted ? " (guarantees capped)" : "");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Figure 8 — compilation time vs number of traffic classes\n\n");
+
+    // Balanced trees have no path diversity, so the guaranteed workload only
+    // fits with fat 10G links (a tree of 1G links cannot carry 5% guarantees
+    // across its root whatever the solver does).
+    std::vector<topo::Topology> balanced;
+    for (const auto& [depth, fanout, leaf_hosts] :
+         std::vector<std::tuple<int, int, int>>{
+             {2, 3, 2}, {2, 4, 3}, {3, 3, 3}, {3, 4, 3}, {3, 4, 6}})
+        balanced.push_back(
+            topo::balanced_tree(depth, fanout, leaf_hosts, gbps(10)));
+
+    std::vector<topo::Topology> fat;
+    for (int k : {2, 4, 6, 8}) fat.push_back(topo::fat_tree(k));
+
+    sweep("(a) balanced trees, all-pairs best-effort", balanced, false);
+    sweep("(b) balanced trees, 5% guaranteed", balanced, true);
+    sweep("(c) fat trees, all-pairs best-effort", fat, false);
+    sweep("(d) fat trees, 5% guaranteed", fat, true);
+
+    std::printf(
+        "paper: rateless curves grow gently with classes; guaranteed curves "
+        "grow super-linearly\n(41 minutes at 400k classes / 20k guarantees "
+        "on their testbed)\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Shared helpers for the evaluation harnesses (one binary per paper
+// table/figure). These build the workloads of Section 6 programmatically:
+// all-pairs connectivity policies (one statement per ordered host pair, the
+// paper's "traffic classes") with an optional fraction of guaranteed
+// classes.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/addressing.h"
+#include "core/compiler.h"
+#include "ir/ast.h"
+#include "topo/topology.h"
+
+namespace merlin::bench {
+
+// One statement per ordered host pair: predicate pins eth.src/eth.dst, path
+// is `.*`. `guaranteed` statements, spread evenly across the class list (so
+// no single host's access link is oversubscribed, as in the paper's
+// workloads), additionally receive a bandwidth guarantee of `rate`.
+inline ir::Policy all_pairs_policy(const topo::Topology& topo, int guaranteed,
+                                   Bandwidth rate) {
+    const core::Addressing addressing(topo);
+    ir::Policy policy;
+    const auto hosts = topo.hosts();
+    const int host_count = static_cast<int>(hosts.size());
+    const int classes = host_count * (host_count - 1);
+    const int stride = guaranteed > 0 ? std::max(classes / guaranteed, 1) : 0;
+    int granted = 0;
+    int index = 0;
+    for (topo::NodeId src : hosts) {
+        for (topo::NodeId dst : hosts) {
+            if (src == dst) continue;
+            ir::Statement s;
+            s.id = "t" + std::to_string(index);
+            s.predicate = addressing.pair_predicate(src, dst);
+            s.path = ir::path_any_star();
+            policy.statements.push_back(std::move(s));
+            if (guaranteed > 0 && granted < guaranteed &&
+                index % stride == 0) {
+                ++granted;
+                ir::Term term;
+                term.ids.push_back("t" + std::to_string(index));
+                const auto leaf = ir::formula_min(std::move(term), rate);
+                policy.formula = policy.formula
+                                     ? ir::formula_and(policy.formula, leaf)
+                                     : leaf;
+            }
+            ++index;
+        }
+    }
+    return policy;
+}
+
+// One statement per destination host (the sink-tree granularity): enough
+// for connectivity benchmarks on very large topologies where per-pair
+// statements would not fit in memory.
+inline ir::Policy per_destination_policy(const topo::Topology& topo) {
+    const core::Addressing addressing(topo);
+    ir::Policy policy;
+    int index = 0;
+    for (topo::NodeId dst : topo.hosts()) {
+        ir::Statement s;
+        s.id = "d" + std::to_string(index++);
+        s.predicate = ir::pred_test("eth.dst", addressing.mac(dst));
+        s.path = ir::path_any_star();
+        policy.statements.push_back(std::move(s));
+    }
+    return policy;
+}
+
+// Wall-clock helper.
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double ms() const {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+// Compilation options used across the scalability benchmarks: the paper's
+// numbers measure the compiler itself, so the (optional) pre-processor
+// disjointness pass is disabled, mirroring pre-validated generated policies.
+inline core::Compile_options scalability_options() {
+    core::Compile_options o;
+    o.check_disjoint = false;
+    o.add_default_statement = false;
+    o.mip.max_nodes = 200;
+    return o;
+}
+
+}  // namespace merlin::bench

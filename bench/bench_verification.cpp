@@ -1,0 +1,139 @@
+// Figure 9: negotiator verification cost.
+//
+// Three sweeps, each verifying a delegated policy against its original:
+//
+//   1. number of delegated predicates (statements partitioning the parent)
+//   2. regular-expression complexity (AST nodes of the path expression)
+//   3. number of bandwidth allocations
+//
+// The paper reports the first and third scaling linearly into the tens of
+// thousands (milliseconds), and the regex case quadratically (~3.5 s at a
+// thousand AST nodes).
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ir/ast.h"
+#include "negotiator/negotiator.h"
+
+namespace {
+
+using namespace merlin;
+
+automata::Alphabet make_alphabet() {
+    automata::Alphabet a;
+    for (int i = 0; i < 8; ++i)
+        (void)a.add_location("s" + std::to_string(i));
+    return a;
+}
+
+// Parent: all TCP traffic, any path, optionally capped.
+ir::Policy parent_policy(std::optional<Bandwidth> cap) {
+    ir::Policy p;
+    p.statements.push_back(
+        ir::Statement{"x", ir::pred_test("ip.proto", 6), ir::path_any_star()});
+    if (cap) {
+        ir::Term t;
+        t.ids.push_back("x");
+        p.formula = ir::formula_max(std::move(t), *cap);
+    }
+    return p;
+}
+
+// Child partitioning the parent into n statements by destination port, the
+// last one a catch-all, each with an equal share of the cap.
+ir::Policy partition_by_port(int n, Bandwidth cap, bool with_rates) {
+    ir::Policy p;
+    ir::PredPtr rest = ir::pred_test("ip.proto", 6);
+    for (int i = 0; i + 1 < n; ++i) {
+        const auto port = static_cast<std::uint64_t>(i + 1);
+        p.statements.push_back(ir::Statement{
+            "c" + std::to_string(i),
+            ir::pred_and(ir::pred_test("ip.proto", 6),
+                         ir::pred_test("tcp.dst", port)),
+            ir::path_any_star()});
+        rest = ir::pred_and(rest,
+                            ir::pred_not(ir::pred_test("tcp.dst", port)));
+    }
+    p.statements.push_back(ir::Statement{"rest", rest, ir::path_any_star()});
+    if (with_rates) {
+        const auto share = Bandwidth(cap.bps() / static_cast<std::uint64_t>(n));
+        for (int i = 0; i < n; ++i) {
+            ir::Term t;
+            t.ids.push_back(i + 1 < n ? "c" + std::to_string(i) : "rest");
+            const auto leaf = ir::formula_max(std::move(t), share);
+            p.formula =
+                p.formula ? ir::formula_and(p.formula, leaf) : leaf;
+        }
+    }
+    return p;
+}
+
+// A path expression with ~n AST nodes: (s0 | s1 | ...)* repeated.
+ir::PathPtr wide_regex(int nodes) {
+    ir::PathPtr alt = ir::path_symbol("s0");
+    int used = 1;
+    int next = 1;
+    while (used + 2 < nodes) {
+        alt = ir::path_alt(alt,
+                           ir::path_symbol("s" + std::to_string(next % 8)));
+        ++next;
+        used += 2;
+    }
+    return ir::path_star(alt);
+}
+
+}  // namespace
+
+int main() {
+    const automata::Alphabet alphabet = make_alphabet();
+
+    std::printf("Figure 9 — verification cost\n\n");
+    std::printf("(1) increasing number of delegated predicates\n");
+    std::printf("%12s %10s\n", "statements", "time(ms)");
+    for (int n : {10, 100, 500, 1'000, 2'500, 5'000, 10'000}) {
+        // No rate clauses here: this sweep isolates predicate reasoning.
+        const ir::Policy parent = parent_policy(std::nullopt);
+        const ir::Policy child =
+            partition_by_port(n, gbps(10), /*with_rates=*/false);
+        const merlin::bench::Stopwatch watch;
+        const auto verdict =
+            negotiator::verify_refinement(parent, child, alphabet);
+        std::printf("%12d %10.1f%s\n", n, watch.ms(),
+                    verdict.valid ? "" : "  INVALID?");
+    }
+
+    std::printf("\n(2) increasing regular-expression complexity\n");
+    std::printf("%12s %10s\n", "regex nodes", "time(ms)");
+    for (int nodes : {10, 50, 100, 250, 500, 750, 1'000}) {
+        ir::Policy parent = parent_policy(gbps(10));
+        parent.statements[0].path = ir::path_star(ir::path_any());
+        ir::Policy child = parent;
+        child.statements[0].path = wide_regex(nodes);
+        const merlin::bench::Stopwatch watch;
+        const auto verdict =
+            negotiator::verify_refinement(parent, child, alphabet);
+        std::printf("%12d %10.1f%s\n", ir::node_count(child.statements[0].path),
+                    watch.ms(), verdict.valid ? "" : "  INVALID?");
+    }
+
+    std::printf("\n(3) increasing number of bandwidth allocations\n");
+    std::printf("%12s %10s\n", "allocations", "time(ms)");
+    for (int n : {10, 100, 500, 1'000, 2'500, 5'000, 10'000}) {
+        const ir::Policy parent = parent_policy(gbps(10));
+        const ir::Policy child =
+            partition_by_port(n, gbps(10), /*with_rates=*/true);
+        const merlin::bench::Stopwatch watch;
+        const auto verdict =
+            negotiator::verify_refinement(parent, child, alphabet);
+        std::printf("%12d %10.1f%s\n", n, watch.ms(),
+                    verdict.valid ? "" : "  INVALID?");
+    }
+
+    std::printf(
+        "\npaper: predicates and allocations scale linearly (~20 ms at 10k); "
+        "regex inclusion scales\nquadratically (~3.5 s at 1000 AST nodes)\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Policy delegation and verification (Section 4).
+//
+// An administrator caps all traffic between two hosts at 100MB/s, then
+// delegates the policy to a tenant. The tenant refines it into HTTP (via a
+// logging function), SSH, and a dpi-guarded remainder — the worked example
+// of Section 4.1. A second, invalid proposal over-allocates bandwidth and
+// is rejected by the negotiator's verifier.
+//
+//   $ ./example_delegation
+#include <iostream>
+
+#include "negotiator/negotiator.h"
+#include "parser/parser.h"
+
+int main() {
+    using namespace merlin;
+
+    automata::Alphabet alphabet;
+    for (const char* loc : {"h1", "h2", "s1", "s2", "m1"})
+        (void)alphabet.add_location(loc);
+    alphabet.add_function("dpi", {"m1"});
+    alphabet.add_function("log", {"m1"});
+
+    const ir::Policy global = parser::parse_policy(R"(
+[x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .*],
+max(x, 100MB/s)
+)");
+    negotiator::Negotiator root("admin", global, alphabet);
+    std::cout << "== Global policy ==\n" << ir::to_string(root.active());
+
+    negotiator::Negotiator& tenant = root.add_child(
+        "tenant", parser::parse_predicate("ip.src = 192.168.1.1"));
+    std::cout << "\n== Delegated to tenant ==\n"
+              << ir::to_string(tenant.envelope());
+
+    const ir::Policy refinement = parser::parse_policy(R"(
+[x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80)
+     -> .* log .*],
+[y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22)
+     -> .* ],
+[z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+      !(tcpDst=22 | tcpDst=80)) -> .* dpi .*],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+)");
+    const auto verdict = tenant.propose(refinement);
+    std::cout << "\n== Tenant refinement (Section 4.1) ==\n"
+              << ir::to_string(refinement)
+              << "verdict: " << (verdict ? "ACCEPTED" : "REJECTED")
+              << (verdict.reason.empty() ? "" : " — " + verdict.reason)
+              << '\n';
+
+    // Over-allocation: 80 + 25 + 25 > 100.
+    std::string greedy_text = ir::to_string(refinement);
+    greedy_text.replace(greedy_text.find("max(x, 50MB/s)"), 14,
+                        "max(x, 80MB/s)");
+    const auto rejected = tenant.propose(parser::parse_policy(greedy_text));
+    std::cout << "\n== Over-allocating refinement ==\nverdict: "
+              << (rejected ? "ACCEPTED" : "REJECTED") << " — "
+              << rejected.reason << '\n';
+
+    // Lifting the dpi waypoint is also rejected.
+    std::string lifted_text = ir::to_string(tenant.active());
+    const auto pos = lifted_text.find(".* dpi .*");
+    lifted_text.replace(pos, 9, ".*");
+    const auto lifted = tenant.propose(parser::parse_policy(lifted_text));
+    std::cout << "\n== Waypoint-lifting refinement ==\nverdict: "
+              << (lifted ? "ACCEPTED" : "REJECTED") << " — " << lifted.reason
+              << '\n';
+
+    std::cout << "\nActive tenant policy still has "
+              << tenant.active().statements.size() << " statements\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Dynamic bandwidth adaptation with negotiators (Section 4.3, Figure 10).
+//
+// Two tenants share a 500Mbps pool under an AIMD negotiator: allocations
+// ramp additively and back off multiplicatively when the pool saturates
+// (the classic sawtooth). Then four hosts under a max-min fair-share
+// negotiator declare changing demands; the allocation tracks them while the
+// total never exceeds the pool.
+//
+//   $ ./example_dynamic_adaptation
+#include <cstdio>
+#include <vector>
+
+#include "negotiator/negotiator.h"
+
+int main() {
+    using namespace merlin;
+
+    std::printf("== AIMD (two tenants, 500Mbps pool) ==\n");
+    std::printf("%5s %10s %10s\n", "t(s)", "tenant1", "tenant2");
+    const negotiator::Aimd aimd(mbps(500), mbps(20), 0.5);
+    std::vector<Bandwidth> rates{mbps(10), mbps(50)};
+    for (int t = 0; t <= 60; ++t) {
+        rates = aimd.step(rates, {true, true});
+        if (t % 4 == 0)
+            std::printf("%5d %9.0fM %9.0fM\n", t, rates[0].mbps(),
+                        rates[1].mbps());
+    }
+
+    std::printf("\n== Max-min fair share (four hosts, 1Gbps pool) ==\n");
+    std::printf("%5s %9s %9s %9s %9s\n", "t(s)", "h1", "h2", "h3", "h4");
+    for (int t = 0; t <= 30; t += 5) {
+        // Demands shift over time: h1 ramps up, h3 finishes at t=20.
+        const std::vector<Bandwidth> demands{
+            mbps(static_cast<std::uint64_t>(50 + 30 * t)),
+            mbps(200),
+            t < 20 ? mbps(600) : Bandwidth{},
+            mbps(450),
+        };
+        const auto alloc = negotiator::max_min_fair(gbps(1), demands);
+        std::printf("%5d %8.0fM %8.0fM %8.0fM %8.0fM\n", t, alloc[0].mbps(),
+                    alloc[1].mbps(), alloc[2].mbps(), alloc[3].mbps());
+    }
+    return 0;
+}

@@ -1,0 +1,176 @@
+#include "bdd/bdd.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace merlin::bdd {
+namespace {
+
+// Terminals sort after every real variable.
+constexpr int kTerminalVar = std::numeric_limits<int>::max();
+
+std::uint64_t unique_key(int var, Node low, Node high) {
+    // Nodes stay comfortably below 2^24 in our workloads, but use a mixing
+    // scheme that stays injective up to 2^27 nodes and 2^10 variables.
+    return (static_cast<std::uint64_t>(var) << 54) ^
+           (static_cast<std::uint64_t>(low) << 27) ^
+           static_cast<std::uint64_t>(high);
+}
+
+std::uint64_t cache_key(std::uint8_t op, Node a, Node b) {
+    return (static_cast<std::uint64_t>(op) << 56) ^
+           (static_cast<std::uint64_t>(a) << 28) ^ static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+Manager::Manager(int variable_count) : variable_count_(variable_count) {
+    expects(variable_count >= 0, "BDD variable count must be non-negative");
+    nodes_.push_back(Node_data{kTerminalVar, kFalse, kFalse});  // kFalse
+    nodes_.push_back(Node_data{kTerminalVar, kTrue, kTrue});    // kTrue
+}
+
+int Manager::add_variable() { return variable_count_++; }
+
+Node Manager::make(int var, Node low, Node high) {
+    if (low == high) return low;  // reduction rule
+    const std::uint64_t key = unique_key(var, low, high);
+    const auto it = unique_.find(key);
+    if (it != unique_.end()) return it->second;
+    const Node id = static_cast<Node>(nodes_.size());
+    nodes_.push_back(Node_data{var, low, high});
+    unique_.emplace(key, id);
+    return id;
+}
+
+Node Manager::var(int v) {
+    expects(v >= 0 && v < variable_count_, "BDD variable out of range");
+    return make(v, kFalse, kTrue);
+}
+
+Node Manager::nvar(int v) {
+    expects(v >= 0 && v < variable_count_, "BDD variable out of range");
+    return make(v, kTrue, kFalse);
+}
+
+Node Manager::apply(Op op, Node a, Node b) {
+    // Terminal short-cuts.
+    switch (op) {
+        case Op::and_:
+            if (a == kFalse || b == kFalse) return kFalse;
+            if (a == kTrue) return b;
+            if (b == kTrue) return a;
+            if (a == b) return a;
+            break;
+        case Op::or_:
+            if (a == kTrue || b == kTrue) return kTrue;
+            if (a == kFalse) return b;
+            if (b == kFalse) return a;
+            if (a == b) return a;
+            break;
+        case Op::xor_:
+            if (a == kFalse) return b;
+            if (b == kFalse) return a;
+            if (a == b) return kFalse;
+            if (a == kTrue) return negate(b);
+            if (b == kTrue) return negate(a);
+            break;
+    }
+    // Commutative ops: canonicalize the argument order for the cache.
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = cache_key(static_cast<std::uint8_t>(op), a, b);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    const Node_data& na = nodes_[static_cast<std::size_t>(a)];
+    const Node_data& nb = nodes_[static_cast<std::size_t>(b)];
+    const int split = na.var < nb.var ? na.var : nb.var;
+    const Node a_low = na.var == split ? na.low : a;
+    const Node a_high = na.var == split ? na.high : a;
+    const Node b_low = nb.var == split ? nb.low : b;
+    const Node b_high = nb.var == split ? nb.high : b;
+
+    const Node low = apply(op, a_low, b_low);
+    const Node high = apply(op, a_high, b_high);
+    const Node out = make(split, low, high);
+    cache_.emplace(key, out);
+    return out;
+}
+
+Node Manager::apply_and(Node a, Node b) { return apply(Op::and_, a, b); }
+Node Manager::apply_or(Node a, Node b) { return apply(Op::or_, a, b); }
+Node Manager::apply_xor(Node a, Node b) { return apply(Op::xor_, a, b); }
+
+Node Manager::negate(Node a) {
+    if (a == kFalse) return kTrue;
+    if (a == kTrue) return kFalse;
+    // not(a) = a xor true, but terminal handling above would recurse; use a
+    // dedicated cached traversal keyed as xor with kTrue.
+    const std::uint64_t key =
+        cache_key(static_cast<std::uint8_t>(Op::xor_), a, kTrue);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const Node_data& na = nodes_[static_cast<std::size_t>(a)];
+    const Node out = make(na.var, negate(na.low), negate(na.high));
+    cache_.emplace(key, out);
+    return out;
+}
+
+double Manager::sat_count(Node a) {
+    // count(n) over remaining variables; memoized per call.
+    std::unordered_map<Node, double> memo;
+    auto rec = [&](auto&& self, Node n) -> double {
+        // Returns assignments over variables strictly below var_of(n)'s level,
+        // normalized afterwards with a power-of-two correction.
+        if (n == kFalse) return 0;
+        if (n == kTrue) return 1;
+        const auto it = memo.find(n);
+        if (it != memo.end()) return it->second;
+        const Node_data& nd = nodes_[static_cast<std::size_t>(n)];
+        const int lv = nd.low == kFalse || nd.low == kTrue
+                           ? variable_count_
+                           : var_of(nd.low);
+        const int hv = nd.high == kFalse || nd.high == kTrue
+                           ? variable_count_
+                           : var_of(nd.high);
+        const double low = self(self, nd.low) *
+                           std::pow(2.0, lv - nd.var - 1);
+        const double high = self(self, nd.high) *
+                            std::pow(2.0, hv - nd.var - 1);
+        const double out = low + high;
+        memo.emplace(n, out);
+        return out;
+    };
+    if (a == kFalse) return 0;
+    if (a == kTrue) return std::pow(2.0, variable_count_);
+    return rec(rec, a) * std::pow(2.0, var_of(a));
+}
+
+std::vector<bool> Manager::pick_assignment(Node a) {
+    if (a == kFalse) return {};
+    std::vector<bool> out(static_cast<std::size_t>(variable_count_), false);
+    Node n = a;
+    while (n != kTrue) {
+        const Node_data& nd = nodes_[static_cast<std::size_t>(n)];
+        if (nd.high != kFalse) {
+            out[static_cast<std::size_t>(nd.var)] = true;
+            n = nd.high;
+        } else {
+            n = nd.low;
+        }
+    }
+    return out;
+}
+
+bool Manager::evaluate(Node a, const std::vector<bool>& assignment) const {
+    Node n = a;
+    while (n != kTrue && n != kFalse) {
+        const Node_data& nd = nodes_[static_cast<std::size_t>(n)];
+        n = assignment[static_cast<std::size_t>(nd.var)] ? nd.high : nd.low;
+    }
+    return n == kTrue;
+}
+
+}  // namespace merlin::bdd

@@ -1,0 +1,89 @@
+// A reduced ordered binary decision diagram (ROBDD) engine.
+//
+// This is the decision procedure behind Merlin's predicate analyses
+// (disjointness, totality, implication — Sections 2.1 and 4.2). The original
+// system shelled out to the Z3 SMT solver; the predicate fragment of Figure 1
+// is propositional over fixed-width header fields, so a BDD package decides
+// it exactly and is self-contained.
+//
+// Nodes are hash-consed, so two equivalent functions always have the same
+// node id; equivalence checking is pointer equality. Apply operations are
+// memoized. Variables are identified by index; lower index = closer to the
+// root.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace merlin::bdd {
+
+using Node = std::uint32_t;
+
+inline constexpr Node kFalse = 0;
+inline constexpr Node kTrue = 1;
+
+class Manager {
+public:
+    explicit Manager(int variable_count);
+
+    [[nodiscard]] int variable_count() const { return variable_count_; }
+    // Grows the variable universe (new variables order after existing ones).
+    int add_variable();
+
+    // The function "variable v" / "not variable v".
+    [[nodiscard]] Node var(int v);
+    [[nodiscard]] Node nvar(int v);
+
+    [[nodiscard]] Node apply_and(Node a, Node b);
+    [[nodiscard]] Node apply_or(Node a, Node b);
+    [[nodiscard]] Node apply_xor(Node a, Node b);
+    [[nodiscard]] Node negate(Node a);
+
+    // Convenience combinations used by the analyses.
+    [[nodiscard]] bool disjoint(Node a, Node b) {
+        return apply_and(a, b) == kFalse;
+    }
+    [[nodiscard]] bool implies(Node a, Node b) {
+        return apply_and(a, negate(b)) == kFalse;
+    }
+    [[nodiscard]] bool equivalent(Node a, Node b) const { return a == b; }
+
+    // Number of satisfying assignments over all `variable_count()` variables,
+    // as a double (exact for < 2^53).
+    [[nodiscard]] double sat_count(Node a);
+
+    // One satisfying assignment (variable -> value), empty when a == kFalse.
+    // Variables not on the chosen path default to false.
+    [[nodiscard]] std::vector<bool> pick_assignment(Node a);
+
+    // Evaluates the function under a full assignment.
+    [[nodiscard]] bool evaluate(Node a, const std::vector<bool>& assignment) const;
+
+    // Live node count (diagnostics; includes the two terminals).
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+private:
+    struct Node_data {
+        int var;
+        Node low;
+        Node high;
+    };
+
+    enum class Op : std::uint8_t { and_, or_, xor_ };
+
+    [[nodiscard]] Node make(int var, Node low, Node high);
+    [[nodiscard]] Node apply(Op op, Node a, Node b);
+    [[nodiscard]] int var_of(Node n) const {
+        return nodes_[static_cast<std::size_t>(n)].var;
+    }
+
+    int variable_count_;
+    std::vector<Node_data> nodes_;
+    // Unique table: (var, low, high) -> node.
+    std::unordered_map<std::uint64_t, Node> unique_;
+    // Memo cache: (op, a, b) -> result.
+    std::unordered_map<std::uint64_t, Node> cache_;
+};
+
+}  // namespace merlin::bdd

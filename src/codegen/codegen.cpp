@@ -1,0 +1,426 @@
+#include "codegen/codegen.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ir/fields.h"
+#include "util/error.h"
+
+namespace merlin::codegen {
+namespace {
+
+// Renders a predicate as iptables/tc-style match arguments. Simple
+// conjunctions map onto native matchers; anything richer falls back to the
+// host interpreter's expression matcher (Section 3.4 describes the richer
+// netfilter-based interpreter for exactly this case).
+std::string render_match(const ir::PredPtr& p) {
+    using ir::Pred_kind;
+    switch (p->kind) {
+        case Pred_kind::true_: return "";
+        case Pred_kind::test: {
+            const auto field = ir::find_field(p->field);
+            const std::string value =
+                field ? ir::format_field_value(*field, p->value)
+                      : std::to_string(p->value);
+            if (p->field == "tcp.dst") return "-p tcp --dport " + value;
+            if (p->field == "tcp.src") return "-p tcp --sport " + value;
+            if (p->field == "udp.dst") return "-p udp --dport " + value;
+            if (p->field == "udp.src") return "-p udp --sport " + value;
+            if (p->field == "ip.src") return "-s " + value;
+            if (p->field == "ip.dst") return "-d " + value;
+            if (p->field == "eth.src")
+                return "-m mac --mac-source " + value;
+            break;
+        }
+        case Pred_kind::and_: {
+            const std::string lhs = render_match(p->lhs);
+            const std::string rhs = render_match(p->rhs);
+            if (lhs.empty()) return rhs;
+            if (rhs.empty()) return lhs;
+            return lhs + " " + rhs;
+        }
+        default: break;
+    }
+    return "-m merlin --expr '" + ir::to_string(p) + "'";
+}
+
+class Generator {
+public:
+    Generator(const core::Compilation& c, const topo::Topology& t)
+        : comp_(c), topo_(t) {}
+
+    Configuration run() {
+        for (const core::Statement_plan& plan : comp_.plans) {
+            if (plan.drop) {
+                emit_drop(plan);
+            } else if (plan.guaranteed()) {
+                emit_guaranteed(plan);
+            } else {
+                emit_best_effort(plan);
+            }
+            if (plan.cap) emit_cap(plan);
+        }
+        return std::move(out_);
+    }
+
+private:
+    // ------------------------------------------------------------ utilities
+    [[nodiscard]] const std::string& name(topo::NodeId n) const {
+        return topo_.node(n).name;
+    }
+    [[nodiscard]] bool is_switch(topo::NodeId n) const {
+        return topo_.node(n).kind == topo::Node_kind::switch_;
+    }
+
+    int fresh_tag() { return next_tag_++; }
+
+    int queue_id(const std::string& device, const std::string& port) {
+        return ++queue_counter_[{device, port}];
+    }
+
+    // Switches adjacent to a host (its ingress/egress switches).
+    [[nodiscard]] std::vector<topo::NodeId> edge_switches(
+        topo::NodeId host) const {
+        std::vector<topo::NodeId> out;
+        for (const auto& adj : topo_.neighbors(host))
+            if (is_switch(adj.node)) out.push_back(adj.node);
+        return out;
+    }
+
+    [[nodiscard]] std::vector<topo::NodeId> all_edge_switches() const {
+        std::set<topo::NodeId> uniq;
+        for (topo::NodeId h : topo_.hosts())
+            for (topo::NodeId s : edge_switches(h)) uniq.insert(s);
+        return {uniq.begin(), uniq.end()};
+    }
+
+    void click_for(const core::Placement& placement) {
+        const topo::Node& node = topo_.node(placement.location);
+        std::ostringstream config;
+        if (node.kind == topo::Node_kind::host) {
+            config << "merlin-interpreter --function " << placement.function
+                   << " --netfilter-hook forward";
+        } else {
+            config << "FromDevice(eth0) -> " << placement.function
+                   << "() -> ToDevice(eth1);";
+        }
+        out_.click_configs.push_back(
+            Click_config{node.name, placement.function, config.str()});
+    }
+
+    // ----------------------------------------------------------- guaranteed
+    void emit_guaranteed(const core::Statement_plan& plan) {
+        const core::Provisioned_path& path = *plan.path;
+        const int tag = fresh_tag();
+        const auto& nodes = path.nodes;
+        bool classified = false;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (!is_switch(nodes[i])) continue;
+            const bool last_switch = [&] {
+                for (std::size_t j = i + 1; j < nodes.size(); ++j)
+                    if (is_switch(nodes[j])) return false;
+                return true;
+            }();
+            Flow_rule rule;
+            rule.device = name(nodes[i]);
+            rule.priority = 10;
+            if (!classified) {
+                rule.match = plan.statement.predicate;
+                rule.set_tag = tag;
+                classified = true;
+            } else {
+                rule.match_tag = tag;
+            }
+            if (i + 1 < nodes.size()) {
+                rule.out_port = name(nodes[i + 1]);
+                // Guarantee enforced by a per-port queue.
+                const int q = queue_id(rule.device, rule.out_port);
+                rule.queue = q;
+                out_.queues.push_back(Queue_config{rule.device, rule.out_port,
+                                                   q, plan.guarantee,
+                                                   plan.cap});
+                if (last_switch) {
+                    rule.strip_tag = true;
+                    if (plan.dst_host)
+                        rule.match_dst_mac =
+                            comp_.addressing.mac(*plan.dst_host);
+                }
+            }
+            out_.flow_rules.push_back(std::move(rule));
+        }
+        for (const core::Placement& placement : path.placements)
+            click_for(placement);
+    }
+
+    // ---------------------------------------------------------- best effort
+    // Tags are shared per (path class, egress symbol, NFA state).
+    int tree_tag(int cls, int egress, int state) {
+        const auto key = std::tuple{cls, egress, state};
+        const auto it = tree_tags_.find(key);
+        if (it != tree_tags_.end()) return it->second;
+        const int tag = fresh_tag();
+        tree_tags_.emplace(key, tag);
+        return tag;
+    }
+
+    // Emits the shared per-tree forwarding rules once.
+    void emit_tree(int cls, int egress) {
+        if (!emitted_trees_.insert({cls, egress}).second) return;
+        const core::Sink_tree* tree = comp_.tree_for(cls, egress);
+        expects(tree != nullptr, "tree must exist for served statements");
+        const core::Switch_graph& sg = comp_.switch_graph;
+        for (int n = 0; n < sg.size(); ++n) {
+            const topo::NodeId node = sg.nodes[static_cast<std::size_t>(n)];
+            for (std::size_t q = 0; q < tree->next[static_cast<std::size_t>(n)]
+                                            .size();
+                 ++q) {
+                const core::Sink_hop hop =
+                    tree->next[static_cast<std::size_t>(n)][q];
+                if (hop.node < 0) continue;  // accepted or unreachable
+                if (topo_.node(node).kind == topo::Node_kind::middlebox) {
+                    // Middleboxes forward via their Click configuration.
+                    std::ostringstream config;
+                    config << "FromDevice(eth0) -> SetVLANAnno("
+                           << tree_tag(cls, egress, hop.state)
+                           << ") -> ToDevice(toward "
+                           << name(sg.nodes[static_cast<std::size_t>(
+                                  hop.node)])
+                           << ");";
+                    out_.click_configs.push_back(Click_config{
+                        name(node), "forward", config.str()});
+                    continue;
+                }
+                Flow_rule rule;
+                rule.device = name(node);
+                rule.priority = 5;
+                rule.match_tag = tree_tag(cls, egress, static_cast<int>(q));
+                if (hop.state != static_cast<int>(q))
+                    rule.set_tag = tree_tag(cls, egress, hop.state);
+                rule.out_port =
+                    name(sg.nodes[static_cast<std::size_t>(hop.node)]);
+                out_.flow_rules.push_back(std::move(rule));
+            }
+        }
+    }
+
+    // Delivery rule at the egress switch for one destination host.
+    void emit_delivery(int cls, int egress, topo::NodeId dst) {
+        if (!emitted_delivery_.insert({cls, egress, dst}).second) return;
+        const core::Sink_tree* tree = comp_.tree_for(cls, egress);
+        const auto& nfa =
+            comp_.class_nfas[static_cast<std::size_t>(cls)];
+        // Any accepting state reachable at the egress delivers.
+        for (int q = 0; q < nfa.state_count(); ++q) {
+            if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
+            if (tree->dist[static_cast<std::size_t>(tree->egress)]
+                          [static_cast<std::size_t>(q)] != 0)
+                continue;
+            Flow_rule rule;
+            rule.device = name(
+                comp_.switch_graph.nodes[static_cast<std::size_t>(egress)]);
+            rule.priority = 8;
+            rule.match_tag = tree_tag(cls, egress, q);
+            rule.match_dst_mac = comp_.addressing.mac(dst);
+            rule.strip_tag = true;
+            rule.out_port = name(dst);
+            out_.flow_rules.push_back(std::move(rule));
+        }
+    }
+
+    // Ingress classification for one statement at one ingress switch toward
+    // one (egress, dst) pair. `extra_dst_match` adds an eth.dst match for
+    // statements that do not pin their destination.
+    void emit_ingress(const core::Statement_plan& plan, topo::NodeId ingress,
+                      int egress, topo::NodeId dst, bool extra_dst_match) {
+        const core::Switch_graph& sg = comp_.switch_graph;
+        const int in_sym = sg.symbol_of[static_cast<std::size_t>(ingress)];
+        if (in_sym < 0) return;
+        const core::Sink_tree* tree = comp_.tree_for(plan.path_class, egress);
+        if (tree == nullptr) return;
+        const auto& nfa =
+            comp_.class_nfas[static_cast<std::size_t>(plan.path_class)];
+        const auto entry = tree->entry_state(nfa, in_sym);
+        if (!entry) return;
+
+        Flow_rule rule;
+        rule.device = name(ingress);
+        rule.priority = 10;
+        rule.match = plan.statement.predicate;
+        if (extra_dst_match) rule.match_dst_mac = comp_.addressing.mac(dst);
+
+        const core::Sink_hop hop =
+            tree->next[static_cast<std::size_t>(in_sym)]
+                      [static_cast<std::size_t>(*entry)];
+        if (hop.node < 0) {
+            // Accepted immediately: ingress == egress, deliver directly.
+            rule.out_port = name(dst);
+        } else {
+            rule.set_tag = tree_tag(plan.path_class, egress, *entry);
+            rule.out_port = name(sg.nodes[static_cast<std::size_t>(hop.node)]);
+        }
+        out_.flow_rules.push_back(std::move(rule));
+        emit_tree(plan.path_class, egress);
+        emit_delivery(plan.path_class, egress, dst);
+    }
+
+    void emit_best_effort(const core::Statement_plan& plan) {
+        const std::vector<topo::NodeId> ingresses =
+            plan.src_host ? edge_switches(*plan.src_host)
+                          : all_edge_switches();
+        const std::vector<topo::NodeId> dsts =
+            plan.dst_host ? std::vector<topo::NodeId>{*plan.dst_host}
+                          : topo_.hosts();
+        for (topo::NodeId dst : dsts) {
+            for (topo::NodeId egress_node : edge_switches(dst)) {
+                const int egress =
+                    comp_.switch_graph
+                        .symbol_of[static_cast<std::size_t>(egress_node)];
+                if (egress < 0) continue;
+                for (topo::NodeId ingress : ingresses)
+                    emit_ingress(plan, ingress, egress, dst,
+                                 /*extra_dst_match=*/!plan.dst_host);
+                // One egress suffices per destination host.
+                break;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- drop / cap
+    void emit_drop(const core::Statement_plan& plan) {
+        const std::string match = render_match(plan.statement.predicate);
+        if (plan.src_host) {
+            out_.iptables_rules.push_back(Host_command{
+                name(*plan.src_host),
+                "iptables -A OUTPUT " + match + " -j DROP"});
+        } else {
+            for (topo::NodeId h : topo_.hosts())
+                out_.iptables_rules.push_back(Host_command{
+                    name(h), "iptables -A OUTPUT " + match + " -j DROP"});
+        }
+        // Defense in depth: drop at the ingress switches as well.
+        const std::vector<topo::NodeId> ingresses =
+            plan.src_host ? edge_switches(*plan.src_host)
+                          : all_edge_switches();
+        for (topo::NodeId sw : ingresses) {
+            Flow_rule rule;
+            rule.device = name(sw);
+            rule.priority = 12;
+            rule.match = plan.statement.predicate;
+            rule.drop = true;
+            out_.flow_rules.push_back(std::move(rule));
+        }
+    }
+
+    void emit_cap(const core::Statement_plan& plan) {
+        if (!plan.cap) return;
+        const std::string rate = to_string(*plan.cap);
+        const std::string match = render_match(plan.statement.predicate);
+        const auto hosts = plan.src_host
+                               ? std::vector<topo::NodeId>{*plan.src_host}
+                               : topo_.hosts();
+        for (topo::NodeId h : hosts) {
+            const int klass = ++tc_class_[name(h)];
+            out_.tc_commands.push_back(Host_command{
+                name(h), "tc class add dev eth0 parent 1: classid 1:" +
+                             std::to_string(klass) + " htb rate " + rate +
+                             " ceil " + rate});
+            out_.tc_commands.push_back(Host_command{
+                name(h), "tc filter add dev eth0 parent 1: " + match +
+                             " flowid 1:" + std::to_string(klass)});
+        }
+    }
+
+    const core::Compilation& comp_;
+    const topo::Topology& topo_;
+    Configuration out_;
+
+    int next_tag_ = 2;  // VLAN ids 0/1 are reserved
+    std::map<std::pair<std::string, std::string>, int> queue_counter_;
+    std::map<std::tuple<int, int, int>, int> tree_tags_;
+    std::set<std::pair<int, int>> emitted_trees_;
+    std::set<std::tuple<int, int, topo::NodeId>> emitted_delivery_;
+    std::map<std::string, int> tc_class_;
+};
+
+}  // namespace
+
+Configuration generate(const core::Compilation& compilation,
+                       const topo::Topology& topo) {
+    if (!compilation.feasible)
+        throw Policy_error("cannot generate code for infeasible policy: " +
+                           compilation.diagnostic);
+    return Generator(compilation, topo).run();
+}
+
+std::map<std::string, interp::Program> host_programs(
+    const core::Compilation& compilation, const topo::Topology& topo) {
+    if (!compilation.feasible)
+        throw Policy_error("cannot generate programs for infeasible policy: " +
+                           compilation.diagnostic);
+    std::map<std::string, interp::Program> out;
+    for (topo::NodeId h : topo.hosts())
+        out.emplace(topo.node(h).name, interp::Program{});
+
+    auto targets = [&](const core::Statement_plan& plan) {
+        return plan.src_host
+                   ? std::vector<topo::NodeId>{*plan.src_host}
+                   : topo.hosts();
+    };
+    for (const core::Statement_plan& plan : compilation.plans) {
+        interp::Rule rule;
+        rule.guard = plan.statement.predicate;
+        rule.note = plan.statement.id;
+        if (plan.drop) {
+            rule.action = interp::Action::drop;
+        } else if (plan.cap) {
+            rule.action = interp::Action::rate_limit;
+            rule.rate = *plan.cap;
+        } else {
+            rule.action = interp::Action::allow;
+        }
+        for (topo::NodeId h : targets(plan))
+            out[topo.node(h).name].rules.push_back(rule);
+    }
+    return out;
+}
+
+std::string to_text(const Configuration& config) {
+    std::ostringstream out;
+    out << "# OpenFlow rules (" << config.flow_rules.size() << ")\n";
+    for (const Flow_rule& r : config.flow_rules) {
+        out << r.device << ": priority=" << r.priority;
+        if (r.match_tag) out << " vlan=" << *r.match_tag;
+        if (r.match) out << " match=[" << ir::to_string(r.match) << ']';
+        if (r.match_dst_mac) {
+            const auto f = ir::find_field("eth.dst");
+            out << " dst=" << ir::format_field_value(*f, *r.match_dst_mac);
+        }
+        out << " ->";
+        if (r.drop) out << " drop";
+        if (r.set_tag) out << " set_vlan:" << *r.set_tag;
+        if (r.strip_tag) out << " strip_vlan";
+        if (!r.out_port.empty()) out << " output:" << r.out_port;
+        if (r.queue) out << " queue:" << *r.queue;
+        out << '\n';
+    }
+    out << "# Queues (" << config.queues.size() << ")\n";
+    for (const Queue_config& q : config.queues) {
+        out << q.device << " port:" << q.port << " queue:" << q.queue_id
+            << " min=" << to_string(q.min_rate);
+        if (q.max_rate) out << " max=" << to_string(*q.max_rate);
+        out << '\n';
+    }
+    out << "# tc (" << config.tc_commands.size() << ")\n";
+    for (const Host_command& c : config.tc_commands)
+        out << c.host << ": " << c.command << '\n';
+    out << "# iptables (" << config.iptables_rules.size() << ")\n";
+    for (const Host_command& c : config.iptables_rules)
+        out << c.host << ": " << c.command << '\n';
+    out << "# click (" << config.click_configs.size() << ")\n";
+    for (const Click_config& c : config.click_configs)
+        out << c.device << " [" << c.function << "]: " << c.config << '\n';
+    return out.str();
+}
+
+}  // namespace merlin::codegen

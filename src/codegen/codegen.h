@@ -1,0 +1,99 @@
+// Code generation (Section 3.4).
+//
+// Turns a Compilation into per-device instructions:
+//
+//   * OpenFlow rules for switches. Forwarding uses VLAN tags to encode paths
+//     — one tag per (sink tree, NFA state) for best-effort traffic and one
+//     tag per provisioned path for guaranteed traffic — so forwarding is
+//     robust to header rewrites by middleboxes (the FlowTags-style scheme
+//     the paper describes). Ingress switches classify on the statement
+//     predicate and push the tag; core switches match only the tag; egress
+//     switches strip it and deliver by destination MAC.
+//   * Queue configurations on switch ports for bandwidth guarantees.
+//   * `tc` commands on end hosts for bandwidth caps.
+//   * `iptables` rules on end hosts for dropped traffic classes.
+//   * Click configurations for packet-processing functions placed on
+//     middleboxes (and host-interpreter programs for host placements).
+//
+// Figure 4 counts exactly these artifact classes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "interp/interp.h"
+#include "ir/ast.h"
+#include "topo/topology.h"
+#include "util/units.h"
+
+namespace merlin::codegen {
+
+// One OpenFlow flow-table entry.
+struct Flow_rule {
+    std::string device;  // switch name
+    int priority = 0;
+
+    // Match side (unset fields are wildcards).
+    std::optional<int> match_tag;           // VLAN tag
+    ir::PredPtr match;                      // header predicate (ingress)
+    std::optional<std::uint64_t> match_dst_mac;
+
+    // Action side.
+    bool drop = false;
+    std::optional<int> set_tag;    // push/set VLAN
+    bool strip_tag = false;
+    std::string out_port;          // name of the neighbour to forward to
+    std::optional<int> queue;      // enqueue on this port queue
+};
+
+struct Queue_config {
+    std::string device;    // switch name
+    std::string port;      // neighbour name the port faces
+    int queue_id = 0;
+    Bandwidth min_rate;    // guarantee
+    std::optional<Bandwidth> max_rate;  // cap, when present
+};
+
+struct Host_command {
+    std::string host;
+    std::string command;  // a tc(8) or iptables(8) invocation
+};
+
+struct Click_config {
+    std::string device;    // middlebox or host name
+    std::string function;  // dpi, nat, log, ...
+    std::string config;    // Click snippet / host-interpreter program
+};
+
+struct Configuration {
+    std::vector<Flow_rule> flow_rules;
+    std::vector<Queue_config> queues;
+    std::vector<Host_command> tc_commands;
+    std::vector<Host_command> iptables_rules;
+    std::vector<Click_config> click_configs;
+
+    [[nodiscard]] int total_instructions() const {
+        return static_cast<int>(flow_rules.size() + queues.size() +
+                                tc_commands.size() + iptables_rules.size() +
+                                click_configs.size());
+    }
+};
+
+// Generates all device instructions for a feasible compilation.
+// Throws Policy_error when called on an infeasible compilation.
+[[nodiscard]] Configuration generate(const core::Compilation& compilation,
+                                     const topo::Topology& topo);
+
+// Human-readable dump (used by examples and for debugging).
+[[nodiscard]] std::string to_text(const Configuration& config);
+
+// Per-host programs for the end-host interpreter backend (Section 3.4's
+// netfilter prototype): drops, rate limits (caps), and allows for the
+// traffic each host originates. Keys are host names.
+[[nodiscard]] std::map<std::string, interp::Program> host_programs(
+    const core::Compilation& compilation, const topo::Topology& topo);
+
+}  // namespace merlin::codegen

@@ -1,0 +1,55 @@
+// Deterministic host addressing and endpoint inference.
+//
+// Merlin predicates identify traffic by header fields; the compiler must
+// relate matched packets to network locations ("the compiler determines the
+// configuration of each network device", Section 3). Every host receives a
+// deterministic MAC (00:00:00:00:hh:ll from its index) and an IPv4 address in
+// 10.0.0.0/8, and a statement's source/destination hosts are inferred from
+// positive eth.src/eth.dst (or ip.src/ip.dst) equality tests on the top-level
+// conjunction of its predicate — exactly the shape the all-pairs and foreach
+// sugar generates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "ir/ast.h"
+#include "topo/topology.h"
+
+namespace merlin::core {
+
+class Addressing {
+public:
+    explicit Addressing(const topo::Topology& topo);
+
+    // Address of a host node; throws Topology_error for non-hosts.
+    [[nodiscard]] std::uint64_t mac(topo::NodeId host) const;
+    [[nodiscard]] std::uint64_t ip(topo::NodeId host) const;
+
+    [[nodiscard]] std::optional<topo::NodeId> host_by_mac(
+        std::uint64_t value) const;
+    [[nodiscard]] std::optional<topo::NodeId> host_by_ip(
+        std::uint64_t value) const;
+
+    // Source/destination hosts pinned by a predicate, if any. Only positive
+    // equality tests reachable through top-level `and` nodes count;
+    // disjunctions and negations never pin an endpoint.
+    struct Endpoints {
+        std::optional<topo::NodeId> src;
+        std::optional<topo::NodeId> dst;
+    };
+    [[nodiscard]] Endpoints endpoints(const ir::PredPtr& predicate) const;
+
+    // Builds the predicate "eth.src = mac(src) and eth.dst = mac(dst)".
+    [[nodiscard]] ir::PredPtr pair_predicate(topo::NodeId src,
+                                             topo::NodeId dst) const;
+
+private:
+    std::unordered_map<topo::NodeId, std::uint64_t> mac_of_;
+    std::unordered_map<topo::NodeId, std::uint64_t> ip_of_;
+    std::unordered_map<std::uint64_t, topo::NodeId> by_mac_;
+    std::unordered_map<std::uint64_t, topo::NodeId> by_ip_;
+};
+
+}  // namespace merlin::core

@@ -1,0 +1,278 @@
+#include "core/compiler.h"
+
+#include <chrono>
+#include <set>
+#include <unordered_map>
+
+#include "core/logical.h"
+#include "pred/analysis.h"
+#include "util/error.h"
+
+namespace merlin::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+// Key used to bucket statements for the disjointness pre-check: statements
+// pinning different (src, dst) endpoint pairs are disjoint by construction.
+std::string endpoint_key(const Addressing::Endpoints& ep) {
+    std::string key;
+    key += ep.src ? std::to_string(*ep.src) : "?";
+    key += '/';
+    key += ep.dst ? std::to_string(*ep.dst) : "?";
+    return key;
+}
+
+void check_disjointness(const std::vector<Statement_plan>& plans) {
+    // Bucket by endpoint pair; unpinned statements ("?" keys) must be
+    // checked against everything, so they share one bucket with all others
+    // only if such statements exist (rare in practice).
+    std::unordered_map<std::string, std::vector<std::size_t>> buckets;
+    std::vector<std::size_t> unpinned;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        Addressing::Endpoints ep{plans[i].src_host, plans[i].dst_host};
+        if (!ep.src && !ep.dst)
+            unpinned.push_back(i);
+        else
+            buckets[endpoint_key(ep)].push_back(i);
+    }
+
+    pred::Analyzer analyzer;
+    auto check_pair = [&](std::size_t a, std::size_t b) {
+        if (!analyzer.disjoint(plans[a].statement.predicate,
+                               plans[b].statement.predicate))
+            throw Policy_error("statements '" + plans[a].statement.id +
+                               "' and '" + plans[b].statement.id +
+                               "' have overlapping predicates");
+    };
+    for (const auto& [key, bucket] : buckets) {
+        for (std::size_t i = 0; i < bucket.size(); ++i)
+            for (std::size_t j = i + 1; j < bucket.size(); ++j)
+                check_pair(bucket[i], bucket[j]);
+        for (std::size_t u : unpinned)
+            for (std::size_t i : bucket) check_pair(u, i);
+    }
+    for (std::size_t i = 0; i < unpinned.size(); ++i)
+        for (std::size_t j = i + 1; j < unpinned.size(); ++j)
+            check_pair(unpinned[i], unpinned[j]);
+}
+
+}  // namespace
+
+Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
+                    const Compile_options& options) {
+    Compilation out{.feasible = false,
+                    .diagnostic = {},
+                    .plans = {},
+                    .addressing = Addressing(topo),
+                    .switch_graph = make_switch_graph(topo),
+                    .class_nfas = {},
+                    .trees = {},
+                    .provision = {},
+                    .timing = {}};
+
+    // ---- Localization and rate extraction (Section 3.1).
+    const auto preprocess_start = Clock::now();
+    const ir::FormulaPtr localized =
+        presburger::localize(policy.formula, options.split);
+    const presburger::Rate_table rates = presburger::requirements(localized);
+    for (const auto& [id, _] : rates.guarantees)
+        if (!ir::find_statement(policy, id))
+            throw Policy_error("formula references unknown statement '" + id +
+                               "'");
+    for (const auto& [id, _] : rates.caps)
+        if (!ir::find_statement(policy, id))
+            throw Policy_error("formula references unknown statement '" + id +
+                               "'");
+
+    // ---- Per-statement plans with endpoints.
+    for (const ir::Statement& s : policy.statements) {
+        Statement_plan plan;
+        plan.statement = s;
+        plan.guarantee = rates.guarantee_of(s.id);
+        if (rates.has_cap(s.id)) plan.cap = rates.caps.at(s.id);
+        const auto ep = out.addressing.endpoints(s.predicate);
+        plan.src_host = ep.src;
+        plan.dst_host = ep.dst;
+        out.plans.push_back(std::move(plan));
+    }
+
+    // ---- Pre-processor requirements (Section 2.1).
+    if (options.check_disjoint) check_disjointness(out.plans);
+    if (options.add_default_statement) {
+        // Totality: route everything not matched elsewhere as plain
+        // best-effort traffic along `.*` paths.
+        ir::PredPtr rest = ir::pred_true();
+        for (const ir::Statement& s : policy.statements)
+            rest = ir::pred_and(rest, ir::pred_not(s.predicate));
+        Statement_plan plan;
+        plan.statement =
+            ir::Statement{"__default", rest, ir::path_any_star()};
+        out.plans.push_back(std::move(plan));
+    }
+    out.timing.preprocess_ms = ms_since(preprocess_start);
+
+    // ---- Guaranteed statements: logical topologies (Section 3.2).
+    const auto lp_start = Clock::now();
+    const automata::Alphabet full_alphabet = make_alphabet(topo);
+    std::vector<Guaranteed_request> requests;
+    std::vector<std::size_t> request_plan;  // request index -> plan index
+    for (std::size_t i = 0; i < out.plans.size(); ++i) {
+        Statement_plan& plan = out.plans[i];
+        if (!plan.guaranteed()) continue;
+        automata::Nfa nfa = remove_epsilon(
+            thompson(plan.statement.path, full_alphabet));
+        // Function-free expressions can be minimized (labels would be lost
+        // otherwise); `.*` collapses to one state, so its product graph is
+        // the topology itself.
+        if (nfa.labels.empty())
+            nfa = to_nfa(minimize(determinize(nfa)));
+        Guaranteed_request request;
+        request.id = plan.statement.id;
+        request.logical =
+            build_logical(topo, nfa, plan.src_host, plan.dst_host);
+        request.rate = plan.guarantee;
+        if (!request.logical.solvable()) {
+            out.diagnostic = "statement '" + plan.statement.id +
+                             "': no path satisfies its expression";
+            out.timing.lp_construction_ms = ms_since(lp_start);
+            return out;
+        }
+        requests.push_back(std::move(request));
+        request_plan.push_back(i);
+    }
+    out.timing.lp_construction_ms = ms_since(lp_start);
+
+    const auto solve_start = Clock::now();
+    if (!requests.empty()) {
+        const bool try_mip =
+            options.solver == Solver::mip ||
+            (options.solver == Solver::auto_select &&
+             static_cast<int>(requests.size()) <= options.auto_mip_limit);
+        if (try_mip)
+            out.provision =
+                provision(topo, requests, options.heuristic, options.mip);
+        // Greedy runs when selected, when auto-selected past the MIP size
+        // limit, or as the fallback for a truncated (unproven) MIP failure.
+        if (options.solver == Solver::greedy ||
+            (options.solver == Solver::auto_select &&
+             !out.provision.feasible && !out.provision.proven_infeasible))
+            out.provision = provision_greedy(topo, requests, options.heuristic);
+        if (!out.provision.feasible) {
+            out.diagnostic =
+                out.provision.proven_infeasible
+                    ? "bandwidth guarantees are not satisfiable on this "
+                      "topology"
+                    : "provisioning failed (guarantees may be too tight for "
+                      "the selected solver)";
+            out.timing.lp_solve_ms = ms_since(solve_start);
+            return out;
+        }
+        for (std::size_t r = 0; r < out.provision.paths.size(); ++r)
+            out.plans[request_plan[r]].path = out.provision.paths[r];
+    }
+    out.timing.lp_solve_ms = ms_since(solve_start);
+
+    // ---- Best-effort statements: shared sink trees (Section 3.3).
+    const auto rateless_start = Clock::now();
+    std::unordered_map<std::string, int> class_of;  // path text -> class id
+    std::vector<bool> class_is_empty;               // drop classes
+    for (Statement_plan& plan : out.plans) {
+        if (plan.guaranteed()) continue;
+        const std::string key = ir::to_string(plan.statement.path);
+        const auto it = class_of.find(key);
+        if (it != class_of.end()) {
+            plan.path_class = it->second;
+            plan.drop =
+                class_is_empty[static_cast<std::size_t>(plan.path_class)];
+        } else {
+            automata::Nfa nfa;
+            try {
+                nfa = remove_epsilon(thompson(plan.statement.path,
+                                              out.switch_graph.alphabet));
+                if (nfa.labels.empty())
+                    nfa = to_nfa(minimize(determinize(nfa)));
+            } catch (const Policy_error&) {
+                out.diagnostic =
+                    "statement '" + plan.statement.id +
+                    "': best-effort path expressions may only mention "
+                    "switches, middleboxes, and functions placed on them";
+                return out;
+            }
+            plan.path_class = static_cast<int>(out.class_nfas.size());
+            plan.drop = automata::is_empty(automata::determinize(nfa));
+            class_is_empty.push_back(plan.drop);
+            out.class_nfas.push_back(std::move(nfa));
+            class_of.emplace(key, plan.path_class);
+        }
+    }
+    // Egress switches needed per class.
+    std::set<std::pair<int, int>> needed;
+    for (const Statement_plan& plan : out.plans) {
+        if (plan.guaranteed() || plan.drop) continue;
+        if (plan.dst_host) {
+            for (const auto& adj : topo.neighbors(*plan.dst_host)) {
+                const int egress =
+                    out.switch_graph
+                        .symbol_of[static_cast<std::size_t>(adj.node)];
+                if (egress >= 0) needed.emplace(plan.path_class, egress);
+            }
+        } else {
+            // Unpinned destination (e.g. the catch-all): a tree per egress
+            // switch that has at least one attached host.
+            for (topo::NodeId h : topo.hosts())
+                for (const auto& adj : topo.neighbors(h)) {
+                    const int egress =
+                        out.switch_graph
+                            .symbol_of[static_cast<std::size_t>(adj.node)];
+                    if (egress >= 0) needed.emplace(plan.path_class, egress);
+                }
+        }
+    }
+    for (const auto& [cls, egress] : needed)
+        out.trees.emplace(
+            std::pair{cls, egress},
+            build_sink_tree(out.switch_graph,
+                            out.class_nfas[static_cast<std::size_t>(cls)],
+                            egress));
+    // Reject best-effort statements whose pinned endpoints cannot be served.
+    for (const Statement_plan& plan : out.plans) {
+        if (plan.guaranteed() || plan.drop || !plan.dst_host ||
+            !plan.src_host)
+            continue;
+        const auto& nfa =
+            out.class_nfas[static_cast<std::size_t>(plan.path_class)];
+        bool served = false;
+        for (const auto& in : topo.neighbors(*plan.src_host)) {
+            const int ingress =
+                out.switch_graph.symbol_of[static_cast<std::size_t>(in.node)];
+            if (ingress < 0) continue;
+            for (const auto& adj : topo.neighbors(*plan.dst_host)) {
+                const int egress =
+                    out.switch_graph
+                        .symbol_of[static_cast<std::size_t>(adj.node)];
+                if (egress < 0) continue;
+                const Sink_tree* tree = out.tree_for(plan.path_class, egress);
+                if (tree && tree->entry_state(nfa, ingress)) served = true;
+            }
+        }
+        if (!served) {
+            out.diagnostic = "statement '" + plan.statement.id +
+                             "': no switch-level path satisfies its "
+                             "expression between its endpoints";
+            out.timing.rateless_ms = ms_since(rateless_start);
+            return out;
+        }
+    }
+    out.timing.rateless_ms = ms_since(rateless_start);
+
+    out.feasible = true;
+    return out;
+}
+
+}  // namespace merlin::core

@@ -1,0 +1,209 @@
+#include "core/logical.h"
+
+#include <deque>
+
+#include "util/error.h"
+
+namespace merlin::core {
+
+automata::Alphabet make_alphabet(const topo::Topology& topo) {
+    automata::Alphabet out;
+    for (topo::NodeId id = 0; id < topo.node_count(); ++id) {
+        const int symbol = out.add_location(topo.node(id).name);
+        expects(symbol == id, "alphabet symbols must equal node ids");
+    }
+    for (const std::string& fn : topo.function_names()) {
+        std::vector<std::string> places;
+        for (topo::NodeId at : topo.placements(fn))
+            places.push_back(topo.node(at).name);
+        out.add_function(fn, places);
+    }
+    return out;
+}
+
+automata::Alphabet make_switch_alphabet(const topo::Topology& topo) {
+    automata::Alphabet out;
+    // Symbol ids are dense over the *kept* nodes; callers translate through
+    // Alphabet::location(name). Hosts are excluded per Section 3.3.
+    for (topo::NodeId id = 0; id < topo.node_count(); ++id) {
+        if (topo.node(id).kind == topo::Node_kind::host) continue;
+        (void)out.add_location(topo.node(id).name);
+    }
+    for (const std::string& fn : topo.function_names()) {
+        std::vector<std::string> places;
+        for (topo::NodeId at : topo.placements(fn))
+            if (topo.node(at).kind != topo::Node_kind::host)
+                places.push_back(topo.node(at).name);
+        if (!places.empty()) out.add_function(fn, places);
+    }
+    return out;
+}
+
+Logical_topology build_logical(const topo::Topology& topo,
+                               const automata::Nfa& nfa,
+                               std::optional<topo::NodeId> src_host,
+                               std::optional<topo::NodeId> dst_host) {
+    expects(nfa.alphabet_size == topo.node_count(),
+            "NFA alphabet must cover exactly the topology locations");
+    const int locations = topo.node_count();
+    const int states = nfa.state_count();
+
+    // Hosts do not forward transit traffic: an interior edge may not leave a
+    // host other than the (known) source, nor enter a host other than the
+    // (known) destination. With unpinned endpoints the general construction
+    // of the paper applies unrestricted.
+    const auto transit_ok = [&](topo::NodeId u, topo::NodeId v) {
+        if (src_host && dst_host) {
+            if (topo.node(u).kind == topo::Node_kind::host && u != *src_host)
+                return false;
+            if (topo.node(v).kind == topo::Node_kind::host && v != *dst_host)
+                return false;
+        }
+        return true;
+    };
+
+    Logical_topology out;
+    out.labels = nfa.labels;
+    out.product_vertex_count = locations * states;
+
+    // Dense product-vertex ids (s = 0, t = 1, then (loc, q)).
+    auto vid = [&](topo::NodeId loc, int q) {
+        return 2 + static_cast<int>(loc) * states + q;
+    };
+
+    // ---- Forward reachability over the implicit product graph.
+    std::vector<bool> fwd(static_cast<std::size_t>(2 + locations * states),
+                          false);
+    std::deque<std::pair<topo::NodeId, int>> queue;
+    auto reach = [&](topo::NodeId loc, int q) {
+        if (!fwd[static_cast<std::size_t>(vid(loc, q))]) {
+            fwd[static_cast<std::size_t>(vid(loc, q))] = true;
+            queue.emplace_back(loc, q);
+        }
+    };
+    // Source edges: q0 --v--> q', optionally restricted to the source host.
+    for (const automata::Nfa_edge& e :
+         nfa.edges[static_cast<std::size_t>(nfa.start)]) {
+        const auto v = static_cast<topo::NodeId>(e.symbol);
+        if (src_host && v != *src_host) continue;
+        reach(v, e.target);
+    }
+    while (!queue.empty()) {
+        const auto [u, q] = queue.front();
+        queue.pop_front();
+        for (const automata::Nfa_edge& e :
+             nfa.edges[static_cast<std::size_t>(q)]) {
+            const auto v = static_cast<topo::NodeId>(e.symbol);
+            if (v == u) {
+                if (e.target != q) reach(v, e.target);
+            } else if (transit_ok(u, v) && topo.link_between(u, v)) {
+                reach(v, e.target);
+            }
+        }
+    }
+
+    // ---- Backward co-reachability from accepting vertices.
+    // Work on the reachable set only; build a reverse frontier by scanning
+    // candidate predecessors via physical adjacency (cheap: degree-bounded).
+    std::vector<bool> bwd(fwd.size(), false);
+    std::deque<std::pair<topo::NodeId, int>> back;
+    for (topo::NodeId u = 0; u < locations; ++u) {
+        for (int q = 0; q < states; ++q) {
+            if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
+            if (!fwd[static_cast<std::size_t>(vid(u, q))]) continue;
+            if (dst_host && u != *dst_host) continue;
+            bwd[static_cast<std::size_t>(vid(u, q))] = true;
+            back.emplace_back(u, q);
+        }
+    }
+    // Reverse transition index: for target state q', transitions (q, v, q').
+    std::vector<std::vector<std::pair<int, int>>> into_state(
+        static_cast<std::size_t>(states));  // q' -> [(q, v)]
+    for (int q = 0; q < states; ++q)
+        for (const automata::Nfa_edge& e :
+             nfa.edges[static_cast<std::size_t>(q)])
+            into_state[static_cast<std::size_t>(e.target)].emplace_back(
+                q, e.symbol);
+    while (!back.empty()) {
+        const auto [v, q2] = back.front();
+        back.pop_front();
+        for (const auto& [q, symbol] :
+             into_state[static_cast<std::size_t>(q2)]) {
+            if (symbol != v) continue;  // the edge consumes v
+            // Predecessors: (u, q) with u == v or (u, v) physical.
+            auto relax = [&](topo::NodeId u) {
+                if (u == v && q == q2) return;
+                const auto id = static_cast<std::size_t>(vid(u, q));
+                if (fwd[id] && !bwd[id]) {
+                    bwd[id] = true;
+                    back.emplace_back(u, q);
+                }
+            };
+            relax(v);
+            for (const auto& adj : topo.neighbors(v))
+                if (transit_ok(adj.node, v)) relax(adj.node);
+        }
+    }
+
+    // ---- Materialize the pruned graph.
+    std::vector<graph::Vertex> map(fwd.size(), graph::kNoVertex);
+    out.graph.resize(2);
+    out.source = 0;
+    out.sink = 1;
+    auto keep = [&](topo::NodeId loc, int q) -> graph::Vertex {
+        const auto id = static_cast<std::size_t>(vid(loc, q));
+        if (!(fwd[id] && bwd[id])) return graph::kNoVertex;
+        if (map[id] == graph::kNoVertex) map[id] = out.graph.add_vertex();
+        return map[id];
+    };
+    auto add_edge = [&](graph::Vertex from, graph::Vertex to,
+                        Logical_edge info) {
+        const graph::Edge e = out.graph.add_edge(from, to);
+        expects(static_cast<std::size_t>(e) == out.edges.size(),
+                "edge ids must stay dense");
+        out.edges.push_back(info);
+    };
+
+    // Source edges.
+    for (const automata::Nfa_edge& e :
+         nfa.edges[static_cast<std::size_t>(nfa.start)]) {
+        const auto v = static_cast<topo::NodeId>(e.symbol);
+        if (src_host && v != *src_host) continue;
+        const graph::Vertex to = keep(v, e.target);
+        if (to == graph::kNoVertex) continue;
+        add_edge(out.source, to, Logical_edge{v, topo::kNoLink, e.label});
+    }
+    // Interior and sink edges.
+    for (topo::NodeId u = 0; u < locations; ++u) {
+        for (int q = 0; q < states; ++q) {
+            const graph::Vertex from = keep(u, q);
+            if (from == graph::kNoVertex) continue;
+            for (const automata::Nfa_edge& e :
+                 nfa.edges[static_cast<std::size_t>(q)]) {
+                const auto v = static_cast<topo::NodeId>(e.symbol);
+                topo::LinkId link = topo::kNoLink;
+                if (v == u) {
+                    if (e.target == q) continue;  // no-progress self-loop
+                } else {
+                    if (!transit_ok(u, v)) continue;
+                    const auto l = topo.link_between(u, v);
+                    if (!l) continue;
+                    link = *l;
+                }
+                const graph::Vertex to = keep(v, e.target);
+                if (to == graph::kNoVertex) continue;
+                add_edge(from, to, Logical_edge{v, link, e.label});
+            }
+            if (nfa.accepting[static_cast<std::size_t>(q)] &&
+                (!dst_host || u == *dst_host)) {
+                add_edge(from, out.sink,
+                         Logical_edge{topo::kNoNode, topo::kNoLink,
+                                      automata::kNoLabel});
+            }
+        }
+    }
+    out.pruned_vertex_count = out.graph.vertex_count() - 2;
+    return out;
+}
+
+}  // namespace merlin::core

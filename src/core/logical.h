@@ -1,0 +1,70 @@
+// The logical topology of Section 3.2 (Figure 2, Lemma 1).
+//
+// For a statement with (epsilon-free) path NFA M_i over the location
+// alphabet, the logical topology G_i has vertex set (L x Q_i) plus a source
+// s_i and sink t_i, and an edge ((u,q),(v,q')) exactly when (u = v or (u,v)
+// is a physical link) and (q,q') is a transition of M_i on v. Source edges
+// follow transitions out of the start state; sink edges leave accepting
+// states. Paths s_i ~> t_i correspond one-to-one with physical paths whose
+// location word (with possible consecutive repeats) satisfies the statement's
+// path expression.
+//
+// When the statement's predicate pins its endpoints, source edges are
+// restricted to the source host and sink edges to vertices whose location is
+// the destination host. The construction prunes vertices that are not on any
+// s_i ~> t_i path (reachable AND co-reachable), which never changes the
+// solution set but shrinks the MIP dramatically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automata.h"
+#include "graph/digraph.h"
+#include "topo/topology.h"
+
+namespace merlin::core {
+
+struct Logical_edge {
+    // Location consumed by this edge (the `v` of the construction);
+    // kNoNode for sink edges, which consume nothing.
+    topo::NodeId location = topo::kNoNode;
+    // Physical link crossed, or kNoLink (source edges, sink edges, and
+    // stay-at-u edges cross no link).
+    topo::LinkId link = topo::kNoLink;
+    // Label of the NFA transition taken (function placement), or kNoLabel.
+    int label = automata::kNoLabel;
+};
+
+struct Logical_topology {
+    graph::Digraph graph;
+    graph::Vertex source = 0;
+    graph::Vertex sink = 1;
+    std::vector<Logical_edge> edges;       // parallel to graph edge ids
+    std::vector<std::string> labels;       // label id -> function name
+    // Construction statistics (Table 7 reports LP construction cost).
+    int product_vertex_count = 0;  // before pruning
+    int pruned_vertex_count = 0;   // after pruning
+
+    [[nodiscard]] bool solvable() const { return graph.edge_count() > 0; }
+};
+
+// Builds the (pruned) logical topology. `alphabet` must map location symbol
+// ids to topology node ids one-to-one: symbol s <-> NodeId s — use
+// make_alphabet below. `src_host`/`dst_host` optionally restrict the
+// endpoints.
+[[nodiscard]] Logical_topology build_logical(
+    const topo::Topology& topo, const automata::Nfa& nfa,
+    std::optional<topo::NodeId> src_host, std::optional<topo::NodeId> dst_host);
+
+// Alphabet over every location of the topology, with symbol ids equal to
+// NodeIds, and every registered packet-processing function.
+[[nodiscard]] automata::Alphabet make_alphabet(const topo::Topology& topo);
+
+// Alphabet over switches and middleboxes only (the best-effort optimization
+// of Section 3.3); functions keep only non-host placements.
+[[nodiscard]] automata::Alphabet make_switch_alphabet(
+    const topo::Topology& topo);
+
+}  // namespace merlin::core

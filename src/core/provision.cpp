@@ -1,0 +1,330 @@
+#include "core/provision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace merlin::core {
+
+const char* to_string(Heuristic h) {
+    switch (h) {
+        case Heuristic::weighted_shortest_path: return "weighted-shortest-path";
+        case Heuristic::min_max_ratio: return "min-max-ratio";
+        case Heuristic::min_max_reserved: return "min-max-reserved";
+    }
+    return "?";
+}
+
+namespace {
+
+// Rates are expressed in Mbps inside the MIP to keep coefficients O(1)-ish.
+double to_mbps(Bandwidth bw) { return bw.mbps(); }
+
+// Walks the selected edges from source to sink, collecting the location
+// word, physical path, crossed links and function placements.
+Provisioned_path extract_path(const Logical_topology& logical,
+                              std::vector<bool> used, std::string id,
+                              Bandwidth rate) {
+    Provisioned_path path;
+    path.id = std::move(id);
+    path.rate = rate;
+    graph::Vertex at = logical.source;
+    while (at != logical.sink) {
+        graph::Edge chosen = graph::kNoEdge;
+        for (graph::Edge e : logical.graph.out_edges(at)) {
+            if (used[static_cast<std::size_t>(e)]) {
+                chosen = e;
+                break;
+            }
+        }
+        expects(chosen != graph::kNoEdge,
+                "selected flow must form an s->t path");
+        used[static_cast<std::size_t>(chosen)] = false;  // guard cycles
+        const Logical_edge& info =
+            logical.edges[static_cast<std::size_t>(chosen)];
+        if (info.location != topo::kNoNode) {
+            path.word.push_back(info.location);
+            if (path.nodes.empty() || path.nodes.back() != info.location)
+                path.nodes.push_back(info.location);
+        }
+        if (info.link != topo::kNoLink) path.links.push_back(info.link);
+        if (info.label != automata::kNoLabel)
+            path.placements.push_back(Placement{
+                logical.labels[static_cast<std::size_t>(info.label)],
+                info.location});
+        at = logical.graph.target(chosen);
+    }
+    return path;
+}
+
+// Computes the achieved r_max / R_max from the selected reservations.
+void fill_maxima(const topo::Topology& topo, Provision_result& out) {
+    std::vector<double> reserved_mbps(
+        static_cast<std::size_t>(topo.link_count()), 0.0);
+    for (const Provisioned_path& p : out.paths)
+        for (topo::LinkId link : p.links)
+            reserved_mbps[static_cast<std::size_t>(link)] += to_mbps(p.rate);
+    for (topo::LinkId link = 0; link < topo.link_count(); ++link) {
+        const double cap = to_mbps(topo.link(link).capacity);
+        const double reserved = reserved_mbps[static_cast<std::size_t>(link)];
+        out.r_max = std::max(out.r_max, reserved / cap);
+        if (Bandwidth(static_cast<std::uint64_t>(reserved * 1e6)) >
+            out.big_r_max)
+            out.big_r_max =
+                Bandwidth(static_cast<std::uint64_t>(reserved * 1e6));
+    }
+}
+
+}  // namespace
+
+Provision_result provision(const topo::Topology& topo,
+                           const std::vector<Guaranteed_request>& requests,
+                           Heuristic heuristic, const mip::Options& options) {
+    Provision_result out;
+    for (const Guaranteed_request& r : requests)
+        if (!r.logical.solvable()) return out;  // no path can exist
+
+    mip::Problem problem;
+
+    // Edge binaries, per request.
+    std::vector<std::vector<int>> edge_vars(requests.size());
+    // Tie-break/short-path epsilon relative to the main objective scale,
+    // plus a deterministic per-edge jitter. The jitter makes the LP
+    // relaxation's optimal vertex unique, which keeps it integral on the
+    // highly symmetric equal-cost multipath instances (fat trees) that
+    // otherwise stall branch & bound.
+    constexpr double kEpsilonCost = 1e-3;
+    constexpr double kJitter = 1e-6;
+    std::uint64_t jitter_state = 0x9e3779b97f4a7c15ULL;
+    auto jitter = [&jitter_state] {
+        jitter_state ^= jitter_state << 13;
+        jitter_state ^= jitter_state >> 7;
+        jitter_state ^= jitter_state << 17;
+        return kJitter * static_cast<double>(jitter_state % 1024) / 1024.0;
+    };
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto& logical = requests[i].logical;
+        edge_vars[i].reserve(
+            static_cast<std::size_t>(logical.graph.edge_count()));
+        for (int e = 0; e < logical.graph.edge_count(); ++e)
+            edge_vars[i].push_back(problem.add_binary(kEpsilonCost + jitter()));
+    }
+
+    // (1) Flow conservation per request vertex.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto& logical = requests[i].logical;
+        for (graph::Vertex v = 0; v < logical.graph.vertex_count(); ++v) {
+            std::vector<std::pair<int, double>> coeffs;
+            for (graph::Edge e : logical.graph.out_edges(v))
+                coeffs.emplace_back(edge_vars[i][static_cast<std::size_t>(e)],
+                                    1.0);
+            for (graph::Edge e : logical.graph.in_edges(v))
+                coeffs.emplace_back(edge_vars[i][static_cast<std::size_t>(e)],
+                                    -1.0);
+            const double rhs =
+                v == logical.source ? 1.0 : (v == logical.sink ? -1.0 : 0.0);
+            problem.add_constraint(lp::Sense::equal, rhs, std::move(coeffs));
+        }
+    }
+
+    // (2) r_uv bookkeeping per physical link, plus (3)/(4) maxima.
+    const int r_max_var = problem.add_continuous(0.0, 0.0, 1.0);
+    const int big_r_max_var =
+        problem.add_continuous(0.0, 0.0, lp::kInfinity);  // in Mbps
+    std::vector<int> r_vars(static_cast<std::size_t>(topo.link_count()));
+    for (topo::LinkId link = 0; link < topo.link_count(); ++link) {
+        // (5) is the upper bound 1 here.
+        const int r_uv = problem.add_continuous(0.0, 0.0, 1.0);
+        r_vars[static_cast<std::size_t>(link)] = r_uv;
+        const double capacity_mbps = to_mbps(topo.link(link).capacity);
+        expects(capacity_mbps > 0, "links must have positive capacity");
+
+        // r_uv * c_uv - sum_i rmin_i * x_e = 0.
+        std::vector<std::pair<int, double>> coeffs{{r_uv, capacity_mbps}};
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const double rate = to_mbps(requests[i].rate);
+            if (rate == 0) continue;
+            const auto& logical = requests[i].logical;
+            for (int e = 0; e < logical.graph.edge_count(); ++e)
+                if (logical.edges[static_cast<std::size_t>(e)].link == link)
+                    coeffs.emplace_back(
+                        edge_vars[i][static_cast<std::size_t>(e)], -rate);
+        }
+        problem.add_constraint(lp::Sense::equal, 0.0, std::move(coeffs));
+
+        // (3) r_max >= r_uv   and   (4) R_max >= r_uv * c_uv.
+        problem.add_constraint(lp::Sense::less_equal, 0.0,
+                               {{r_uv, 1.0}, {r_max_var, -1.0}});
+        problem.add_constraint(lp::Sense::less_equal, 0.0,
+                               {{r_uv, capacity_mbps}, {big_r_max_var, -1.0}});
+    }
+
+    // Objective.
+    switch (heuristic) {
+        case Heuristic::weighted_shortest_path:
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                const double weight = std::max(to_mbps(requests[i].rate), 1.0);
+                const auto& logical = requests[i].logical;
+                for (int e = 0; e < logical.graph.edge_count(); ++e)
+                    if (logical.edges[static_cast<std::size_t>(e)].link !=
+                        topo::kNoLink)
+                        problem.set_cost(
+                            edge_vars[i][static_cast<std::size_t>(e)],
+                            weight + kEpsilonCost + jitter());
+            }
+            break;
+        case Heuristic::min_max_ratio:
+            problem.set_cost(r_max_var, 1000.0);
+            break;
+        case Heuristic::min_max_reserved:
+            problem.set_cost(big_r_max_var, 1.0);
+            break;
+    }
+
+    const mip::Solution solution = mip::solve(problem, options);
+    out.solver = "mip";
+    out.variables = problem.variable_count();
+    out.constraints = problem.relaxation().constraint_count();
+    out.mip_nodes = solution.nodes_explored;
+    if (!solution.usable()) {
+        out.proven_infeasible = solution.status == mip::Status::infeasible;
+        return out;
+    }
+    out.feasible = true;
+
+    // Recover per-request paths by walking selected edges from the source.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto& logical = requests[i].logical;
+        std::vector<bool> used(
+            static_cast<std::size_t>(logical.graph.edge_count()), false);
+        for (int e = 0; e < logical.graph.edge_count(); ++e)
+            used[static_cast<std::size_t>(e)] =
+                solution.x[static_cast<std::size_t>(
+                    edge_vars[i][static_cast<std::size_t>(e)])] > 0.5;
+        out.paths.push_back(extract_path(logical, std::move(used),
+                                         requests[i].id, requests[i].rate));
+    }
+    fill_maxima(topo, out);
+    return out;
+}
+
+Provision_result provision_greedy(
+    const topo::Topology& topo, const std::vector<Guaranteed_request>& requests,
+    Heuristic heuristic) {
+    Provision_result out;
+    out.solver = "greedy";
+    for (const Guaranteed_request& r : requests)
+        if (!r.logical.solvable()) return out;
+
+    // Residual capacity per physical link (bps).
+    std::vector<std::uint64_t> residual(
+        static_cast<std::size_t>(topo.link_count()));
+    std::vector<std::uint64_t> used_bps(
+        static_cast<std::size_t>(topo.link_count()), 0);
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l)
+        residual[static_cast<std::size_t>(l)] = topo.link(l).capacity.bps();
+
+    // Largest guarantees first (first-fit decreasing).
+    std::vector<std::size_t> order(requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return requests[a].rate > requests[b].rate;
+    });
+
+    out.paths.resize(requests.size());
+    for (std::size_t i : order) {
+        const Guaranteed_request& request = requests[i];
+        const Logical_topology& logical = request.logical;
+        const std::uint64_t rate = request.rate.bps();
+
+        // Congestion-aware edge costs. Dijkstra minimizes the SUM of edge
+        // costs, so the min-max objectives are approximated by a convex
+        // penalty on the post-assignment utilization of each link.
+        auto edge_cost = [&](graph::Edge e) -> double {
+            const Logical_edge& info =
+                logical.edges[static_cast<std::size_t>(e)];
+            if (info.link == topo::kNoLink) return 1e-6;
+            const auto l = static_cast<std::size_t>(info.link);
+            if (residual[l] < rate) return -1;  // blocked
+            const double cap =
+                static_cast<double>(topo.link(info.link).capacity.bps());
+            const double after =
+                static_cast<double>(used_bps[l] + rate) / cap;
+            switch (heuristic) {
+                case Heuristic::weighted_shortest_path: return 1.0;
+                case Heuristic::min_max_ratio: {
+                    const double penalty = after * after * after * after;
+                    return 1e-3 + penalty;
+                }
+                case Heuristic::min_max_reserved: {
+                    const double reserved_after =
+                        static_cast<double>(used_bps[l] + rate) / 1e9;
+                    const double penalty = reserved_after * reserved_after *
+                                           reserved_after * reserved_after;
+                    return 1e-3 + penalty;
+                }
+            }
+            return 1.0;
+        };
+
+        // Dijkstra from source to sink.
+        const auto vertex_count =
+            static_cast<std::size_t>(logical.graph.vertex_count());
+        std::vector<double> dist(vertex_count,
+                                 std::numeric_limits<double>::infinity());
+        std::vector<graph::Edge> parent(vertex_count, graph::kNoEdge);
+        using Item = std::pair<double, graph::Vertex>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+        dist[static_cast<std::size_t>(logical.source)] = 0;
+        queue.emplace(0.0, logical.source);
+        while (!queue.empty()) {
+            const auto [d, v] = queue.top();
+            queue.pop();
+            if (d > dist[static_cast<std::size_t>(v)]) continue;
+            if (v == logical.sink) break;
+            for (graph::Edge e : logical.graph.out_edges(v)) {
+                const double c = edge_cost(e);
+                if (c < 0) continue;  // blocked by capacity
+                const graph::Vertex w = logical.graph.target(e);
+                if (d + c < dist[static_cast<std::size_t>(w)]) {
+                    dist[static_cast<std::size_t>(w)] = d + c;
+                    parent[static_cast<std::size_t>(w)] = e;
+                    queue.emplace(d + c, w);
+                }
+            }
+        }
+        if (parent[static_cast<std::size_t>(logical.sink)] ==
+                graph::kNoEdge &&
+            logical.sink != logical.source) {
+            // Greedy failure (not a proof of infeasibility).
+            out.diagnostic = "greedy could not route request '" + request.id +
+                             "' (" + std::to_string(rate / 1'000'000) +
+                             " Mbps) around committed reservations";
+            out.paths.clear();
+            return out;
+        }
+
+        // Commit the path.
+        std::vector<bool> used(
+            static_cast<std::size_t>(logical.graph.edge_count()), false);
+        for (graph::Vertex v = logical.sink; v != logical.source;) {
+            const graph::Edge e = parent[static_cast<std::size_t>(v)];
+            used[static_cast<std::size_t>(e)] = true;
+            v = logical.graph.source(e);
+        }
+        out.paths[i] =
+            extract_path(logical, std::move(used), request.id, request.rate);
+        for (topo::LinkId l : out.paths[i].links) {
+            residual[static_cast<std::size_t>(l)] -= rate;
+            used_bps[static_cast<std::size_t>(l)] += rate;
+        }
+    }
+    out.feasible = true;
+    fill_maxima(topo, out);
+    return out;
+}
+
+}  // namespace merlin::core

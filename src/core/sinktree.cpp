@@ -1,0 +1,130 @@
+#include "core/sinktree.h"
+
+#include <deque>
+
+#include "util/error.h"
+
+namespace merlin::core {
+
+Switch_graph make_switch_graph(const topo::Topology& topo) {
+    Switch_graph out;
+    out.symbol_of.assign(static_cast<std::size_t>(topo.node_count()), -1);
+    for (topo::NodeId id = 0; id < topo.node_count(); ++id) {
+        if (topo.node(id).kind == topo::Node_kind::host) continue;
+        out.symbol_of[static_cast<std::size_t>(id)] =
+            static_cast<int>(out.nodes.size());
+        out.nodes.push_back(id);
+        const int symbol = out.alphabet.add_location(topo.node(id).name);
+        expects(symbol + 1 == static_cast<int>(out.nodes.size()),
+                "switch alphabet must stay dense");
+    }
+    out.adjacent.resize(out.nodes.size());
+    for (int s = 0; s < out.size(); ++s) {
+        for (const auto& adj :
+             topo.neighbors(out.nodes[static_cast<std::size_t>(s)])) {
+            const int t = out.symbol_of[static_cast<std::size_t>(adj.node)];
+            if (t >= 0) out.adjacent[static_cast<std::size_t>(s)].push_back(t);
+        }
+    }
+    for (const std::string& fn : topo.function_names()) {
+        std::vector<std::string> places;
+        for (topo::NodeId at : topo.placements(fn))
+            if (topo.node(at).kind != topo::Node_kind::host)
+                places.push_back(topo.node(at).name);
+        if (!places.empty()) out.alphabet.add_function(fn, places);
+    }
+    return out;
+}
+
+std::optional<int> Sink_tree::entry_state(const automata::Nfa& nfa,
+                                          int node) const {
+    std::optional<int> best;
+    int best_dist = -1;
+    for (const automata::Nfa_edge& e :
+         nfa.edges[static_cast<std::size_t>(nfa.start)]) {
+        if (e.symbol != node) continue;
+        const int d = dist[static_cast<std::size_t>(node)]
+                          [static_cast<std::size_t>(e.target)];
+        if (d < 0) continue;
+        if (!best || d < best_dist) {
+            best = e.target;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+std::vector<int> Sink_tree::walk(int node, int state) const {
+    std::vector<int> word;
+    int u = node;
+    int q = state;
+    while (true) {
+        const Sink_hop hop =
+            next[static_cast<std::size_t>(u)][static_cast<std::size_t>(q)];
+        if (hop.node < 0) break;
+        word.push_back(hop.node);
+        u = hop.node;
+        q = hop.state;
+    }
+    return word;
+}
+
+Sink_tree build_sink_tree(const Switch_graph& sg, const automata::Nfa& nfa,
+                          int egress) {
+    expects(nfa.alphabet_size == sg.size(),
+            "sink tree NFA must be over the switch alphabet");
+    const int n = sg.size();
+    const int states = nfa.state_count();
+
+    Sink_tree out;
+    out.egress = egress;
+    out.next.assign(static_cast<std::size_t>(n),
+                    std::vector<Sink_hop>(static_cast<std::size_t>(states)));
+    out.dist.assign(static_cast<std::size_t>(n),
+                    std::vector<int>(static_cast<std::size_t>(states), -1));
+
+    // Reverse transition index: q' -> [(q, symbol, ...)].
+    std::vector<std::vector<std::pair<int, int>>> into_state(
+        static_cast<std::size_t>(states));
+    for (int q = 0; q < states; ++q)
+        for (const automata::Nfa_edge& e :
+             nfa.edges[static_cast<std::size_t>(q)])
+            into_state[static_cast<std::size_t>(e.target)].emplace_back(
+                q, e.symbol);
+
+    // Backward BFS from accepting vertices at the egress.
+    std::deque<std::pair<int, int>> queue;
+    for (int q = 0; q < states; ++q) {
+        if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
+        out.dist[static_cast<std::size_t>(egress)][static_cast<std::size_t>(q)] =
+            0;
+        queue.emplace_back(egress, q);
+    }
+    while (!queue.empty()) {
+        const auto [v, q2] = queue.front();
+        queue.pop_front();
+        const int d =
+            out.dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(q2)];
+        // Forward edge (u,q) -> (v,q2) consumes v; u is v itself or one of
+        // its neighbours.
+        for (const auto& [q, symbol] :
+             into_state[static_cast<std::size_t>(q2)]) {
+            if (symbol != v) continue;
+            auto relax = [&](int u) {
+                if (u == v && q == q2) return;  // no-progress self-loop
+                auto& du = out.dist[static_cast<std::size_t>(u)]
+                                   [static_cast<std::size_t>(q)];
+                if (du != -1) return;
+                du = d + 1;
+                out.next[static_cast<std::size_t>(u)]
+                        [static_cast<std::size_t>(q)] = Sink_hop{v, q2};
+                queue.emplace_back(u, q);
+            };
+            relax(v);
+            for (int u : sg.adjacent[static_cast<std::size_t>(v)]) relax(u);
+        }
+    }
+    return out;
+}
+
+}  // namespace merlin::core

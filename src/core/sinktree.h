@@ -1,0 +1,66 @@
+// Best-effort provisioning (Section 3.3).
+//
+// Traffic without bandwidth guarantees needs no constraint solving: the
+// compiler computes *sink trees* that respect the statement's path
+// constraints. Following the paper's optimization, trees are computed on a
+// reduced topology containing only switches and middleboxes (hosts are
+// attached during code generation), and one tree per egress switch is shared
+// by every statement with the same path expression — a BFS over the product
+// of the reduced topology and the statement NFA, O(|V||E|) overall.
+//
+// A tree maps each (node, NFA state) to the next hop toward the egress. For the
+// ubiquitous `.*` expression the NFA has one state and this collapses to the
+// per-egress-switch BFS tree of the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/automata.h"
+#include "topo/topology.h"
+
+namespace merlin::core {
+
+// The switch+middlebox subgraph with a dense symbol numbering and an
+// alphabet whose symbol ids match.
+struct Switch_graph {
+    std::vector<topo::NodeId> nodes;  // symbol -> node
+    std::vector<int> symbol_of;       // node -> symbol, -1 for hosts
+    std::vector<std::vector<int>> adjacent;  // symbol -> neighbor symbols
+    automata::Alphabet alphabet;
+
+    [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+};
+
+[[nodiscard]] Switch_graph make_switch_graph(const topo::Topology& topo);
+
+struct Sink_hop {
+    int node = -1;   // next node symbol (-1: none / delivered)
+    int state = -1;  // NFA state after the hop
+};
+
+struct Sink_tree {
+    int egress = -1;  // egress node symbol
+    // next[node][state]: hop toward acceptance; dist[node][state]: hops to
+    // acceptance (-1 unreachable).
+    std::vector<std::vector<Sink_hop>> next;
+    std::vector<std::vector<int>> dist;
+
+    // State after entering the network at `node` (start-state transition
+    // consuming `node`), choosing the entry with the shortest distance;
+    // nullopt when no accepted path from `node` to the egress exists.
+    [[nodiscard]] std::optional<int> entry_state(
+        const automata::Nfa& nfa, int node) const;
+
+    // Walks the tree from (node, state); returns the node word consumed
+    // (excluding the entry node itself). Empty when already accepted.
+    [[nodiscard]] std::vector<int> walk(int node, int state) const;
+};
+
+// Builds the sink tree for `egress` (a node symbol of `sg`) under the
+// epsilon-free `nfa` over sg.alphabet.
+[[nodiscard]] Sink_tree build_sink_tree(const Switch_graph& sg,
+                                        const automata::Nfa& nfa, int egress);
+
+}  // namespace merlin::core

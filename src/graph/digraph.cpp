@@ -1,0 +1,91 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace merlin::graph {
+
+std::vector<bool> reachable_from(const Digraph& g, Vertex start) {
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    std::deque<Vertex> queue{start};
+    seen[static_cast<std::size_t>(start)] = true;
+    while (!queue.empty()) {
+        const Vertex v = queue.front();
+        queue.pop_front();
+        for (Edge e : g.out_edges(v)) {
+            const Vertex w = g.target(e);
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<bool> coreachable_to(const Digraph& g, Vertex goal) {
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    std::deque<Vertex> queue{goal};
+    seen[static_cast<std::size_t>(goal)] = true;
+    while (!queue.empty()) {
+        const Vertex v = queue.front();
+        queue.pop_front();
+        for (Edge e : g.in_edges(v)) {
+            const Vertex w = g.source(e);
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<Vertex> bfs_path(const Digraph& g, Vertex start, Vertex goal) {
+    std::vector<Vertex> parent(static_cast<std::size_t>(g.vertex_count()),
+                               kNoVertex);
+    std::deque<Vertex> queue{start};
+    parent[static_cast<std::size_t>(start)] = start;
+    while (!queue.empty()) {
+        const Vertex v = queue.front();
+        queue.pop_front();
+        if (v == goal) break;
+        for (Edge e : g.out_edges(v)) {
+            const Vertex w = g.target(e);
+            if (parent[static_cast<std::size_t>(w)] == kNoVertex) {
+                parent[static_cast<std::size_t>(w)] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    if (parent[static_cast<std::size_t>(goal)] == kNoVertex) return {};
+    std::vector<Vertex> path;
+    for (Vertex v = goal; v != start; v = parent[static_cast<std::size_t>(v)])
+        path.push_back(v);
+    path.push_back(start);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<Edge> bfs_tree(const Digraph& g, Vertex start) {
+    std::vector<Edge> parent(static_cast<std::size_t>(g.vertex_count()),
+                             kNoEdge);
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    seen[static_cast<std::size_t>(start)] = true;
+    std::deque<Vertex> queue{start};
+    while (!queue.empty()) {
+        const Vertex v = queue.front();
+        queue.pop_front();
+        for (Edge e : g.out_edges(v)) {
+            const Vertex w = g.target(e);
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = true;
+                parent[static_cast<std::size_t>(w)] = e;
+                queue.push_back(w);
+            }
+        }
+    }
+    return parent;
+}
+
+}  // namespace merlin::graph

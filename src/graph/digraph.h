@@ -1,0 +1,89 @@
+// A compact directed multigraph with integer vertices and edge ids.
+//
+// The compiler's logical topologies (Section 3.2 of the paper) are plain
+// directed graphs whose vertices are (location, NFA-state) pairs; this class
+// stores only the structure, and clients keep per-vertex / per-edge payloads
+// in parallel vectors indexed by the ids handed out here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace merlin::graph {
+
+using Vertex = std::int32_t;
+using Edge = std::int32_t;
+
+inline constexpr Vertex kNoVertex = -1;
+inline constexpr Edge kNoEdge = -1;
+
+class Digraph {
+public:
+    Digraph() = default;
+    explicit Digraph(int vertex_count) { resize(vertex_count); }
+
+    void resize(int vertex_count) {
+        out_.resize(static_cast<std::size_t>(vertex_count));
+        in_.resize(static_cast<std::size_t>(vertex_count));
+    }
+
+    [[nodiscard]] Vertex add_vertex() {
+        out_.emplace_back();
+        in_.emplace_back();
+        return static_cast<Vertex>(out_.size() - 1);
+    }
+
+    Edge add_edge(Vertex from, Vertex to) {
+        const Edge e = static_cast<Edge>(sources_.size());
+        sources_.push_back(from);
+        targets_.push_back(to);
+        out_[static_cast<std::size_t>(from)].push_back(e);
+        in_[static_cast<std::size_t>(to)].push_back(e);
+        return e;
+    }
+
+    [[nodiscard]] int vertex_count() const {
+        return static_cast<int>(out_.size());
+    }
+    [[nodiscard]] int edge_count() const {
+        return static_cast<int>(sources_.size());
+    }
+
+    [[nodiscard]] Vertex source(Edge e) const {
+        return sources_[static_cast<std::size_t>(e)];
+    }
+    [[nodiscard]] Vertex target(Edge e) const {
+        return targets_[static_cast<std::size_t>(e)];
+    }
+
+    // Edges leaving / entering v (delta+ / delta- in the paper's notation).
+    [[nodiscard]] const std::vector<Edge>& out_edges(Vertex v) const {
+        return out_[static_cast<std::size_t>(v)];
+    }
+    [[nodiscard]] const std::vector<Edge>& in_edges(Vertex v) const {
+        return in_[static_cast<std::size_t>(v)];
+    }
+
+private:
+    std::vector<std::vector<Edge>> out_;
+    std::vector<std::vector<Edge>> in_;
+    std::vector<Vertex> sources_;
+    std::vector<Vertex> targets_;
+};
+
+// Vertices reachable from `start` following edge direction.
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& g, Vertex start);
+
+// Vertices from which `goal` is reachable (reverse reachability).
+[[nodiscard]] std::vector<bool> coreachable_to(const Digraph& g, Vertex goal);
+
+// Breadth-first shortest path (hop count) from `start` to `goal`; returns the
+// vertex sequence including both endpoints, or an empty vector if no path.
+[[nodiscard]] std::vector<Vertex> bfs_path(const Digraph& g, Vertex start,
+                                           Vertex goal);
+
+// BFS tree of parent edges from `start`; parent[v] is the edge used to reach
+// v, kNoEdge for unreachable vertices and for `start` itself.
+[[nodiscard]] std::vector<Edge> bfs_tree(const Digraph& g, Vertex start);
+
+}  // namespace merlin::graph

@@ -1,0 +1,148 @@
+#include "interp/interp.h"
+
+#include <sstream>
+
+#include "parser/parser.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace merlin::interp {
+
+const char* to_string(Action action) {
+    switch (action) {
+        case Action::allow: return "allow";
+        case Action::drop: return "drop";
+        case Action::rate_limit: return "rate-limit";
+        case Action::mark: return "mark";
+    }
+    return "?";
+}
+
+Interpreter::Interpreter(Program program) : program_(std::move(program)) {
+    counters_.resize(program_.rules.size());
+    buckets_.resize(program_.rules.size());
+    for (std::size_t i = 0; i < program_.rules.size(); ++i) {
+        if (program_.rules[i].action == Action::rate_limit) {
+            // Start with a full one-second burst budget.
+            buckets_[i].tokens =
+                static_cast<double>(program_.rules[i].rate.bps()) / 8.0;
+        }
+    }
+}
+
+Verdict Interpreter::process(const pred::Packet& packet, std::size_t bytes,
+                             double now) {
+    for (std::size_t i = 0; i < program_.rules.size(); ++i) {
+        const Rule& rule = program_.rules[i];
+        if (!pred::matches(rule.guard, packet)) continue;
+        ++counters_[i].matched;
+        Verdict verdict;
+        verdict.rule_index = static_cast<int>(i);
+        switch (rule.action) {
+            case Action::allow:
+                verdict.forwarded = true;
+                break;
+            case Action::drop:
+                verdict.forwarded = false;
+                break;
+            case Action::rate_limit: {
+                Bucket& bucket = buckets_[i];
+                const double rate_bytes =
+                    static_cast<double>(rule.rate.bps()) / 8.0;
+                bucket.tokens += (now - bucket.last) * rate_bytes;
+                bucket.last = now;
+                // Burst budget: at most one second of tokens.
+                if (bucket.tokens > rate_bytes) bucket.tokens = rate_bytes;
+                if (bucket.tokens >= static_cast<double>(bytes)) {
+                    bucket.tokens -= static_cast<double>(bytes);
+                    verdict.forwarded = true;
+                } else {
+                    verdict.forwarded = false;
+                }
+                break;
+            }
+            case Action::mark:
+                verdict.forwarded = true;
+                verdict.tag = rule.tag;
+                break;
+        }
+        if (verdict.forwarded) ++counters_[i].forwarded;
+        return verdict;
+    }
+    Verdict verdict;
+    verdict.forwarded = program_.default_action != Action::drop;
+    return verdict;
+}
+
+std::string to_text(const Program& program) {
+    std::ostringstream out;
+    for (const Rule& rule : program.rules) {
+        out << ir::to_string(rule.guard) << " => " << to_string(rule.action);
+        if (rule.action == Action::rate_limit)
+            out << ' ' << merlin::to_string(rule.rate);
+        if (rule.action == Action::mark) out << ' ' << rule.tag;
+        if (!rule.note.empty()) out << "  # " << rule.note;
+        out << '\n';
+    }
+    out << "default => " << to_string(program.default_action) << '\n';
+    return out.str();
+}
+
+Program parse_program(const std::string& text) {
+    Program program;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line{trim(raw)};
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = std::string(trim(line.substr(0, hash)));
+        if (line.empty()) continue;
+        const auto arrow = line.find("=>");
+        if (arrow == std::string::npos)
+            throw Parse_error("expected 'guard => action'", line_no, 0);
+        const std::string guard_text{trim(line.substr(0, arrow))};
+        const std::string action_text{trim(line.substr(arrow + 2))};
+        const auto fields = split(action_text, ' ');
+        if (fields.empty() || fields[0].empty())
+            throw Parse_error("missing action", line_no, 0);
+
+        if (guard_text == "default") {
+            if (fields[0] == "allow")
+                program.default_action = Action::allow;
+            else if (fields[0] == "drop")
+                program.default_action = Action::drop;
+            else
+                throw Parse_error("default action must be allow or drop",
+                                  line_no, 0);
+            continue;
+        }
+
+        Rule rule;
+        rule.guard = parser::parse_predicate(guard_text);
+        if (fields[0] == "allow") {
+            rule.action = Action::allow;
+        } else if (fields[0] == "drop") {
+            rule.action = Action::drop;
+        } else if (fields[0] == "rate-limit") {
+            if (fields.size() < 2)
+                throw Parse_error("rate-limit needs a rate", line_no, 0);
+            rule.action = Action::rate_limit;
+            rule.rate = parse_bandwidth(fields[1]);
+        } else if (fields[0] == "mark") {
+            if (fields.size() < 2)
+                throw Parse_error("mark needs a tag", line_no, 0);
+            rule.action = Action::mark;
+            rule.tag = std::stoi(fields[1]);
+        } else {
+            throw Parse_error("unknown action '" + fields[0] + "'", line_no,
+                              0);
+        }
+        program.rules.push_back(std::move(rule));
+    }
+    return program;
+}
+
+}  // namespace merlin::interp

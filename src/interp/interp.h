@@ -1,0 +1,95 @@
+// The end-host packet-program interpreter (Section 3.4).
+//
+// Besides iptables/tc command generation, the paper describes a richer
+// enforcement path: "directly generating packet-processing code, which can
+// be executed by an interpreter running on end hosts or on middleboxes ...
+// a Linux kernel module [using] the netfilter callback functions ... accepts
+// and enforces programs that can filter or rate limit traffic using a richer
+// set of predicates than those offered by iptables."
+//
+// This module is that interpreter, in portable userspace form: a Program is
+// an ordered list of guarded actions over full Merlin predicates (including
+// payload matches, which iptables cannot express). The interpreter evaluates
+// packets against the program (first match wins) and maintains token-bucket
+// state for rate-limited classes, so enforcement is testable end to end
+// against the simulator's clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+#include "pred/packet.h"
+#include "util/units.h"
+
+namespace merlin::interp {
+
+enum class Action : std::uint8_t {
+    allow,       // forward unmodified
+    drop,        // discard
+    rate_limit,  // forward while the class token bucket has budget
+    mark,        // set the VLAN tag (path enforcement), then forward
+};
+
+[[nodiscard]] const char* to_string(Action action);
+
+struct Rule {
+    ir::PredPtr guard;
+    Action action = Action::allow;
+    Bandwidth rate;   // rate_limit only
+    int tag = 0;      // mark only
+    std::string note;  // statement id, for diagnostics
+};
+
+struct Program {
+    std::vector<Rule> rules;
+    // Applied when no rule matches (the pre-processor's totality requirement
+    // normally guarantees a match; the default is a safety net).
+    Action default_action = Action::allow;
+};
+
+// Outcome of interpreting one packet.
+struct Verdict {
+    bool forwarded = false;
+    std::optional<int> tag;          // set by mark
+    int rule_index = -1;             // -1: default action applied
+};
+
+class Interpreter {
+public:
+    explicit Interpreter(Program program);
+
+    // Evaluates one packet of `bytes` length arriving at time `now`
+    // (seconds; must be non-decreasing across calls). Token buckets refill
+    // continuously at the class rate with a one-second burst budget.
+    Verdict process(const pred::Packet& packet, std::size_t bytes, double now);
+
+    [[nodiscard]] const Program& program() const { return program_; }
+    // Counters per rule (matched packets / forwarded packets).
+    struct Counters {
+        std::uint64_t matched = 0;
+        std::uint64_t forwarded = 0;
+    };
+    [[nodiscard]] const std::vector<Counters>& counters() const {
+        return counters_;
+    }
+
+private:
+    struct Bucket {
+        double tokens = 0;  // bytes
+        double last = 0;    // time of last refill
+    };
+
+    Program program_;
+    std::vector<Counters> counters_;
+    std::vector<Bucket> buckets_;
+};
+
+// Renders the program in the interpreter's textual form (one rule per line,
+// `guard => action` syntax); parse_program() reads it back.
+[[nodiscard]] std::string to_text(const Program& program);
+[[nodiscard]] Program parse_program(const std::string& text);
+
+}  // namespace merlin::interp

@@ -1,0 +1,47 @@
+// Packet header fields known to Merlin predicates (Section 2.1).
+//
+// The paper provides "atomic predicates for a number of standard protocols
+// including Ethernet, IP, TCP, and UDP, and a special predicate for matching
+// packet payloads". Each field has a fixed bit width; values are parsed from
+// the natural textual form (MAC colons, dotted IPv4, protocol names, decimal
+// and hex numbers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace merlin::ir {
+
+struct Field {
+    std::string name;  // e.g. "tcp.dst"
+    int width;         // bits
+    int bit_offset;    // first BDD variable index for this field
+};
+
+// The fixed field dictionary, in BDD variable order.
+[[nodiscard]] const std::vector<Field>& fields();
+
+// Looks up a field by name; accepts both the canonical dotted form
+// ("tcp.dst") and the camel alias used in some of the paper's examples
+// ("tcpDst"). Returns nullopt for unknown fields.
+[[nodiscard]] std::optional<Field> find_field(const std::string& name);
+
+// Total number of header bits across all fields (= BDD variable count
+// dedicated to concrete header matching).
+[[nodiscard]] int total_header_bits();
+
+// Parses a field value: decimal, 0x-hex, MAC (aa:bb:cc:dd:ee:ff),
+// IPv4 dotted quad, or a protocol/ethertype name (tcp, udp, icmp, ip, arp).
+// Returns nullopt if the text is not a valid value for the field, including
+// values that do not fit in the field's width.
+[[nodiscard]] std::optional<std::uint64_t> parse_field_value(
+    const Field& field, const std::string& text);
+
+// Renders a value in the conventional form for the field (MACs with colons,
+// IPv4 dotted, everything else decimal).
+[[nodiscard]] std::string format_field_value(const Field& field,
+                                             std::uint64_t value);
+
+}  // namespace merlin::ir

@@ -1,0 +1,521 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace merlin::lp {
+
+int Problem::add_variable(double cost, double lower, double upper) {
+    expects(lower <= upper, "variable bounds crossed");
+    expects(lower > -kInfinity, "free variables are not supported");
+    const int id = static_cast<int>(cost_.size());
+    cost_.push_back(cost);
+    lower_.push_back(lower);
+    upper_.push_back(upper);
+    columns_.emplace_back();
+    return id;
+}
+
+void Problem::add_constraint(Sense sense, double rhs,
+                             std::vector<std::pair<int, double>> coefficients) {
+    const int row = static_cast<int>(rhs_.size());
+    sense_.push_back(sense);
+    rhs_.push_back(rhs);
+    for (const auto& [var, coef] : coefficients) {
+        expects(var >= 0 && var < variable_count(),
+                "constraint references unknown variable");
+        columns_[static_cast<std::size_t>(var)].push_back(RowEntry{row, coef});
+    }
+    rows_.push_back(std::move(coefficients));
+}
+
+void Problem::set_cost(int variable, double cost) {
+    cost_[static_cast<std::size_t>(variable)] = cost;
+}
+
+void Problem::set_bounds(int variable, double lower, double upper) {
+    expects(lower <= upper, "variable bounds crossed");
+    lower_[static_cast<std::size_t>(variable)] = lower;
+    upper_[static_cast<std::size_t>(variable)] = upper;
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+    double out = 0;
+    for (std::size_t j = 0; j < cost_.size(); ++j) out += cost_[j] * x[j];
+    return out;
+}
+
+double Problem::violation(const std::vector<double>& x) const {
+    double worst = 0;
+    for (std::size_t j = 0; j < cost_.size(); ++j) {
+        worst = std::max(worst, lower_[j] - x[j]);
+        if (upper_[j] < kInfinity) worst = std::max(worst, x[j] - upper_[j]);
+    }
+    for (std::size_t i = 0; i < rhs_.size(); ++i) {
+        double activity = 0;
+        for (const auto& [var, coef] : rows_[i])
+            activity += coef * x[static_cast<std::size_t>(var)];
+        switch (sense_[i]) {
+            case Sense::less_equal:
+                worst = std::max(worst, activity - rhs_[i]);
+                break;
+            case Sense::greater_equal:
+                worst = std::max(worst, rhs_[i] - activity);
+                break;
+            case Sense::equal:
+                worst = std::max(worst, std::abs(activity - rhs_[i]));
+                break;
+        }
+    }
+    return worst;
+}
+
+namespace {
+
+// Internal solver state over the standard-form problem
+//   min c'x  s.t.  A x = b,  l <= x <= u
+// with columns = structural vars + slacks + artificials.
+class Simplex {
+public:
+    Simplex(const Problem& p, const Options& opts) : opts_(opts) {
+        const int m = p.constraint_count();
+        b_ = p.rhs();
+
+        // Structural columns.
+        for (int j = 0; j < p.variable_count(); ++j) {
+            cost_.push_back(p.cost(j));
+            lower_.push_back(p.lower(j));
+            upper_.push_back(p.upper(j));
+            cols_.push_back({});
+            for (const auto& e : p.column(j))
+                cols_.back().push_back({e.row, e.coef});
+        }
+        structural_count_ = p.variable_count();
+
+        // Slack columns turn inequalities into equalities.
+        for (int i = 0; i < m; ++i) {
+            switch (p.sense(i)) {
+                case Sense::less_equal: add_slack(i, 1.0); break;
+                case Sense::greater_equal: add_slack(i, -1.0); break;
+                case Sense::equal: break;
+            }
+        }
+        phase2_vars_ = static_cast<int>(cols_.size());
+
+        // Nonbasic structurals/slacks start at their lower bound (always
+        // finite; see Problem::add_variable).
+        state_.assign(cols_.size(), State::at_lower);
+        x_.assign(cols_.size(), 0.0);
+        for (std::size_t j = 0; j < cols_.size(); ++j) x_[j] = lower_[j];
+
+        // Crash basis: rows whose slack can absorb the initial residual use
+        // the slack as the basic variable; only the remaining rows get an
+        // artificial (signed so the initial basic value is non-negative).
+        basis_.assign(static_cast<std::size_t>(m), -1);
+        std::vector<double> residual = b_;
+        for (std::size_t j = 0; j < cols_.size(); ++j) {
+            if (x_[j] == 0.0) continue;
+            for (const auto& [row, coef] : cols_[j])
+                residual[static_cast<std::size_t>(row)] -= coef * x_[j];
+        }
+        std::vector<double> diag(static_cast<std::size_t>(m), 0.0);
+        for (int j = structural_count_; j < phase2_vars_; ++j) {
+            // Each slack column has exactly one entry.
+            const auto& [row, coef] = cols_[static_cast<std::size_t>(j)][0];
+            const double value = residual[static_cast<std::size_t>(row)] / coef;
+            if (value >= 0) {
+                // Undo this slack's contribution from the nonbasic side: it
+                // was registered at its lower bound 0, so nothing to undo.
+                basis_[static_cast<std::size_t>(row)] = j;
+                state_[static_cast<std::size_t>(j)] = State::basic;
+                x_[static_cast<std::size_t>(j)] = value;
+                diag[static_cast<std::size_t>(row)] = coef;
+            }
+        }
+        for (int i = 0; i < m; ++i) {
+            if (basis_[static_cast<std::size_t>(i)] != -1) continue;
+            const double sign =
+                residual[static_cast<std::size_t>(i)] >= 0 ? 1.0 : -1.0;
+            cost_.push_back(0.0);
+            lower_.push_back(0.0);
+            upper_.push_back(kInfinity);
+            cols_.push_back({{i, sign}});
+            state_.push_back(State::basic);
+            x_.push_back(sign * residual[static_cast<std::size_t>(i)]);
+            basis_[static_cast<std::size_t>(i)] =
+                static_cast<int>(cols_.size()) - 1;
+            diag[static_cast<std::size_t>(i)] = sign;
+        }
+
+        // B is diagonal (slack or artificial per row) => B^-1 likewise.
+        binv_.assign(static_cast<std::size_t>(m),
+                     std::vector<double>(static_cast<std::size_t>(m), 0.0));
+        for (int i = 0; i < m; ++i)
+            binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+                1.0 / diag[static_cast<std::size_t>(i)];
+    }
+
+    Solution run(const Problem& p) {
+        Solution out;
+
+        // ---- Phase 1: minimize the sum of artificials. Slightly unequal
+        // costs break the heavy dual degeneracy of the all-ones objective.
+        std::vector<double> saved_cost = cost_;
+        for (std::size_t j = 0; j < cost_.size(); ++j)
+            cost_[j] = static_cast<int>(j) >= phase2_vars_
+                           ? 1.0 + 1e-6 * static_cast<double>(
+                                              j - static_cast<std::size_t>(
+                                                      phase2_vars_))
+                           : 0.0;
+        Status phase1 = iterate(/*phase1=*/true);
+        auto infeasibility = [&] {
+            double total = 0;
+            for (std::size_t j = static_cast<std::size_t>(phase2_vars_);
+                 j < x_.size(); ++j)
+                total += x_[j];
+            return total;
+        };
+        // Apparent failure may be numerical drift: refactorize the basis
+        // inverse exactly and retry before concluding anything.
+        for (int retry = 0;
+             retry < 2 && (phase1 == Status::iteration_limit ||
+                           infeasibility() > opts_.feasibility_tol * 10);
+             ++retry) {
+            if (!refactorize()) break;
+            refresh_basics();
+            phase1 = iterate(/*phase1=*/true);
+        }
+        if (phase1 == Status::iteration_limit) {
+            out.status = Status::iteration_limit;
+            return out;
+        }
+        if (infeasibility() > opts_.feasibility_tol * 10) {
+            out.status = Status::infeasible;
+            return out;
+        }
+        // Pin artificials at zero so they can never carry value again.
+        for (std::size_t j = static_cast<std::size_t>(phase2_vars_);
+             j < cols_.size(); ++j)
+            upper_[j] = 0.0;
+
+        // ---- Phase 2: original objective.
+        cost_ = std::move(saved_cost);
+        const Status phase2 = iterate(/*phase1=*/false);
+        out.status = phase2;
+        if (phase2 != Status::optimal) return out;
+
+        out.x.assign(static_cast<std::size_t>(structural_count_), 0.0);
+        for (int j = 0; j < structural_count_; ++j)
+            out.x[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
+        out.objective = p.objective_value(out.x);
+        return out;
+    }
+
+private:
+    enum class State : std::uint8_t { basic, at_lower, at_upper };
+
+    void add_slack(int row, double coef) {
+        cost_.push_back(0.0);
+        lower_.push_back(0.0);
+        upper_.push_back(kInfinity);
+        cols_.push_back({{row, coef}});
+    }
+
+    [[nodiscard]] int m() const { return static_cast<int>(b_.size()); }
+
+    // Rebuilds B^-1 from the basis columns by Gauss-Jordan elimination with
+    // partial pivoting. O(m^3); called rarely to wash out eta-update drift.
+    bool refactorize() {
+        const int rows = m();
+        // Augmented [B | I] reduced to [I | B^-1].
+        std::vector<std::vector<double>> a(
+            static_cast<std::size_t>(rows),
+            std::vector<double>(static_cast<std::size_t>(2 * rows), 0.0));
+        for (int i = 0; i < rows; ++i) {
+            const auto col = static_cast<std::size_t>(
+                basis_[static_cast<std::size_t>(i)]);
+            for (const auto& [row, coef] : cols_[col])
+                a[static_cast<std::size_t>(row)][static_cast<std::size_t>(i)] =
+                    coef;
+            a[static_cast<std::size_t>(i)]
+             [static_cast<std::size_t>(rows + i)] = 1.0;
+        }
+        for (int c = 0; c < rows; ++c) {
+            int pivot_row = -1;
+            double best = 1e-11;
+            for (int r = c; r < rows; ++r) {
+                const double v = std::abs(
+                    a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+                if (v > best) {
+                    best = v;
+                    pivot_row = r;
+                }
+            }
+            if (pivot_row == -1) return false;  // numerically singular
+            // Row swaps permute equations only; they are absorbed into the
+            // inverse and must not reorder the basis columns.
+            std::swap(a[static_cast<std::size_t>(c)],
+                      a[static_cast<std::size_t>(pivot_row)]);
+            const double pivot =
+                a[static_cast<std::size_t>(c)][static_cast<std::size_t>(c)];
+            for (double& v : a[static_cast<std::size_t>(c)]) v /= pivot;
+            for (int r = 0; r < rows; ++r) {
+                if (r == c) continue;
+                const double factor =
+                    a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+                if (factor == 0.0) continue;
+                for (int k = 0; k < 2 * rows; ++k)
+                    a[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] -=
+                        factor * a[static_cast<std::size_t>(c)]
+                                  [static_cast<std::size_t>(k)];
+            }
+        }
+        for (int i = 0; i < rows; ++i)
+            for (int k = 0; k < rows; ++k)
+                binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+                    a[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(rows + k)];
+        return true;
+    }
+
+    // x_B = B^-1 (b - N x_N), recomputed from scratch.
+    void refresh_basics() {
+        std::vector<double> rhs = b_;
+        for (std::size_t j = 0; j < cols_.size(); ++j) {
+            if (state_[j] == State::basic || x_[j] == 0.0) continue;
+            for (const auto& [row, coef] : cols_[j])
+                rhs[static_cast<std::size_t>(row)] -= coef * x_[j];
+        }
+        for (int i = 0; i < m(); ++i) {
+            double v = 0;
+            const auto& row = binv_[static_cast<std::size_t>(i)];
+            for (int k = 0; k < m(); ++k)
+                v += row[static_cast<std::size_t>(k)] *
+                     rhs[static_cast<std::size_t>(k)];
+            x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = v;
+        }
+    }
+
+    // y' = c_B' B^-1.
+    [[nodiscard]] std::vector<double> duals() const {
+        std::vector<double> y(static_cast<std::size_t>(m()), 0.0);
+        for (int i = 0; i < m(); ++i) {
+            const double cb =
+                cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+            if (cb == 0.0) continue;
+            const auto& row = binv_[static_cast<std::size_t>(i)];
+            for (int k = 0; k < m(); ++k)
+                y[static_cast<std::size_t>(k)] += cb * row[static_cast<std::size_t>(k)];
+        }
+        return y;
+    }
+
+    [[nodiscard]] double reduced_cost(int j,
+                                      const std::vector<double>& y) const {
+        double d = cost_[static_cast<std::size_t>(j)];
+        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)])
+            d -= y[static_cast<std::size_t>(row)] * coef;
+        return d;
+    }
+
+    // w = B^-1 a_j.
+    [[nodiscard]] std::vector<double> ftran(int j) const {
+        std::vector<double> w(static_cast<std::size_t>(m()), 0.0);
+        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+            for (int i = 0; i < m(); ++i)
+                w[static_cast<std::size_t>(i)] +=
+                    binv_[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(row)] *
+                    coef;
+        }
+        return w;
+    }
+
+    Status iterate(bool phase1) {
+        int stall = 0;
+        for (int iter = 0; iter < opts_.max_iterations; ++iter) {
+            if (iter > 0 && iter % 4096 == 0) (void)refactorize();
+            if (iter % opts_.refresh_interval == 0) refresh_basics();
+            const bool bland = stall > 2 * m() + 200;
+
+            const std::vector<double> y = duals();
+            // Pricing: pick the entering variable.
+            int entering = -1;
+            double best = 0;
+            int direction = +1;  // +1: increase from lower, -1: decrease
+            const int candidates =
+                phase1 ? static_cast<int>(cols_.size()) : phase2_vars_;
+            for (int j = 0; j < candidates; ++j) {
+                const auto js = static_cast<std::size_t>(j);
+                if (state_[js] == State::basic) continue;
+                if (lower_[js] == upper_[js]) continue;  // fixed
+                const double d = reduced_cost(j, y);
+                if (state_[js] == State::at_lower &&
+                    d < -opts_.optimality_tol) {
+                    if (bland) {
+                        entering = j;
+                        direction = +1;
+                        break;
+                    }
+                    if (-d > best) {
+                        best = -d;
+                        entering = j;
+                        direction = +1;
+                    }
+                } else if (state_[js] == State::at_upper &&
+                           d > opts_.optimality_tol) {
+                    if (bland) {
+                        entering = j;
+                        direction = -1;
+                        break;
+                    }
+                    if (d > best) {
+                        best = d;
+                        entering = j;
+                        direction = -1;
+                    }
+                }
+            }
+            if (entering == -1) return Status::optimal;
+
+            // Ratio test: entering moves by direction * t, basics move by
+            // -direction * t * w.
+            const std::vector<double> w = ftran(entering);
+            const auto ej = static_cast<std::size_t>(entering);
+            double t_max = upper_[ej] < kInfinity ? upper_[ej] - lower_[ej]
+                                                  : kInfinity;
+            int leaving_pos = -1;   // index into basis_
+            bool leaving_hits_upper = false;
+            double leaving_pivot = 0;  // |delta| of the current choice
+            constexpr double kPivotTol = 1e-9;
+            constexpr double kTieTol = 1e-9;
+            for (int i = 0; i < m(); ++i) {
+                const double delta =
+                    -direction * w[static_cast<std::size_t>(i)];
+                if (std::abs(delta) < kPivotTol) continue;
+                const auto bi =
+                    static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+                double t_i;
+                bool hits_upper;
+                if (delta < 0) {
+                    t_i = (x_[bi] - lower_[bi]) / (-delta);
+                    hits_upper = false;
+                } else {
+                    if (upper_[bi] == kInfinity) continue;
+                    t_i = (upper_[bi] - x_[bi]) / delta;
+                    hits_upper = true;
+                }
+                if (t_i < 0) t_i = 0;  // degenerate drift guard
+                const bool better = t_i < t_max - kTieTol;
+                // Among (near-)ties pick the largest pivot magnitude — the
+                // standard anti-stall / stability rule — unless Bland's rule
+                // is active, which breaks ties by smallest variable index.
+                const bool tie = leaving_pos != -1 && t_i <= t_max + kTieTol;
+                const bool tie_wins =
+                    tie && (bland ? basis_[static_cast<std::size_t>(i)] <
+                                        basis_[static_cast<std::size_t>(
+                                            leaving_pos)]
+                                  : std::abs(delta) > leaving_pivot);
+                const bool entering_bound_tie =
+                    leaving_pos == -1 && t_i <= t_max + kTieTol;
+                if (better || tie_wins || entering_bound_tie) {
+                    t_max = std::min(t_max, t_i);
+                    leaving_pos = i;
+                    leaving_hits_upper = hits_upper;
+                    leaving_pivot = std::abs(delta);
+                }
+            }
+
+            if (t_max == kInfinity) {
+                return phase1 ? Status::infeasible : Status::unbounded;
+            }
+            stall = t_max < opts_.feasibility_tol ? stall + 1 : 0;
+
+            // Apply the move to basic values and the entering variable.
+            for (int i = 0; i < m(); ++i) {
+                const double delta =
+                    -direction * w[static_cast<std::size_t>(i)];
+                x_[static_cast<std::size_t>(
+                    basis_[static_cast<std::size_t>(i)])] += delta * t_max;
+            }
+            x_[ej] += direction * t_max;
+
+            if (leaving_pos == -1) {
+                // Bound flip: entering traversed its whole range.
+                state_[ej] = direction > 0 ? State::at_upper : State::at_lower;
+                continue;
+            }
+
+            // Pivot: update basis and B^-1 (product-form elimination).
+            const int leaving = basis_[static_cast<std::size_t>(leaving_pos)];
+            const auto lj = static_cast<std::size_t>(leaving);
+            // Snap the leaving variable exactly onto its bound.
+            x_[lj] = leaving_hits_upper ? upper_[lj] : lower_[lj];
+            state_[lj] =
+                leaving_hits_upper ? State::at_upper : State::at_lower;
+            state_[ej] = State::basic;
+            basis_[static_cast<std::size_t>(leaving_pos)] = entering;
+
+            const double pivot = w[static_cast<std::size_t>(leaving_pos)];
+            if (std::abs(pivot) < kPivotTol) return Status::iteration_limit;
+            auto& pivot_row = binv_[static_cast<std::size_t>(leaving_pos)];
+            for (double& v : pivot_row) v /= pivot;
+            for (int i = 0; i < m(); ++i) {
+                if (i == leaving_pos) continue;
+                const double factor = w[static_cast<std::size_t>(i)];
+                if (factor == 0.0) continue;
+                auto& row = binv_[static_cast<std::size_t>(i)];
+                for (int k = 0; k < m(); ++k)
+                    row[static_cast<std::size_t>(k)] -=
+                        factor * pivot_row[static_cast<std::size_t>(k)];
+            }
+        }
+        return Status::iteration_limit;
+    }
+
+    Options opts_;
+    int structural_count_ = 0;
+    int phase2_vars_ = 0;  // structural + slack count (artificials after)
+
+    std::vector<double> b_;
+    std::vector<double> cost_;
+    std::vector<double> lower_;
+    std::vector<double> upper_;
+    std::vector<std::vector<std::pair<int, double>>> cols_;  // (row, coef)
+    std::vector<State> state_;
+    std::vector<double> x_;
+    std::vector<int> basis_;                  // row -> variable
+    std::vector<std::vector<double>> binv_;  // dense B^-1
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const Options& options) {
+    if (problem.constraint_count() == 0) {
+        // Pure bound minimization: every variable sits at the bound its cost
+        // prefers.
+        Solution out;
+        out.status = Status::optimal;
+        out.x.resize(static_cast<std::size_t>(problem.variable_count()));
+        for (int j = 0; j < problem.variable_count(); ++j) {
+            const double c = problem.cost(j);
+            if (c >= 0) {
+                out.x[static_cast<std::size_t>(j)] = problem.lower(j);
+            } else {
+                if (problem.upper(j) == kInfinity) {
+                    out.status = Status::unbounded;
+                    return out;
+                }
+                out.x[static_cast<std::size_t>(j)] = problem.upper(j);
+            }
+        }
+        out.objective = problem.objective_value(out.x);
+        return out;
+    }
+    Simplex s(problem, options);
+    return s.run(problem);
+}
+
+}  // namespace merlin::lp

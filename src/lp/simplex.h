@@ -1,0 +1,108 @@
+// Linear programming: a bounded-variable revised simplex solver.
+//
+// Merlin's path-selection problem (Section 3.2, constraints (1)-(5)) is a
+// mixed-integer program; the original system called the Gurobi optimizer.
+// This module provides the LP relaxation engine underneath our own
+// branch-and-bound (src/mip). It implements the textbook two-phase primal
+// simplex with variable bounds, a dense basis inverse maintained by
+// product-form (eta) updates, Dantzig pricing with a Bland's-rule fallback
+// for anti-cycling, and periodic recomputation of the basic solution to
+// bound numerical drift.
+//
+// Problems are minimization; use negated costs to maximize.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace merlin::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { less_equal, equal, greater_equal };
+
+enum class Status { optimal, infeasible, unbounded, iteration_limit };
+
+struct Options {
+    int max_iterations = 200'000;
+    double feasibility_tol = 1e-7;
+    double optimality_tol = 1e-7;
+    // Recompute x_B = B^-1 (b - N x_N) every this many pivots.
+    int refresh_interval = 128;
+};
+
+struct Solution {
+    Status status = Status::iteration_limit;
+    double objective = 0;
+    std::vector<double> x;  // one value per added variable
+
+    [[nodiscard]] bool optimal() const { return status == Status::optimal; }
+};
+
+class Problem {
+public:
+    // Adds a variable with bounds [lower, upper] (upper may be kInfinity)
+    // and the given objective coefficient; returns its index.
+    int add_variable(double cost, double lower, double upper);
+
+    // Adds a linear constraint  sum coeff_i * x_i  <sense>  rhs.
+    // Variable indices must exist; duplicate indices are accumulated.
+    void add_constraint(Sense sense, double rhs,
+                        std::vector<std::pair<int, double>> coefficients);
+
+    void set_cost(int variable, double cost);
+    void set_bounds(int variable, double lower, double upper);
+
+    [[nodiscard]] int variable_count() const {
+        return static_cast<int>(cost_.size());
+    }
+    [[nodiscard]] int constraint_count() const {
+        return static_cast<int>(rhs_.size());
+    }
+
+    [[nodiscard]] double cost(int variable) const {
+        return cost_[static_cast<std::size_t>(variable)];
+    }
+    [[nodiscard]] double lower(int variable) const {
+        return lower_[static_cast<std::size_t>(variable)];
+    }
+    [[nodiscard]] double upper(int variable) const {
+        return upper_[static_cast<std::size_t>(variable)];
+    }
+
+    // Evaluates the objective for a full assignment (testing helper).
+    [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+    // Max constraint/bound violation for an assignment (testing helper).
+    [[nodiscard]] double violation(const std::vector<double>& x) const;
+
+    struct RowEntry {
+        int row;
+        double coef;
+    };
+
+    // Read access for the solver.
+    [[nodiscard]] const std::vector<double>& rhs() const { return rhs_; }
+    [[nodiscard]] Sense sense(int row) const {
+        return sense_[static_cast<std::size_t>(row)];
+    }
+    [[nodiscard]] const std::vector<RowEntry>& column(int variable) const {
+        return columns_[static_cast<std::size_t>(variable)];
+    }
+
+private:
+
+    std::vector<double> cost_;
+    std::vector<double> lower_;
+    std::vector<double> upper_;
+    std::vector<std::vector<RowEntry>> columns_;  // per variable
+    std::vector<Sense> sense_;
+    std::vector<double> rhs_;
+    std::vector<std::vector<std::pair<int, double>>> rows_;  // (var, coef)
+};
+
+// Solves the problem; `x` in the result has one entry per variable added.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const Options& options = {});
+
+}  // namespace merlin::lp

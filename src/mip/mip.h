@@ -1,0 +1,75 @@
+// Mixed-integer programming via branch & bound over LP relaxations.
+//
+// Merlin's provisioning MIP has {0,1} decision variables x_e (one path per
+// statement) and continuous bookkeeping variables r_uv, r_max, R_max
+// (Section 3.2). Flow-structured LP relaxations are integral most of the
+// time, so a lean best-first branch & bound with most-fractional branching
+// closes these instances with few nodes — the role Gurobi played for the
+// original system.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace merlin::mip {
+
+enum class Status {
+    optimal,
+    // An integral incumbent was found but the node limit stopped the proof
+    // of optimality; the solution in `x` is feasible.
+    feasible,
+    infeasible,
+    node_limit,
+};
+
+struct Options {
+    int max_nodes = 10'000;
+    double integrality_tol = 1e-6;
+    // Relative optimality gap at which a node is pruned against the
+    // incumbent.
+    double gap_tol = 1e-9;
+    lp::Options lp;
+};
+
+struct Solution {
+    Status status = Status::infeasible;
+    double objective = 0;
+    std::vector<double> x;
+    int nodes_explored = 0;
+
+    [[nodiscard]] bool optimal() const { return status == Status::optimal; }
+    // True when `x` holds a usable integral solution.
+    [[nodiscard]] bool usable() const {
+        return status == Status::optimal || status == Status::feasible;
+    }
+};
+
+class Problem {
+public:
+    // Declares a {0,1} variable; returns its index.
+    int add_binary(double cost);
+    // Declares a continuous variable.
+    int add_continuous(double cost, double lower, double upper);
+
+    void add_constraint(lp::Sense sense, double rhs,
+                        std::vector<std::pair<int, double>> coefficients);
+    void set_cost(int variable, double cost);
+
+    [[nodiscard]] int variable_count() const { return lp_.variable_count(); }
+    [[nodiscard]] int binary_count() const {
+        return static_cast<int>(binaries_.size());
+    }
+    [[nodiscard]] const lp::Problem& relaxation() const { return lp_; }
+
+private:
+    friend Solution solve(const Problem&, const Options&);
+
+    lp::Problem lp_;
+    std::vector<int> binaries_;
+};
+
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const Options& options = {});
+
+}  // namespace merlin::mip

@@ -1,0 +1,186 @@
+#include "negotiator/negotiator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "pred/analysis.h"
+#include "presburger/localize.h"
+#include "util/error.h"
+
+namespace merlin::negotiator {
+
+ir::Policy delegate_policy(const ir::Policy& global, const ir::PredPtr& scope,
+                           const ir::PathPtr& path_scope) {
+    pred::Analyzer analyzer;
+    ir::Policy out;
+    std::set<std::string> kept;
+    for (const ir::Statement& s : global.statements) {
+        const ir::PredPtr scoped = ir::pred_and(s.predicate, scope);
+        if (!analyzer.satisfiable(scoped)) continue;
+        ir::PathPtr path = s.path;
+        if (path_scope) {
+            // a ∩ b = !(!a | !b): intersection inside the path algebra.
+            path = ir::path_not(
+                ir::path_alt(ir::path_not(path), ir::path_not(path_scope)));
+        }
+        out.statements.push_back(ir::Statement{s.id, scoped, path});
+        kept.insert(s.id);
+    }
+    // Keep only formula leaves whose identifiers all survive.
+    const auto filter = [&](auto&& self,
+                            const ir::FormulaPtr& f) -> ir::FormulaPtr {
+        if (!f) return nullptr;
+        switch (f->kind) {
+            case ir::Formula_kind::and_: {
+                ir::FormulaPtr lhs = self(self, f->lhs);
+                ir::FormulaPtr rhs = self(self, f->rhs);
+                if (!lhs) return rhs;
+                if (!rhs) return lhs;
+                return ir::formula_and(lhs, rhs);
+            }
+            case ir::Formula_kind::or_: {
+                ir::FormulaPtr lhs = self(self, f->lhs);
+                ir::FormulaPtr rhs = self(self, f->rhs);
+                if (!lhs || !rhs) return nullptr;  // cannot weaken one side
+                return ir::formula_or(lhs, rhs);
+            }
+            case ir::Formula_kind::not_: {
+                ir::FormulaPtr inner = self(self, f->lhs);
+                return inner ? ir::formula_not(inner) : nullptr;
+            }
+            case ir::Formula_kind::max:
+            case ir::Formula_kind::min: {
+                for (const std::string& id : f->term.ids)
+                    if (!kept.contains(id)) return nullptr;
+                return f;
+            }
+        }
+        throw Error("unreachable formula kind");
+    };
+    out.formula = filter(filter, global.formula);
+    return out;
+}
+
+Negotiator& Negotiator::add_child(const std::string& name,
+                                  const ir::PredPtr& scope) {
+    children_.push_back(std::make_unique<Negotiator>(
+        name, delegate_policy(active_, scope), alphabet_));
+    return *children_.back();
+}
+
+Negotiator* Negotiator::child(const std::string& name) {
+    for (const auto& c : children_)
+        if (c->name() == name) return c.get();
+    return nullptr;
+}
+
+Verdict Negotiator::propose(const ir::Policy& refined) {
+    const Verdict verdict = verify_refinement(envelope_, refined, alphabet_);
+    if (verdict.valid) active_ = refined;
+    return verdict;
+}
+
+Verdict Negotiator::redistribute(
+    const std::map<std::string, Bandwidth>& demands) {
+    // Collect the capped statements of the active policy, in order.
+    const auto rates = presburger::requirements(
+        presburger::localize(active_.formula));
+    std::vector<std::string> ids;
+    Bandwidth pool;
+    for (const ir::Statement& s : active_.statements) {
+        const auto it = rates.caps.find(s.id);
+        if (it == rates.caps.end()) continue;
+        ids.push_back(s.id);
+        pool += it->second;
+    }
+    if (ids.empty()) return {false, "active policy has no caps to re-divide"};
+
+    std::vector<Bandwidth> demand_list;
+    demand_list.reserve(ids.size());
+    for (const std::string& id : ids) {
+        const auto it = demands.find(id);
+        demand_list.push_back(it == demands.end() ? Bandwidth{} : it->second);
+    }
+    const std::vector<Bandwidth> shares = max_min_fair(pool, demand_list);
+
+    // Rebuild the formula: new caps for the capped ids, all guarantees and
+    // other constraints preserved.
+    ir::Policy updated = active_;
+    ir::FormulaPtr formula;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        ir::Term t;
+        t.ids.push_back(ids[i]);
+        const auto leaf = ir::formula_max(std::move(t), shares[i]);
+        formula = formula ? ir::formula_and(formula, leaf) : leaf;
+    }
+    for (const auto& [id, guarantee] : rates.guarantees) {
+        ir::Term t;
+        t.ids.push_back(id);
+        const auto leaf = ir::formula_min(std::move(t), guarantee);
+        formula = formula ? ir::formula_and(formula, leaf) : leaf;
+    }
+    updated.formula = formula;
+    return propose(updated);
+}
+
+std::vector<Bandwidth> Aimd::step(std::vector<Bandwidth> rates,
+                                  const std::vector<bool>& wants_more) const {
+    expects(rates.size() == wants_more.size(),
+            "AIMD rate and demand vectors must align");
+    Bandwidth total;
+    for (Bandwidth r : rates) total += r;
+    // Overflow (or full pool with growth pending): multiplicative decrease.
+    bool grow_pending = false;
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        if (wants_more[i]) grow_pending = true;
+    if (total > pool_ || (grow_pending && total + increase_ > pool_)) {
+        for (Bandwidth& r : rates)
+            r = Bandwidth(
+                static_cast<std::uint64_t>(static_cast<double>(r.bps()) *
+                                           decrease_));
+        return rates;
+    }
+    // Additive increase for tenants that want more, while the pool lasts.
+    Bandwidth headroom = pool_ - total;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!wants_more[i]) continue;
+        const Bandwidth grant = std::min(increase_, headroom);
+        rates[i] += grant;
+        headroom -= grant;
+    }
+    return rates;
+}
+
+std::vector<Bandwidth> max_min_fair(Bandwidth pool,
+                                    const std::vector<Bandwidth>& demands) {
+    const std::size_t n = demands.size();
+    std::vector<Bandwidth> out(n);
+    if (n == 0) return out;
+
+    // Progressive filling over demands sorted ascending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return demands[a] < demands[b];
+    });
+    std::uint64_t remaining = pool.bps();
+    std::size_t left = n;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = order[k];
+        const std::uint64_t fair = remaining / left;
+        const std::uint64_t grant = std::min(demands[i].bps(), fair);
+        out[i] = Bandwidth(grant);
+        remaining -= grant;
+        --left;
+    }
+    // Distribute leftover capacity evenly among all tenants (the paper:
+    // "remaining bandwidth is distributed among all tenants").
+    if (remaining > 0 && n > 0) {
+        const std::uint64_t share = remaining / n;
+        for (std::size_t i = 0; i < n; ++i) out[i] += Bandwidth(share);
+    }
+    return out;
+}
+
+}  // namespace merlin::negotiator

@@ -1,0 +1,110 @@
+// Negotiators (Section 4): hierarchical policy delegation and adaptation.
+//
+// Negotiators form a tree over the network. Each holds the policy delegated
+// to it; parents delegate scoped sub-policies to children ("Merlin simply
+// intersects the predicates ... in each statement of the original policy to
+// project out the policy for the sub-network", Section 5), children refine
+// their policies, and every proposed refinement is verified against the
+// delegation envelope before being adopted. Bandwidth re-allocation needs no
+// recompilation (Section 4.3) — the allocator classes implement the paper's
+// two proof-of-concept schemes, AIMD and max-min fair sharing (Figure 10).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/automata.h"
+#include "ir/ast.h"
+#include "negotiator/verify.h"
+#include "util/units.h"
+
+namespace merlin::negotiator {
+
+// Projects the sub-policy for a tenant ("Merlin simply intersects the
+// predicates and regular expressions in each statement", Section 5): every
+// statement's predicate is intersected with `scope`, and — when a
+// `path_scope` is given — its path expression is intersected with it
+// (expressed inside the path algebra itself: a ∩ b = !(!a | !b)).
+// Statements whose predicate intersection is unsatisfiable are dropped, and
+// the formula keeps only terms over surviving statements. Statement ids are
+// preserved so allocations remain traceable to the parent.
+[[nodiscard]] ir::Policy delegate_policy(const ir::Policy& global,
+                                         const ir::PredPtr& scope,
+                                         const ir::PathPtr& path_scope =
+                                             nullptr);
+
+class Negotiator {
+public:
+    Negotiator(std::string name, ir::Policy policy,
+               automata::Alphabet alphabet)
+        : name_(std::move(name)),
+          envelope_(policy),
+          active_(std::move(policy)),
+          alphabet_(std::move(alphabet)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    // The policy this negotiator was delegated (its refinement envelope).
+    [[nodiscard]] const ir::Policy& envelope() const { return envelope_; }
+    // The currently adopted refinement (initially the envelope itself).
+    [[nodiscard]] const ir::Policy& active() const { return active_; }
+
+    // Creates a child negotiator scoped to `scope`.
+    Negotiator& add_child(const std::string& name, const ir::PredPtr& scope);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<Negotiator>>& children()
+        const {
+        return children_;
+    }
+    [[nodiscard]] Negotiator* child(const std::string& name);
+
+    // A tenant proposes a refinement of this negotiator's envelope; adopted
+    // only when verification succeeds.
+    Verdict propose(const ir::Policy& refined);
+
+    // Bandwidth re-allocation (Section 4.3): re-divides the active policy's
+    // caps max-min fairly according to per-statement demands, keeping the
+    // total unchanged, and adopts the result through the verified propose()
+    // path — so "changes to bandwidth allocations" need no recompilation but
+    // still cannot violate the envelope. Statements without a cap are
+    // untouched; unknown ids in `demands` are ignored.
+    Verdict redistribute(const std::map<std::string, Bandwidth>& demands);
+
+private:
+    std::string name_;
+    ir::Policy envelope_;
+    ir::Policy active_;
+    automata::Alphabet alphabet_;
+    std::vector<std::unique_ptr<Negotiator>> children_;
+};
+
+// ---------------------------------------------------------------- adaptation
+
+// Additive-increase / multiplicative-decrease: each tick, tenants wanting
+// more bandwidth grow by `increase`; when the pool overflows, everyone backs
+// off by `decrease_factor` (Figure 10 (a)).
+class Aimd {
+public:
+    Aimd(Bandwidth pool, Bandwidth increase, double decrease_factor)
+        : pool_(pool), increase_(increase), decrease_(decrease_factor) {}
+
+    // `rates`: current allocation per tenant; `wants_more[i]` marks tenants
+    // asking for a bigger share this tick. Returns the new allocations.
+    [[nodiscard]] std::vector<Bandwidth> step(
+        std::vector<Bandwidth> rates, const std::vector<bool>& wants_more) const;
+
+private:
+    Bandwidth pool_;
+    Bandwidth increase_;
+    double decrease_;
+};
+
+// Max-min fair share by progressive filling: demands are satisfied smallest
+// first; leftover capacity is split evenly among the unsatisfied
+// (Figure 10 (b): "the negotiator attempts to satisfy demands starting with
+// the smallest; remaining bandwidth is distributed among all tenants").
+[[nodiscard]] std::vector<Bandwidth> max_min_fair(
+    Bandwidth pool, const std::vector<Bandwidth>& demands);
+
+}  // namespace merlin::negotiator

@@ -1,0 +1,43 @@
+// Negotiator verification (Section 4.2).
+//
+// A tenant may refine a delegated policy in three ways: partition predicates,
+// further constrain forwarding paths, and re-divide bandwidth allocations.
+// A refinement is valid when it only makes the policy more restrictive:
+//
+//   * totality   — every packet the original policy identifies is identified
+//                  by the refined policy (Section 4.1: "the partitioning
+//                  must be total"), and the refinement claims no new traffic;
+//   * paths      — for statements with overlapping predicates, the refined
+//                  path language is included in the original (decided with
+//                  the automata library; the paper used Dprle);
+//   * bandwidth  — per original statement, the sum of refined caps must not
+//                  exceed the original cap, and the sum of refined
+//                  guarantees must cover the original guarantee (the paper:
+//                  "the sum of the new allocations must not exceed the
+//                  original allocation").
+//
+// Predicate reasoning is BDD-based (the paper used Z3).
+#pragma once
+
+#include <string>
+
+#include "automata/automata.h"
+#include "ir/ast.h"
+
+namespace merlin::negotiator {
+
+struct Verdict {
+    bool valid = false;
+    std::string reason;  // first violation found, empty when valid
+
+    explicit operator bool() const { return valid; }
+};
+
+// Verifies that `refined` is a valid refinement of `original`. The alphabet
+// supplies the location/function universe for path-language inclusion (see
+// core::make_alphabet).
+[[nodiscard]] Verdict verify_refinement(const ir::Policy& original,
+                                        const ir::Policy& refined,
+                                        const automata::Alphabet& alphabet);
+
+}  // namespace merlin::negotiator

@@ -1,0 +1,125 @@
+#include "netsim/apps.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace merlin::netsim {
+
+void Transfer_tracker::add(Flow_spec spec, double bytes) {
+    const FlowId id = sim_.add_flow(std::move(spec));
+    transfers_.push_back(Transfer{id, bytes});
+    ++remaining_count_;
+}
+
+void Transfer_tracker::update() {
+    for (Transfer& t : transfers_) {
+        if (t.finished) continue;
+        if (sim_.delivered_bytes(t.flow) >= t.bytes) {
+            t.finished = true;
+            sim_.remove_flow(t.flow);
+            --remaining_count_;
+        }
+    }
+}
+
+Hadoop_job::Hadoop_job(Simulator& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {
+    expects(config_.workers.size() >= 2, "Hadoop job needs >= 2 workers");
+}
+
+const char* Hadoop_job::phase_name() const {
+    switch (phase_) {
+        case Phase::map: return "map";
+        case Phase::shuffle: return "shuffle";
+        case Phase::reduce: return "reduce";
+        case Phase::finished: return "finished";
+    }
+    return "?";
+}
+
+void Hadoop_job::update(double dt) {
+    if (phase_ == Phase::finished) return;
+    elapsed_ += dt;
+    phase_clock_ += dt;
+    switch (phase_) {
+        case Phase::map:
+            if (phase_clock_ >= config_.map_seconds) {
+                phase_ = Phase::shuffle;
+                phase_clock_ = 0;
+                shuffle_.emplace(sim_);
+                for (topo::NodeId a : config_.workers) {
+                    for (topo::NodeId b : config_.workers) {
+                        if (a == b) continue;
+                        Flow_spec spec;
+                        spec.name = "shuffle";
+                        spec.src = a;
+                        spec.dst = b;
+                        spec.guarantee = config_.guarantee;
+                        spec.cap = config_.cap;
+                        shuffle_->add(std::move(spec),
+                                      config_.shuffle_bytes_per_pair);
+                    }
+                }
+            }
+            break;
+        case Phase::shuffle:
+            shuffle_->update();
+            if (shuffle_->done()) {
+                phase_ = Phase::reduce;
+                phase_clock_ = 0;
+            }
+            break;
+        case Phase::reduce:
+            if (phase_clock_ >= config_.reduce_seconds)
+                phase_ = Phase::finished;
+            break;
+        case Phase::finished: break;
+    }
+}
+
+void Tcp_source::update(double dt) {
+    const Bandwidth achieved = sim_.rate(flow_);
+    // Congestion signal: the network gave us meaningfully less than asked.
+    if (achieved.bps() + achieved.bps() / 50 < demand_.bps()) {
+        demand_ = Bandwidth(static_cast<std::uint64_t>(
+            static_cast<double>(demand_.bps()) * decrease_));
+    } else {
+        demand_ += Bandwidth(static_cast<std::uint64_t>(
+            static_cast<double>(increase_.bps()) * dt));
+    }
+    if (demand_.bps() < 1'000'000) demand_ = mbps(1);  // floor: 1 Mbps
+    sim_.set_demand(flow_, demand_);
+}
+
+Ring_service::Ring_service(Simulator& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {
+    expects(config_.ring.size() >= 2, "ring needs >= 2 processes");
+    for (std::size_t i = 0; i < config_.ring.size(); ++i) {
+        Flow_spec spec;
+        spec.name = config_.name + "/hop" + std::to_string(i);
+        spec.src = config_.ring[i];
+        spec.dst = config_.ring[(i + 1) % config_.ring.size()];
+        spec.demand = Bandwidth{};  // no clients yet
+        spec.guarantee = config_.guarantee;
+        spec.cap = config_.cap;
+        hops_.push_back(sim_.add_flow(std::move(spec)));
+    }
+}
+
+void Ring_service::set_clients(int clients) {
+    clients_ = clients;
+    const Bandwidth offered(
+        config_.per_client.bps() *
+        static_cast<std::uint64_t>(std::max(clients, 0)));
+    for (FlowId hop : hops_) sim_.set_demand(hop, offered);
+}
+
+Bandwidth Ring_service::throughput() const {
+    Bandwidth slowest = kUnlimited;
+    for (FlowId hop : hops_)
+        slowest = std::min(slowest, sim_.rate(hop));
+    return slowest;
+}
+
+}  // namespace merlin::netsim

@@ -1,0 +1,131 @@
+// Application models driving the simulator (Section 6.2).
+//
+//  * Transfer_tracker — fixed-size data transfers (completion detection).
+//  * Hadoop_job       — map / shuffle / reduce with an all-to-all shuffle,
+//                       the workload of the paper's Hadoop sort experiment.
+//  * Ring_service     — a Ring Paxos replication service: ordered traffic
+//                       circulates a ring of processes; service throughput
+//                       is the minimum rate over the ring's hops, driven by
+//                       aggregate client demand.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/sim.h"
+
+namespace merlin::netsim {
+
+// Tracks a set of fixed-size transfers; flows are removed as they finish.
+class Transfer_tracker {
+public:
+    explicit Transfer_tracker(Simulator& sim) : sim_(sim) {}
+
+    void add(Flow_spec spec, double bytes);
+
+    // Must be called after every sim.step(); removes finished flows.
+    void update();
+    [[nodiscard]] bool done() const { return remaining_count_ == 0; }
+    [[nodiscard]] int remaining() const { return remaining_count_; }
+
+private:
+    struct Transfer {
+        FlowId flow;
+        double bytes;
+        bool finished = false;
+    };
+    Simulator& sim_;
+    std::vector<Transfer> transfers_;
+    int remaining_count_ = 0;
+};
+
+// A MapReduce job: map (compute only), shuffle (every worker sends
+// bytes_per_pair to every other worker), reduce (compute only).
+class Hadoop_job {
+public:
+    struct Config {
+        std::vector<topo::NodeId> workers;
+        double map_seconds = 60;
+        double reduce_seconds = 60;
+        double shuffle_bytes_per_pair = 0;
+        // QoS applied to every shuffle flow (from the Merlin policy).
+        Bandwidth guarantee;
+        std::optional<Bandwidth> cap;
+    };
+
+    Hadoop_job(Simulator& sim, Config config);
+
+    // Advances job state; call once per sim.step(dt).
+    void update(double dt);
+    [[nodiscard]] bool done() const { return phase_ == Phase::finished; }
+    [[nodiscard]] double elapsed() const { return elapsed_; }
+    [[nodiscard]] const char* phase_name() const;
+
+private:
+    enum class Phase { map, shuffle, reduce, finished };
+
+    Simulator& sim_;
+    Config config_;
+    Phase phase_ = Phase::map;
+    double phase_clock_ = 0;
+    double elapsed_ = 0;
+    std::optional<Transfer_tracker> shuffle_;
+};
+
+// A TCP-like adaptive source: adjusts its flow's offered demand by
+// additive-increase / multiplicative-decrease using the allocation as
+// congestion feedback (got less than asked -> back off). Drives a single
+// Simulator flow; call update() once per sim.step().
+class Tcp_source {
+public:
+    Tcp_source(Simulator& sim, FlowId flow,
+               Bandwidth increase_per_second = mbps(20),
+               double decrease_factor = 0.5)
+        : sim_(sim),
+          flow_(flow),
+          increase_(increase_per_second),
+          decrease_(decrease_factor),
+          demand_(increase_per_second) {
+        sim_.set_demand(flow_, demand_);
+    }
+
+    void update(double dt);
+    [[nodiscard]] Bandwidth demand() const { return demand_; }
+
+private:
+    Simulator& sim_;
+    FlowId flow_;
+    Bandwidth increase_;
+    double decrease_;
+    Bandwidth demand_;
+};
+
+// One Ring Paxos replication service (Section 6.2, Figure 5): processes
+// arranged in a ring, one greedy flow per hop; adding clients raises the
+// offered load. Throughput = min hop rate, capped by the offered load.
+class Ring_service {
+public:
+    struct Config {
+        std::string name;
+        std::vector<topo::NodeId> ring;  // process hosts, in ring order
+        Bandwidth per_client;            // offered load added per client
+        Bandwidth guarantee;             // per-hop guarantee (from Merlin)
+        std::optional<Bandwidth> cap;
+    };
+
+    Ring_service(Simulator& sim, Config config);
+
+    void set_clients(int clients);
+    [[nodiscard]] int clients() const { return clients_; }
+    // Current service throughput (after sim.step()).
+    [[nodiscard]] Bandwidth throughput() const;
+
+private:
+    Simulator& sim_;
+    Config config_;
+    std::vector<FlowId> hops_;
+    int clients_ = 0;
+};
+
+}  // namespace merlin::netsim

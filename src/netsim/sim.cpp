@@ -1,0 +1,221 @@
+#include "netsim/sim.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace merlin::netsim {
+
+std::vector<std::uint64_t> progressive_fill(
+    const std::vector<std::vector<int>>& flow_channels,
+    const std::vector<std::uint64_t>& guarantee,
+    const std::vector<std::uint64_t>& limit,
+    const std::vector<std::uint64_t>& channel_capacity) {
+    const std::size_t n = flow_channels.size();
+    std::vector<std::uint64_t> rate(n, 0);
+
+    // ---- Stage 1: guaranteed rates (bounded by the flow's own limit).
+    for (std::size_t f = 0; f < n; ++f)
+        rate[f] = std::min(guarantee[f], limit[f]);
+
+    // Scale down proportionally on oversubscribed channels (the compiler
+    // prevents this; the simulator stays safe regardless).
+    std::vector<std::uint64_t> used(channel_capacity.size(), 0);
+    for (std::size_t f = 0; f < n; ++f)
+        for (int c : flow_channels[f]) used[static_cast<std::size_t>(c)] += rate[f];
+    for (std::size_t c = 0; c < channel_capacity.size(); ++c) {
+        if (used[c] <= channel_capacity[c]) continue;
+        const double scale = static_cast<double>(channel_capacity[c]) /
+                             static_cast<double>(used[c]);
+        for (std::size_t f = 0; f < n; ++f)
+            for (int ch : flow_channels[f])
+                if (static_cast<std::size_t>(ch) == c)
+                    rate[f] = static_cast<std::uint64_t>(
+                        static_cast<double>(rate[f]) * scale);
+    }
+
+    // ---- Stage 2: progressive filling of the residual capacity.
+    std::fill(used.begin(), used.end(), 0);
+    for (std::size_t f = 0; f < n; ++f)
+        for (int c : flow_channels[f]) used[static_cast<std::size_t>(c)] += rate[f];
+
+    std::vector<bool> active(n);
+    for (std::size_t f = 0; f < n; ++f)
+        active[f] = rate[f] < limit[f] && !flow_channels[f].empty();
+
+    constexpr std::uint64_t kEps = 1;  // 1 bps resolution
+    for (int round = 0; round < 4 * static_cast<int>(n) + 8; ++round) {
+        // Count active flows per channel.
+        std::vector<int> active_count(channel_capacity.size(), 0);
+        bool any = false;
+        for (std::size_t f = 0; f < n; ++f) {
+            if (!active[f]) continue;
+            any = true;
+            for (int c : flow_channels[f])
+                ++active_count[static_cast<std::size_t>(c)];
+        }
+        if (!any) break;
+
+        // Uniform increment every active flow can take.
+        std::uint64_t delta = ~std::uint64_t{0};
+        for (std::size_t c = 0; c < channel_capacity.size(); ++c) {
+            if (active_count[c] == 0) continue;
+            const std::uint64_t headroom =
+                channel_capacity[c] > used[c] ? channel_capacity[c] - used[c]
+                                              : 0;
+            delta = std::min(delta,
+                             headroom / static_cast<std::uint64_t>(
+                                            active_count[c]));
+        }
+        for (std::size_t f = 0; f < n; ++f)
+            if (active[f]) delta = std::min(delta, limit[f] - rate[f]);
+
+        if (delta > kEps) {
+            for (std::size_t f = 0; f < n; ++f) {
+                if (!active[f]) continue;
+                rate[f] += delta;
+                for (int c : flow_channels[f])
+                    used[static_cast<std::size_t>(c)] += delta;
+            }
+        }
+
+        // Freeze flows at their limit or crossing a saturated channel.
+        for (std::size_t f = 0; f < n; ++f) {
+            if (!active[f]) continue;
+            if (rate[f] + kEps >= limit[f]) {
+                active[f] = false;
+                continue;
+            }
+            for (int c : flow_channels[f]) {
+                const auto cc = static_cast<std::size_t>(c);
+                const std::uint64_t headroom =
+                    channel_capacity[cc] > used[cc]
+                        ? channel_capacity[cc] - used[cc]
+                        : 0;
+                if (headroom <= kEps * static_cast<std::uint64_t>(
+                                           std::max(active_count[cc], 1))) {
+                    active[f] = false;
+                    break;
+                }
+            }
+        }
+    }
+    return rate;
+}
+
+Simulator::Simulator(const topo::Topology& topo) : topo_(topo) {
+    channel_capacity_.resize(static_cast<std::size_t>(topo.link_count()) * 2);
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+        channel_capacity_[static_cast<std::size_t>(2 * l)] =
+            topo.link(l).capacity.bps();
+        channel_capacity_[static_cast<std::size_t>(2 * l + 1)] =
+            topo.link(l).capacity.bps();
+    }
+}
+
+FlowId Simulator::add_flow(Flow_spec spec) {
+    Flow flow;
+    if (spec.route.empty()) {
+        // BFS shortest path over the undirected topology.
+        std::vector<topo::NodeId> parent(
+            static_cast<std::size_t>(topo_.node_count()), topo::kNoNode);
+        std::deque<topo::NodeId> queue{spec.src};
+        parent[static_cast<std::size_t>(spec.src)] = spec.src;
+        while (!queue.empty()) {
+            const topo::NodeId v = queue.front();
+            queue.pop_front();
+            if (v == spec.dst) break;
+            for (const auto& adj : topo_.neighbors(v)) {
+                // Hosts do not forward transit traffic.
+                if (adj.node != spec.dst &&
+                    topo_.node(adj.node).kind == topo::Node_kind::host)
+                    continue;
+                if (parent[static_cast<std::size_t>(adj.node)] ==
+                    topo::kNoNode) {
+                    parent[static_cast<std::size_t>(adj.node)] = v;
+                    queue.push_back(adj.node);
+                }
+            }
+        }
+        if (parent[static_cast<std::size_t>(spec.dst)] == topo::kNoNode)
+            throw Topology_error("no route between flow endpoints");
+        for (topo::NodeId v = spec.dst; v != spec.src;
+             v = parent[static_cast<std::size_t>(v)])
+            spec.route.push_back(v);
+        spec.route.push_back(spec.src);
+        std::reverse(spec.route.begin(), spec.route.end());
+    }
+    // Resolve the route into directed channel slots.
+    for (std::size_t i = 0; i + 1 < spec.route.size(); ++i) {
+        const topo::NodeId a = spec.route[i];
+        const topo::NodeId b = spec.route[i + 1];
+        const auto link = topo_.link_between(a, b);
+        if (!link) throw Topology_error("flow route uses a missing link");
+        const bool forward = topo_.link(*link).a == a;
+        flow.channels.push_back(2 * *link + (forward ? 0 : 1));
+    }
+    flow.spec = std::move(spec);
+    flows_.push_back(std::move(flow));
+    dirty_ = true;
+    return static_cast<FlowId>(flows_.size()) - 1;
+}
+
+void Simulator::remove_flow(FlowId id) {
+    flows_[static_cast<std::size_t>(id)].alive = false;
+    dirty_ = true;
+}
+
+void Simulator::set_demand(FlowId id, Bandwidth demand) {
+    auto& f = flows_[static_cast<std::size_t>(id)];
+    if (f.spec.demand != demand) {
+        f.spec.demand = demand;
+        dirty_ = true;
+    }
+}
+
+void Simulator::allocate() {
+    std::vector<std::vector<int>> channels;
+    std::vector<std::uint64_t> guarantee;
+    std::vector<std::uint64_t> limit;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        const Flow& f = flows_[i];
+        if (!f.alive) continue;
+        channels.push_back(f.channels);
+        guarantee.push_back(f.spec.guarantee.bps());
+        std::uint64_t lim = f.spec.demand.bps();
+        if (f.spec.cap) lim = std::min(lim, f.spec.cap->bps());
+        limit.push_back(lim);
+        index.push_back(i);
+    }
+    const auto rates =
+        progressive_fill(channels, guarantee, limit, channel_capacity_);
+    for (std::size_t k = 0; k < index.size(); ++k)
+        flows_[index[k]].rate = Bandwidth(rates[k]);
+    dirty_ = false;
+}
+
+void Simulator::step(double dt_seconds) {
+    if (dirty_) allocate();
+    for (Flow& f : flows_) {
+        if (!f.alive) continue;
+        f.delivered_bytes +=
+            static_cast<double>(f.rate.bps()) / 8.0 * dt_seconds;
+    }
+    now_ += dt_seconds;
+}
+
+Bandwidth Simulator::rate(FlowId id) const {
+    return flows_[static_cast<std::size_t>(id)].rate;
+}
+
+double Simulator::delivered_bytes(FlowId id) const {
+    return flows_[static_cast<std::size_t>(id)].delivered_bytes;
+}
+
+const std::vector<topo::NodeId>& Simulator::route(FlowId id) const {
+    return flows_[static_cast<std::size_t>(id)].spec.route;
+}
+
+}  // namespace merlin::netsim

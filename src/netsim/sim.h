@@ -1,0 +1,93 @@
+// A flow-level network simulator.
+//
+// The paper's application experiments (Section 6.2: Hadoop sort under
+// interference, Ring Paxos replication) ran on a hardware testbed enforcing
+// Merlin's generated queue/tc configurations. This simulator substitutes for
+// that testbed: flows traverse routes over the topology's links (full-duplex
+// — capacity is per direction), and each step assigns every flow a rate by
+// progressive filling:
+//
+//   1. every flow first receives its guaranteed rate (bounded by demand),
+//   2. remaining capacity is shared max-min fairly,
+//   3. caps and demands bound each flow individually.
+//
+// Guarantees therefore hold under congestion while spare capacity remains
+// work-conserving — exactly the behaviour Merlin's switch queues and tc
+// classes provide ("this guarantee does not come at the expense of
+// utilization", Section 6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/units.h"
+
+namespace merlin::netsim {
+
+// Demand value for greedy (TCP-like) flows that take whatever they can get.
+inline constexpr Bandwidth kUnlimited =
+    Bandwidth(std::uint64_t{1} << 62);
+
+struct Flow_spec {
+    std::string name;
+    topo::NodeId src = topo::kNoNode;
+    topo::NodeId dst = topo::kNoNode;
+    // Node route from src to dst; empty = shortest path (BFS).
+    std::vector<topo::NodeId> route;
+    Bandwidth demand = kUnlimited;
+    Bandwidth guarantee;                 // min rate under congestion
+    std::optional<Bandwidth> cap;        // max rate
+};
+
+using FlowId = int;
+
+class Simulator {
+public:
+    explicit Simulator(const topo::Topology& topo);
+
+    // Adds a flow; throws Topology_error when no route exists.
+    FlowId add_flow(Flow_spec spec);
+    void remove_flow(FlowId id);
+    void set_demand(FlowId id, Bandwidth demand);
+
+    // Recomputes allocations and advances time by dt seconds.
+    void step(double dt_seconds);
+
+    [[nodiscard]] Bandwidth rate(FlowId id) const;
+    [[nodiscard]] double delivered_bytes(FlowId id) const;
+    [[nodiscard]] double now() const { return now_; }
+    [[nodiscard]] const std::vector<topo::NodeId>& route(FlowId id) const;
+
+private:
+    struct Flow {
+        Flow_spec spec;
+        std::vector<int> channels;  // directed link slots the route crosses
+        Bandwidth rate;
+        double delivered_bytes = 0;
+        bool alive = true;
+    };
+
+    void allocate();
+
+    const topo::Topology& topo_;
+    std::vector<Flow> flows_;
+    // Directed capacity per link: channel 2*link (a->b) and 2*link+1 (b->a).
+    std::vector<std::uint64_t> channel_capacity_;
+    double now_ = 0;
+    bool dirty_ = true;  // flow set/demands changed since last allocate()
+};
+
+// The allocation core, exposed for direct testing: given per-flow channel
+// sets, guarantees/caps/demands (bps), and channel capacities (bps), returns
+// max-min rates with guarantees honoured first. If guarantees oversubscribe
+// a channel they are scaled down proportionally on it.
+[[nodiscard]] std::vector<std::uint64_t> progressive_fill(
+    const std::vector<std::vector<int>>& flow_channels,
+    const std::vector<std::uint64_t>& guarantee,
+    const std::vector<std::uint64_t>& limit,  // min(demand, cap) per flow
+    const std::vector<std::uint64_t>& channel_capacity);
+
+}  // namespace merlin::netsim

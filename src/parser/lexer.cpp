@@ -1,0 +1,199 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace merlin::parser {
+
+const char* to_string(Token_kind kind) {
+    switch (kind) {
+        case Token_kind::identifier: return "identifier";
+        case Token_kind::number: return "number";
+        case Token_kind::string: return "string";
+        case Token_kind::lbracket: return "'['";
+        case Token_kind::rbracket: return "']'";
+        case Token_kind::lparen: return "'('";
+        case Token_kind::rparen: return "')'";
+        case Token_kind::lbrace: return "'{'";
+        case Token_kind::rbrace: return "'}'";
+        case Token_kind::comma: return "','";
+        case Token_kind::semicolon: return "';'";
+        case Token_kind::colon: return "':'";
+        case Token_kind::assign: return "':='";
+        case Token_kind::arrow: return "'->'";
+        case Token_kind::eq: return "'='";
+        case Token_kind::neq: return "'!='";
+        case Token_kind::bang: return "'!'";
+        case Token_kind::star: return "'*'";
+        case Token_kind::dot: return "'.'";
+        case Token_kind::pipe: return "'|'";
+        case Token_kind::plus: return "'+'";
+        case Token_kind::eof: return "end of input";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+void Lexer::fill(std::size_t count) {
+    while (buffer_.size() < count) buffer_.push_back(lex());
+}
+
+const Token& Lexer::peek() {
+    fill(1);
+    return buffer_[0];
+}
+
+const Token& Lexer::peek2() {
+    fill(2);
+    return buffer_[1];
+}
+
+Token Lexer::next() {
+    fill(1);
+    Token out = buffer_.front();
+    buffer_.pop_front();
+    return out;
+}
+
+void Lexer::skip_trivia() {
+    while (pos_ < source_.size()) {
+        const char c = source_[pos_];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+            ++pos_;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++column_;
+            ++pos_;
+        } else if (c == '#') {
+            while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+        } else {
+            break;
+        }
+    }
+}
+
+Token Lexer::lex() {
+    skip_trivia();
+
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    t.offset = pos_;
+    if (pos_ >= source_.size()) {
+        t.kind = Token_kind::eof;
+        return t;
+    }
+
+    const char c = source_[pos_];
+    auto take = [&](Token_kind kind, int len) {
+        t.kind = kind;
+        t.text = std::string(source_.substr(pos_, static_cast<std::size_t>(len)));
+        pos_ += static_cast<std::size_t>(len);
+        column_ += len;
+        return t;
+    };
+
+    switch (c) {
+        case '[': return take(Token_kind::lbracket, 1);
+        case ']': return take(Token_kind::rbracket, 1);
+        case '(': return take(Token_kind::lparen, 1);
+        case ')': return take(Token_kind::rparen, 1);
+        case '{': return take(Token_kind::lbrace, 1);
+        case '}': return take(Token_kind::rbrace, 1);
+        case ',': return take(Token_kind::comma, 1);
+        case ';': return take(Token_kind::semicolon, 1);
+        case '*': return take(Token_kind::star, 1);
+        case '.': return take(Token_kind::dot, 1);
+        case '|': return take(Token_kind::pipe, 1);
+        case '+': return take(Token_kind::plus, 1);
+        case '=': return take(Token_kind::eq, 1);
+        case ':':
+            return at(pos_ + 1) == '=' ? take(Token_kind::assign, 2)
+                                       : take(Token_kind::colon, 1);
+        case '!':
+            return at(pos_ + 1) == '=' ? take(Token_kind::neq, 2)
+                                       : take(Token_kind::bang, 1);
+        case '-':
+            if (at(pos_ + 1) == '>') return take(Token_kind::arrow, 2);
+            throw Parse_error("unexpected '-'", line_, column_);
+        case '"': {
+            std::size_t end = pos_ + 1;
+            while (end < source_.size() && source_[end] != '"' &&
+                   source_[end] != '\n')
+                ++end;
+            if (end >= source_.size() || source_[end] != '"')
+                throw Parse_error("unterminated string literal", line_,
+                                  column_);
+            t.kind = Token_kind::string;
+            t.text = std::string(source_.substr(pos_ + 1, end - pos_ - 1));
+            column_ += static_cast<int>(end + 1 - pos_);
+            pos_ = end + 1;
+            return t;
+        }
+        default: break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t end = pos_;
+        while (end < source_.size() &&
+               std::isdigit(static_cast<unsigned char>(source_[end])))
+            ++end;
+        t.kind = Token_kind::number;
+        t.text = std::string(source_.substr(pos_, end - pos_));
+        column_ += static_cast<int>(end - pos_);
+        pos_ = end;
+        return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t end = pos_;
+        while (end < source_.size() &&
+               (std::isalnum(static_cast<unsigned char>(source_[end])) ||
+                source_[end] == '_'))
+            ++end;
+        t.kind = Token_kind::identifier;
+        t.text = std::string(source_.substr(pos_, end - pos_));
+        column_ += static_cast<int>(end - pos_);
+        pos_ = end;
+        return t;
+    }
+
+    throw Parse_error(std::string("unexpected character '") + c + "'", line_,
+                      column_);
+}
+
+Token Lexer::next_value() {
+    // Rewind to the beginning of the current token and re-lex raw. Any
+    // buffered lookahead is discarded (it was lexed with normal rules).
+    fill(1);
+    const Token& head = buffer_.front();
+    if (head.kind == Token_kind::eof)
+        throw Parse_error("expected a value, found end of input", head.line,
+                          head.column);
+    pos_ = head.offset;
+    line_ = head.line;
+    column_ = head.column;
+    buffer_.clear();
+
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    t.offset = pos_;
+    std::size_t end = pos_;
+    auto is_value_char = [](char ch) {
+        return std::isalnum(static_cast<unsigned char>(ch)) || ch == ':' ||
+               ch == '.' || ch == '/' || ch == '_';
+    };
+    while (end < source_.size() && is_value_char(source_[end])) ++end;
+    if (end == pos_) throw Parse_error("expected a value", line_, column_);
+    t.kind = Token_kind::identifier;
+    t.text = std::string(source_.substr(pos_, end - pos_));
+    column_ += static_cast<int>(end - pos_);
+    pos_ = end;
+    return t;
+}
+
+}  // namespace merlin::parser

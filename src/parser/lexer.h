@@ -1,0 +1,89 @@
+// Lexer for the Merlin policy language.
+//
+// Most tokens are conventional. Two token classes cannot be lexed context-
+// free because their characters collide with punctuation: field values
+// (MACs contain ':', IPv4s contain '.') and rates ("50MB/s" contains '/').
+// The parser therefore switches the lexer into a raw "value" mode exactly
+// where the grammar expects a value or rate (`next_value()`), following the
+// usual hand-written-lexer idiom for such grammars.
+//
+// Two tokens of lookahead are provided: statements are newline-insensitive,
+// so the path parser needs `peek2()` to tell a path symbol from the id of the
+// following statement (`... -> .* y : ...`).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace merlin::parser {
+
+enum class Token_kind : std::uint8_t {
+    identifier,  // also keywords; parser checks the text
+    number,
+    string,    // "..." payload literal
+    lbracket,  // [
+    rbracket,  // ]
+    lparen,    // (
+    rparen,    // )
+    lbrace,    // {
+    rbrace,    // }
+    comma,
+    semicolon,
+    colon,     // :
+    assign,    // :=
+    arrow,     // ->
+    eq,        // =
+    neq,       // !=
+    bang,      // !
+    star,      // *
+    dot,       // .
+    pipe,      // |
+    plus,      // +
+    eof,
+};
+
+[[nodiscard]] const char* to_string(Token_kind kind);
+
+struct Token {
+    Token_kind kind = Token_kind::eof;
+    std::string text;
+    int line = 1;
+    int column = 1;
+    // Offset of the first character in the source; used by value-mode rewind.
+    std::size_t offset = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view source);
+
+    // Current / following token (EOF repeats forever).
+    [[nodiscard]] const Token& peek();
+    [[nodiscard]] const Token& peek2();
+    // Consumes and returns the current token.
+    Token next();
+
+    // Re-lexes from the *start* of the current token in raw value mode:
+    // consumes a maximal run of [A-Za-z0-9:./_] and returns it as one token.
+    // Used for field values (00:00:00:00:00:01, 192.168.1.1, 0x50, tcp)
+    // and rates (50MB/s).
+    Token next_value();
+
+private:
+    void skip_trivia();
+    Token lex();
+    void fill(std::size_t count);
+    [[nodiscard]] char at(std::size_t i) const {
+        return i < source_.size() ? source_[i] : '\0';
+    }
+
+    std::string_view source_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    std::deque<Token> buffer_;
+};
+
+}  // namespace merlin::parser

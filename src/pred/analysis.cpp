@@ -1,0 +1,109 @@
+#include "pred/analysis.h"
+
+#include "ir/fields.h"
+#include "util/error.h"
+
+namespace merlin::pred {
+
+Analyzer::Analyzer() : manager_(ir::total_header_bits()) {}
+
+bdd::Node Analyzer::field_equals(const std::string& field,
+                                 std::uint64_t value) {
+    const auto f = ir::find_field(field);
+    if (!f) throw Policy_error("unknown field in predicate: " + field);
+    // Conjunction of bit literals, built from the last variable upward so the
+    // intermediate BDDs stay linear.
+    bdd::Node acc = bdd::kTrue;
+    for (int bit = 0; bit < f->width; ++bit) {
+        // Variable order: most significant bit first within the field.
+        const int var = f->bit_offset + bit;
+        const int shift = f->width - 1 - bit;
+        const bool set = ((value >> shift) & 1) != 0;
+        const bdd::Node lit = set ? manager_.var(var) : manager_.nvar(var);
+        acc = manager_.apply_and(acc, lit);
+    }
+    return acc;
+}
+
+int Analyzer::payload_variable(const std::string& needle) {
+    const auto it = payload_vars_.find(needle);
+    if (it != payload_vars_.end()) return it->second;
+    const int var = manager_.add_variable();
+    payload_vars_.emplace(needle, var);
+    payload_needles_.push_back(needle);
+    return var;
+}
+
+bdd::Node Analyzer::compile(const ir::PredPtr& p) {
+    using ir::Pred_kind;
+    switch (p->kind) {
+        case Pred_kind::true_: return bdd::kTrue;
+        case Pred_kind::false_: return bdd::kFalse;
+        case Pred_kind::test: return field_equals(p->field, p->value);
+        case Pred_kind::payload:
+            return manager_.var(payload_variable(p->needle));
+        case Pred_kind::and_:
+            return manager_.apply_and(compile(p->lhs), compile(p->rhs));
+        case Pred_kind::or_:
+            return manager_.apply_or(compile(p->lhs), compile(p->rhs));
+        case Pred_kind::not_: return manager_.negate(compile(p->lhs));
+    }
+    throw Error("unreachable predicate kind");
+}
+
+bool Analyzer::disjoint(const ir::PredPtr& a, const ir::PredPtr& b) {
+    return manager_.disjoint(compile(a), compile(b));
+}
+
+bool Analyzer::implies(const ir::PredPtr& a, const ir::PredPtr& b) {
+    return manager_.implies(compile(a), compile(b));
+}
+
+bool Analyzer::equivalent(const ir::PredPtr& a, const ir::PredPtr& b) {
+    return compile(a) == compile(b);
+}
+
+bool Analyzer::satisfiable(const ir::PredPtr& a) {
+    return compile(a) != bdd::kFalse;
+}
+
+bool Analyzer::total(const std::vector<ir::PredPtr>& preds) {
+    bdd::Node acc = bdd::kFalse;
+    for (const ir::PredPtr& p : preds) acc = manager_.apply_or(acc, compile(p));
+    return acc == bdd::kTrue;
+}
+
+bool Analyzer::pairwise_disjoint(const std::vector<ir::PredPtr>& preds) {
+    std::vector<bdd::Node> nodes;
+    nodes.reserve(preds.size());
+    for (const ir::PredPtr& p : preds) nodes.push_back(compile(p));
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        for (std::size_t j = i + 1; j < nodes.size(); ++j)
+            if (!manager_.disjoint(nodes[i], nodes[j])) return false;
+    return true;
+}
+
+Packet Analyzer::witness(const ir::PredPtr& p) {
+    const bdd::Node node = compile(p);
+    if (node == bdd::kFalse)
+        throw Policy_error("witness() on unsatisfiable predicate");
+    const std::vector<bool> bits = manager_.pick_assignment(node);
+    Packet out;
+    const int header_bits = ir::total_header_bits();
+    for (const ir::Field& f : ir::fields()) {
+        std::uint64_t value = 0;
+        for (int bit = 0; bit < f.width; ++bit) {
+            value <<= 1;
+            const auto idx = static_cast<std::size_t>(f.bit_offset + bit);
+            if (idx < bits.size() && bits[idx]) value |= 1;
+        }
+        if (value != 0) out.fields[f.name] = value;
+    }
+    for (std::size_t i = 0; i < payload_needles_.size(); ++i) {
+        const auto var = static_cast<std::size_t>(header_bits) + i;
+        if (var < bits.size() && bits[var]) out.payload += payload_needles_[i];
+    }
+    return out;
+}
+
+}  // namespace merlin::pred

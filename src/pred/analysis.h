@@ -1,0 +1,59 @@
+// Predicate analyses: compilation to BDDs and the decision procedures Merlin
+// needs (Sections 2.1 and 4.2).
+//
+//  * Section 2.1's pre-processor requires statements to "have disjoint
+//    predicates and together match all packets".
+//  * Section 4.2's negotiator verification checks predicate overlap,
+//    partition totality, and per-statement implication.
+//
+// The paper used Z3; this module decides the same fragment with BDDs.
+// Header fields map to bit variables (ir::fields() layout); each distinct
+// payload pattern becomes one uninterpreted boolean variable, which is sound
+// for the equalities/negations the language can express.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "ir/ast.h"
+#include "pred/packet.h"
+
+namespace merlin::pred {
+
+class Analyzer {
+public:
+    Analyzer();
+
+    // Compiles a predicate; results are hash-consed, so repeated calls with
+    // equivalent predicates return identical nodes.
+    [[nodiscard]] bdd::Node compile(const ir::PredPtr& p);
+
+    [[nodiscard]] bool disjoint(const ir::PredPtr& a, const ir::PredPtr& b);
+    [[nodiscard]] bool implies(const ir::PredPtr& a, const ir::PredPtr& b);
+    [[nodiscard]] bool equivalent(const ir::PredPtr& a, const ir::PredPtr& b);
+    [[nodiscard]] bool satisfiable(const ir::PredPtr& a);
+    // True when the disjunction of `preds` matches every packet.
+    [[nodiscard]] bool total(const std::vector<ir::PredPtr>& preds);
+    // True when preds are pairwise disjoint.
+    [[nodiscard]] bool pairwise_disjoint(const std::vector<ir::PredPtr>& preds);
+
+    // A concrete packet matching `p` (payload patterns are reflected by
+    // concatenating the needles the assignment sets). Only valid when
+    // satisfiable(p).
+    [[nodiscard]] Packet witness(const ir::PredPtr& p);
+
+    [[nodiscard]] bdd::Manager& manager() { return manager_; }
+
+private:
+    [[nodiscard]] bdd::Node field_equals(const std::string& field,
+                                         std::uint64_t value);
+    [[nodiscard]] int payload_variable(const std::string& needle);
+
+    bdd::Manager manager_;
+    std::map<std::string, int> payload_vars_;
+    std::vector<std::string> payload_needles_;  // by variable order
+};
+
+}  // namespace merlin::pred

@@ -1,0 +1,22 @@
+#include "pred/packet.h"
+
+#include "util/error.h"
+
+namespace merlin::pred {
+
+bool matches(const ir::PredPtr& p, const Packet& k) {
+    using ir::Pred_kind;
+    switch (p->kind) {
+        case Pred_kind::true_: return true;
+        case Pred_kind::false_: return false;
+        case Pred_kind::test: return k.get(p->field) == p->value;
+        case Pred_kind::payload:
+            return k.payload.find(p->needle) != std::string::npos;
+        case Pred_kind::and_: return matches(p->lhs, k) && matches(p->rhs, k);
+        case Pred_kind::or_: return matches(p->lhs, k) || matches(p->rhs, k);
+        case Pred_kind::not_: return !matches(p->lhs, k);
+    }
+    throw Error("unreachable predicate kind");
+}
+
+}  // namespace merlin::pred

@@ -1,0 +1,31 @@
+// Concrete packets and direct predicate evaluation.
+//
+// Used by the network simulator to classify traffic and by the test suite as
+// a ground-truth oracle for the BDD-based analyses: for every predicate p and
+// packet k, `matches(p, k)` must agree with evaluating p's BDD on k's bits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/ast.h"
+
+namespace merlin::pred {
+
+// A packet is a partial map from field names to values plus a payload.
+// Unset fields read as zero, mirroring how a parsed header behaves.
+struct Packet {
+    std::map<std::string, std::uint64_t> fields;
+    std::string payload;
+
+    [[nodiscard]] std::uint64_t get(const std::string& field) const {
+        const auto it = fields.find(field);
+        return it == fields.end() ? 0 : it->second;
+    }
+};
+
+// Direct structural evaluation of a predicate against a packet.
+[[nodiscard]] bool matches(const ir::PredPtr& p, const Packet& k);
+
+}  // namespace merlin::pred

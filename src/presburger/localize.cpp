@@ -1,0 +1,162 @@
+#include "presburger/localize.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace merlin::presburger {
+
+std::vector<Bandwidth> equal_split(const std::vector<std::string>& ids,
+                                   Bandwidth total) {
+    const auto n = static_cast<std::uint64_t>(ids.size());
+    std::vector<Bandwidth> out;
+    out.reserve(ids.size());
+    const std::uint64_t share = total.bps() / n;
+    std::uint64_t remainder = total.bps() % n;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        out.emplace_back(share + (remainder > 0 ? 1 : 0));
+        if (remainder > 0) --remainder;
+    }
+    return out;
+}
+
+namespace {
+
+ir::FormulaPtr localize_leaf(const ir::Formula& f, const Split_fn& split) {
+    const bool is_max = f.kind == ir::Formula_kind::max;
+    if (f.term.ids.empty())
+        throw Policy_error("bandwidth term has no identifiers: " +
+                           ir::to_string(f.term));
+    // Fold the constant contribution into the rate.
+    Bandwidth rate = f.rate;
+    if (f.term.constant != 0) {
+        if (Bandwidth(f.term.constant) > rate && is_max)
+            throw Policy_error(
+                "constant term already exceeds the cap in max(" +
+                ir::to_string(f.term) + ", " + to_string(f.rate) + ")");
+        rate = is_max ? rate - Bandwidth(f.term.constant)
+                      : rate - std::min(Bandwidth(f.term.constant), rate);
+    }
+    if (f.term.ids.size() == 1) {
+        ir::Term t;
+        t.ids = f.term.ids;
+        return is_max ? ir::formula_max(std::move(t), rate)
+                      : ir::formula_min(std::move(t), rate);
+    }
+    const std::vector<Bandwidth> shares = split(f.term.ids, rate);
+    expects(shares.size() == f.term.ids.size(),
+            "split function returned wrong arity");
+    ir::FormulaPtr acc;
+    for (std::size_t i = 0; i < f.term.ids.size(); ++i) {
+        ir::Term t;
+        t.ids.push_back(f.term.ids[i]);
+        ir::FormulaPtr leaf = is_max ? ir::formula_max(std::move(t), shares[i])
+                                     : ir::formula_min(std::move(t), shares[i]);
+        acc = acc ? ir::formula_and(acc, leaf) : leaf;
+    }
+    return acc;
+}
+
+}  // namespace
+
+ir::FormulaPtr localize(const ir::FormulaPtr& formula, const Split_fn& split) {
+    if (!formula) return nullptr;
+    switch (formula->kind) {
+        case ir::Formula_kind::max:
+        case ir::Formula_kind::min: return localize_leaf(*formula, split);
+        case ir::Formula_kind::and_:
+            return ir::formula_and(localize(formula->lhs, split),
+                                   localize(formula->rhs, split));
+        case ir::Formula_kind::or_:
+            return ir::formula_or(localize(formula->lhs, split),
+                                  localize(formula->rhs, split));
+        case ir::Formula_kind::not_:
+            return ir::formula_not(localize(formula->lhs, split));
+    }
+    throw Error("unreachable formula kind");
+}
+
+namespace {
+
+void collect(const ir::FormulaPtr& f, Rate_table& out) {
+    if (!f) return;
+    switch (f->kind) {
+        case ir::Formula_kind::and_:
+            collect(f->lhs, out);
+            collect(f->rhs, out);
+            return;
+        case ir::Formula_kind::or_:
+            throw Policy_error(
+                "cannot enforce a disjunctive bandwidth constraint "
+                "statically: " +
+                ir::to_string(f));
+        case ir::Formula_kind::not_:
+            throw Policy_error("cannot enforce a negated bandwidth constraint "
+                               "statically: " +
+                               ir::to_string(f));
+        case ir::Formula_kind::max:
+        case ir::Formula_kind::min: break;
+    }
+    if (f->term.ids.size() != 1 || f->term.constant != 0)
+        throw Policy_error(
+            "formula is not localized (multi-identifier term): " +
+            ir::to_string(f));
+    const std::string& id = f->term.ids.front();
+    if (f->kind == ir::Formula_kind::max) {
+        const auto it = out.caps.find(id);
+        if (it == out.caps.end() || f->rate < it->second)
+            out.caps[id] = f->rate;
+    } else {
+        const auto it = out.guarantees.find(id);
+        if (it == out.guarantees.end() || f->rate > it->second)
+            out.guarantees[id] = f->rate;
+    }
+}
+
+}  // namespace
+
+std::vector<Aggregate> terms(const ir::FormulaPtr& formula) {
+    std::vector<Aggregate> out;
+    const auto walk = [&](auto&& self, const ir::FormulaPtr& f) -> void {
+        if (!f) return;
+        switch (f->kind) {
+            case ir::Formula_kind::and_:
+                self(self, f->lhs);
+                self(self, f->rhs);
+                return;
+            case ir::Formula_kind::or_:
+            case ir::Formula_kind::not_:
+                throw Policy_error(
+                    "bandwidth verification requires a positive conjunctive "
+                    "formula: " +
+                    ir::to_string(f));
+            case ir::Formula_kind::max:
+            case ir::Formula_kind::min: {
+                Aggregate term;
+                term.is_max = f->kind == ir::Formula_kind::max;
+                term.ids = f->term.ids;
+                term.rate = f->rate - Bandwidth(f->term.constant);
+                out.push_back(std::move(term));
+                return;
+            }
+        }
+        throw Error("unreachable formula kind");
+    };
+    walk(walk, formula);
+    return out;
+}
+
+Rate_table requirements(const ir::FormulaPtr& formula) {
+    Rate_table out;
+    collect(formula, out);
+    for (const auto& [id, guarantee] : out.guarantees) {
+        const auto cap = out.caps.find(id);
+        if (cap != out.caps.end() && guarantee > cap->second)
+            throw Policy_error("statement '" + id + "' has guarantee " +
+                               to_string(guarantee) + " above its cap " +
+                               to_string(cap->second));
+    }
+    return out;
+}
+
+}  // namespace merlin::presburger

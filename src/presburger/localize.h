@@ -1,0 +1,78 @@
+// Bandwidth-formula processing (Sections 2.1 and 3.1).
+//
+// Merlin formulas are Presburger-arithmetic constraints over statement
+// identifiers: max(e, n) caps, min(e, n) guarantees, combined with and/or/!.
+// Aggregate constraints mention several identifiers (max(x + y, 50MB/s));
+// enforcing them would require distributed state, so the compiler *localizes*
+// the formula first: a term over n identifiers becomes n single-identifier
+// terms that collectively imply the original. By default bandwidth is divided
+// equally; other divisions are pluggable ("although other schemes are
+// permissible"), and negotiators re-divide at run time (Section 4).
+//
+// The enforcement pipeline then consumes the localized formula as a table of
+// per-statement guarantees and caps. Only *positive conjunctions* can be
+// enforced by a static configuration; or/! are accepted by the language (and
+// used in negotiator reasoning) but rejected here with a diagnostic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+
+namespace merlin::presburger {
+
+// Splits `total` across `ids`; must return one rate per id summing to at
+// most `total` (for max) / at least `total` (for min). The default divides
+// equally, giving the remainder to the first identifiers.
+using Split_fn = std::function<std::vector<Bandwidth>(
+    const std::vector<std::string>& ids, Bandwidth total)>;
+
+[[nodiscard]] std::vector<Bandwidth> equal_split(
+    const std::vector<std::string>& ids, Bandwidth total);
+
+// Rewrites every multi-identifier max/min into a conjunction of local terms.
+// A constant contribution in a term (max(x + 10MB/s, 50MB/s)) is subtracted
+// from the rate before splitting. Single-id terms pass through unchanged.
+// Returns null for null input.
+[[nodiscard]] ir::FormulaPtr localize(const ir::FormulaPtr& formula,
+                                      const Split_fn& split = equal_split);
+
+// Per-statement rate table extracted from a localized formula.
+struct Rate_table {
+    std::map<std::string, Bandwidth> guarantees;  // from min()
+    std::map<std::string, Bandwidth> caps;        // from max()
+
+    [[nodiscard]] Bandwidth guarantee_of(const std::string& id) const {
+        const auto it = guarantees.find(id);
+        return it == guarantees.end() ? Bandwidth{} : it->second;
+    }
+    [[nodiscard]] bool has_cap(const std::string& id) const {
+        return caps.contains(id);
+    }
+};
+
+// Extracts guarantees/caps from a formula that must be a conjunction of
+// single-identifier max/min terms (i.e. already localized). Multiple terms
+// on one id keep the tightest bound. Throws Policy_error on or/!, on
+// multi-identifier terms, and on a min exceeding a max for the same id.
+[[nodiscard]] Rate_table requirements(const ir::FormulaPtr& formula);
+
+// A raw constraint term, before localization: kind, the identifiers the
+// term ranges over, and its rate (constants already folded into the rate).
+struct Aggregate {
+    bool is_max = false;  // false: min (guarantee)
+    std::vector<std::string> ids;
+    Bandwidth rate;
+};
+
+// Flattens a positive conjunction into its constraint terms without
+// splitting aggregates — the form the negotiator's bandwidth verification
+// needs ("the sum of the new allocations must not exceed the original
+// allocation" is a per-*term* condition, Section 4.1). Throws Policy_error
+// on or/!. Returns an empty list for a null formula.
+[[nodiscard]] std::vector<Aggregate> terms(const ir::FormulaPtr& formula);
+
+}  // namespace merlin::presburger

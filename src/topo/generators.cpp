@@ -1,0 +1,153 @@
+#include "topo/generators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.h"
+
+namespace merlin::topo {
+
+Topology fat_tree(int k, Bandwidth capacity) {
+    if (k < 2 || k % 2 != 0)
+        throw Topology_error("fat tree arity must be even and >= 2");
+    Topology t;
+    const int half = k / 2;
+
+    std::vector<NodeId> core;
+    core.reserve(static_cast<std::size_t>(half * half));
+    for (int i = 0; i < half * half; ++i)
+        core.push_back(t.add_switch("c" + std::to_string(i)));
+
+    int host_index = 0;
+    for (int pod = 0; pod < k; ++pod) {
+        std::vector<NodeId> agg;
+        std::vector<NodeId> edge;
+        for (int i = 0; i < half; ++i) {
+            agg.push_back(t.add_switch("a" + std::to_string(pod) + "_" +
+                                       std::to_string(i)));
+            edge.push_back(t.add_switch("e" + std::to_string(pod) + "_" +
+                                        std::to_string(i)));
+        }
+        // Aggregation <-> edge full bipartite within the pod.
+        for (int i = 0; i < half; ++i)
+            for (int j = 0; j < half; ++j)
+                t.add_link(agg[static_cast<std::size_t>(i)],
+                           edge[static_cast<std::size_t>(j)], capacity);
+        // Aggregation i uplinks to core switches [i*half, (i+1)*half).
+        for (int i = 0; i < half; ++i)
+            for (int j = 0; j < half; ++j)
+                t.add_link(agg[static_cast<std::size_t>(i)],
+                           core[static_cast<std::size_t>(i * half + j)],
+                           capacity);
+        // Hosts under each edge switch.
+        for (int i = 0; i < half; ++i)
+            for (int j = 0; j < half; ++j) {
+                const NodeId h = t.add_host("h" + std::to_string(host_index++));
+                t.add_link(edge[static_cast<std::size_t>(i)], h, capacity);
+            }
+    }
+    return t;
+}
+
+Topology balanced_tree(int depth, int fanout, int hosts_per_leaf,
+                       Bandwidth capacity) {
+    if (depth < 0 || fanout < 1 || hosts_per_leaf < 0)
+        throw Topology_error("invalid balanced tree parameters");
+    Topology t;
+    int switch_index = 0;
+    int host_index = 0;
+    std::vector<NodeId> level{t.add_switch("s" + std::to_string(switch_index++))};
+    for (int d = 0; d < depth; ++d) {
+        std::vector<NodeId> next;
+        for (NodeId parent : level) {
+            for (int i = 0; i < fanout; ++i) {
+                const NodeId s =
+                    t.add_switch("s" + std::to_string(switch_index++));
+                t.add_link(parent, s, capacity);
+                next.push_back(s);
+            }
+        }
+        level = std::move(next);
+    }
+    for (NodeId leaf : level) {
+        for (int i = 0; i < hosts_per_leaf; ++i) {
+            const NodeId h = t.add_host("h" + std::to_string(host_index++));
+            t.add_link(leaf, h, capacity);
+        }
+    }
+    return t;
+}
+
+Topology campus(int subnets, Bandwidth capacity) {
+    if (subnets < 1) throw Topology_error("campus needs at least one subnet");
+    Topology t;
+    const NodeId bb_a = t.add_switch("bbra");
+    const NodeId bb_b = t.add_switch("bbrb");
+    t.add_link(bb_a, bb_b, capacity);
+
+    constexpr int kZones = 14;  // 14 zones + 2 backbones = 16 switches.
+    std::vector<NodeId> zones;
+    zones.reserve(kZones);
+    for (int i = 0; i < kZones; ++i) {
+        const NodeId z = t.add_switch("z" + std::to_string(i));
+        // Dual-homed to the backbone, like the Stanford zone routers.
+        t.add_link(z, bb_a, capacity);
+        t.add_link(z, bb_b, capacity);
+        zones.push_back(z);
+    }
+    // Lateral links between neighbouring zones for path diversity.
+    for (int i = 0; i + 1 < kZones; i += 2)
+        t.add_link(zones[static_cast<std::size_t>(i)],
+                   zones[static_cast<std::size_t>(i + 1)], capacity);
+
+    for (int i = 0; i < subnets; ++i) {
+        const NodeId h = t.add_host("n" + std::to_string(i));
+        t.add_link(h, zones[static_cast<std::size_t>(i % kZones)], capacity);
+    }
+    return t;
+}
+
+Topology zoo_topology(int switches, Rng& rng, double extra_edge_fraction,
+                      Bandwidth capacity) {
+    if (switches < 1) throw Topology_error("zoo topology needs >= 1 switch");
+    Topology t;
+    std::vector<NodeId> sw;
+    sw.reserve(static_cast<std::size_t>(switches));
+    for (int i = 0; i < switches; ++i)
+        sw.push_back(t.add_switch("s" + std::to_string(i)));
+
+    // Random spanning tree: attach node i to a uniformly chosen predecessor.
+    for (int i = 1; i < switches; ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniform(0, i - 1));
+        t.add_link(sw[static_cast<std::size_t>(i)], sw[j], capacity);
+    }
+    // Shortcut links (ignoring occasional duplicates).
+    const int extras =
+        static_cast<int>(extra_edge_fraction * static_cast<double>(switches));
+    for (int n = 0; n < extras && switches > 2; ++n) {
+        const auto a = static_cast<std::size_t>(rng.uniform(0, switches - 1));
+        const auto b = static_cast<std::size_t>(rng.uniform(0, switches - 1));
+        if (a == b || t.link_between(sw[a], sw[b])) continue;
+        t.add_link(sw[a], sw[b], capacity);
+    }
+    // One host per switch, as the compiler's all-pairs benchmark expects.
+    for (int i = 0; i < switches; ++i) {
+        const NodeId h = t.add_host("h" + std::to_string(i));
+        t.add_link(h, sw[static_cast<std::size_t>(i)], capacity);
+    }
+    return t;
+}
+
+std::vector<int> zoo_size_distribution(int count, Rng& rng, double mean,
+                                       double sigma, int largest) {
+    std::vector<int> sizes;
+    sizes.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i + 1 < count; ++i) {
+        const double draw = rng.normal(mean, sigma);
+        sizes.push_back(std::clamp(static_cast<int>(draw), 4, 200));
+    }
+    if (count > 0) sizes.push_back(largest);
+    return sizes;
+}
+
+}  // namespace merlin::topo

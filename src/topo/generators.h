@@ -1,0 +1,54 @@
+// Topology generators used throughout the evaluation (Section 6).
+//
+//  * fat_tree(k)            — the k-ary fat tree of Al-Fares et al.; used by
+//                             Table 7 and Figure 8 (c)/(d).
+//  * balanced_tree(d, f)    — switch tree of depth d and fanout f with hosts
+//                             at the leaves; used by Figure 8 (a)/(b).
+//  * campus()               — a 16-switch core campus network with 24 subnets
+//                             standing in for the Stanford topology of
+//                             Figure 4.
+//  * zoo_like(...)          — synthetic stand-in for the Internet Topology
+//                             Zoo dataset of Figure 6 (262 topologies, mean
+//                             40 switches, sigma 30, largest 754).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace merlin::topo {
+
+// k-ary fat tree (k even, k >= 2): (k/2)^2 core switches, k pods of k/2
+// aggregation + k/2 edge switches, k/2 hosts per edge switch. All links share
+// `capacity`. Host names: "h0".., switches "c0..", "a<pod>_<i>", "e<pod>_<i>".
+[[nodiscard]] Topology fat_tree(int k, Bandwidth capacity = gbps(1));
+
+// Balanced tree of switches with `depth` levels below the root and `fanout`
+// children per switch; `hosts_per_leaf` hosts attached to each leaf switch.
+[[nodiscard]] Topology balanced_tree(int depth, int fanout, int hosts_per_leaf,
+                                     Bandwidth capacity = gbps(1));
+
+// A campus core: 2 backbone switches, 14 zone switches (each dual-homed to
+// the backbone and chained to one neighbouring zone), and `subnets` hosts
+// spread round-robin across the zone switches. Defaults reproduce the
+// 16-switch / 24-subnet configuration of Figure 4.
+[[nodiscard]] Topology campus(int subnets = 24, Bandwidth capacity = gbps(1));
+
+// One synthetic ISP-style topology: `switches` nodes connected by a random
+// spanning tree plus `extra_edge_fraction * switches` shortcut links, one
+// host per switch. Produces connected graphs for any switches >= 1.
+[[nodiscard]] Topology zoo_topology(int switches, Rng& rng,
+                                    double extra_edge_fraction = 0.3,
+                                    Bandwidth capacity = gbps(1));
+
+// Switch counts for a synthetic Topology Zoo: `count` values drawn from
+// N(mean, sigma) clipped to [4, 200], with the final entry replaced by
+// `largest` to mirror the dataset's one 754-switch outlier.
+[[nodiscard]] std::vector<int> zoo_size_distribution(int count, Rng& rng,
+                                                     double mean = 40,
+                                                     double sigma = 30,
+                                                     int largest = 754);
+
+}  // namespace merlin::topo

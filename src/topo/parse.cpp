@@ -1,0 +1,87 @@
+#include "topo/parse.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace merlin::topo {
+
+Topology parse_topology(const std::string& text) {
+    Topology topo;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line{trim(raw)};
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line = std::string(trim(line.substr(0, hash)));
+        if (line.empty()) continue;
+
+        std::istringstream fields(line);
+        std::string directive;
+        fields >> directive;
+        if (directive == "host" || directive == "switch" ||
+            directive == "middlebox") {
+            std::string name;
+            if (!(fields >> name))
+                throw Parse_error("expected node name", line_no, 0);
+            if (directive == "host")
+                topo.add_host(name);
+            else if (directive == "switch")
+                topo.add_switch(name);
+            else
+                topo.add_middlebox(name);
+        } else if (directive == "link") {
+            std::string a;
+            std::string b;
+            std::string rate;
+            if (!(fields >> a >> b >> rate))
+                throw Parse_error("expected 'link <a> <b> <rate>'", line_no, 0);
+            topo.add_link(a, b, parse_bandwidth(rate));
+        } else if (directive == "function") {
+            std::string fn;
+            if (!(fields >> fn))
+                throw Parse_error("expected function name", line_no, 0);
+            std::string at;
+            bool any = false;
+            while (fields >> at) {
+                topo.allow_function(fn, at);
+                any = true;
+            }
+            if (!any)
+                throw Parse_error("function needs at least one placement",
+                                  line_no, 0);
+        } else {
+            throw Parse_error("unknown directive '" + directive + "'", line_no,
+                              0);
+        }
+    }
+    return topo;
+}
+
+std::string to_text(const Topology& topo) {
+    std::ostringstream out;
+    for (NodeId id = 0; id < topo.node_count(); ++id) {
+        const Node& n = topo.node(id);
+        switch (n.kind) {
+            case Node_kind::host: out << "host " << n.name << '\n'; break;
+            case Node_kind::switch_: out << "switch " << n.name << '\n'; break;
+            case Node_kind::middlebox:
+                out << "middlebox " << n.name << '\n';
+                break;
+        }
+    }
+    for (const Link& l : topo.links())
+        out << "link " << topo.node(l.a).name << ' ' << topo.node(l.b).name
+            << ' ' << to_string(l.capacity) << '\n';
+    for (const std::string& fn : topo.function_names()) {
+        out << "function " << fn;
+        for (NodeId at : topo.placements(fn)) out << ' ' << topo.node(at).name;
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace merlin::topo

@@ -1,0 +1,26 @@
+// Plain-text topology format, used by examples and tests.
+//
+// One directive per line; '#' starts a comment.
+//
+//   host h1
+//   switch s1
+//   middlebox m1
+//   link h1 s1 1Gbps
+//   function dpi m1 h2      # dpi may be placed at m1 or h2
+#pragma once
+
+#include <string>
+
+#include "topo/topology.h"
+
+namespace merlin::topo {
+
+// Parses the textual format above. Throws Topology_error / Parse_error on
+// malformed input.
+[[nodiscard]] Topology parse_topology(const std::string& text);
+
+// Serializes a topology back into the textual format (round-trips with
+// parse_topology up to comment/ordering differences).
+[[nodiscard]] std::string to_text(const Topology& topo);
+
+}  // namespace merlin::topo

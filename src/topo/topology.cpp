@@ -1,0 +1,138 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace merlin::topo {
+
+NodeId Topology::add_node(const std::string& name, Node_kind kind) {
+    if (by_name_.contains(name))
+        throw Topology_error("duplicate node name: " + name);
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{name, kind});
+    adjacency_.emplace_back();
+    by_name_.emplace(name, id);
+    return id;
+}
+
+NodeId Topology::add_host(const std::string& name) {
+    return add_node(name, Node_kind::host);
+}
+NodeId Topology::add_switch(const std::string& name) {
+    return add_node(name, Node_kind::switch_);
+}
+NodeId Topology::add_middlebox(const std::string& name) {
+    return add_node(name, Node_kind::middlebox);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, Bandwidth capacity) {
+    if (a < 0 || b < 0 || a >= node_count() || b >= node_count())
+        throw Topology_error("link endpoint does not exist");
+    if (a == b) throw Topology_error("self-loop link on " + node(a).name);
+    if (link_between(a, b))
+        throw Topology_error("duplicate link " + node(a).name + " -- " +
+                             node(b).name);
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{a, b, capacity});
+    adjacency_[static_cast<std::size_t>(a)].push_back(Adjacent{b, id});
+    adjacency_[static_cast<std::size_t>(b)].push_back(Adjacent{a, id});
+    return id;
+}
+
+LinkId Topology::add_link(const std::string& a, const std::string& b,
+                          Bandwidth capacity) {
+    return add_link(require(a), require(b), capacity);
+}
+
+void Topology::allow_function(const std::string& fn, NodeId at) {
+    if (at < 0 || at >= node_count())
+        throw Topology_error("function placement on unknown node");
+    auto& list = functions_[fn];
+    if (std::find(list.begin(), list.end(), at) == list.end())
+        list.push_back(at);
+}
+
+void Topology::allow_function(const std::string& fn, const std::string& at) {
+    allow_function(fn, require(at));
+}
+
+std::optional<NodeId> Topology::find(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+}
+
+NodeId Topology::require(const std::string& name) const {
+    const auto id = find(name);
+    if (!id) throw Topology_error("unknown node: " + name);
+    return *id;
+}
+
+std::vector<NodeId> Topology::hosts() const {
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < node_count(); ++id)
+        if (node(id).kind == Node_kind::host) out.push_back(id);
+    return out;
+}
+
+std::vector<NodeId> Topology::switches() const {
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < node_count(); ++id)
+        if (node(id).kind == Node_kind::switch_) out.push_back(id);
+    return out;
+}
+
+std::vector<NodeId> Topology::middleboxes() const {
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < node_count(); ++id)
+        if (node(id).kind == Node_kind::middlebox) out.push_back(id);
+    return out;
+}
+
+std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
+    for (const Adjacent& adj : adjacency_[static_cast<std::size_t>(a)])
+        if (adj.node == b) return adj.link;
+    return std::nullopt;
+}
+
+std::vector<NodeId> Topology::placements(const std::string& fn) const {
+    const auto it = functions_.find(fn);
+    if (it == functions_.end()) return {};
+    return it->second;
+}
+
+bool Topology::has_function(const std::string& fn) const {
+    return functions_.contains(fn);
+}
+
+std::vector<std::string> Topology::function_names() const {
+    std::vector<std::string> out;
+    out.reserve(functions_.size());
+    for (const auto& [name, _] : functions_) out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool Topology::connected() const {
+    if (nodes_.empty()) return true;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::deque<NodeId> queue{0};
+    seen[0] = true;
+    int count = 1;
+    while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop_front();
+        for (const Adjacent& adj : neighbors(v)) {
+            if (!seen[static_cast<std::size_t>(adj.node)]) {
+                seen[static_cast<std::size_t>(adj.node)] = true;
+                ++count;
+                queue.push_back(adj.node);
+            }
+        }
+    }
+    return count == node_count();
+}
+
+}  // namespace merlin::topo

@@ -1,0 +1,108 @@
+// Physical network model: hosts, switches, middleboxes and capacitated links.
+//
+// This is the compiler input the paper calls "a representation of the
+// physical topology" plus the auxiliary "mapping from transformations to
+// possible placements" (Section 3). Links are undirected and full-duplex;
+// capacity applies per direction, matching how switch ports behave.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace merlin::topo {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class Node_kind : std::uint8_t { host, switch_, middlebox };
+
+struct Node {
+    std::string name;
+    Node_kind kind = Node_kind::switch_;
+};
+
+struct Link {
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+    Bandwidth capacity;
+};
+
+using LinkId = std::int32_t;
+inline constexpr LinkId kNoLink = -1;
+
+class Topology {
+public:
+    // --- construction -----------------------------------------------------
+    NodeId add_host(const std::string& name);
+    NodeId add_switch(const std::string& name);
+    NodeId add_middlebox(const std::string& name);
+
+    // Adds an undirected link; both endpoints must exist. Throws
+    // Topology_error on self-loops, unknown nodes, or duplicate links.
+    LinkId add_link(NodeId a, NodeId b, Bandwidth capacity);
+    LinkId add_link(const std::string& a, const std::string& b,
+                    Bandwidth capacity);
+
+    // Registers that packet-processing function `fn` can be placed at `at`.
+    void allow_function(const std::string& fn, NodeId at);
+    void allow_function(const std::string& fn, const std::string& at);
+
+    // --- queries ----------------------------------------------------------
+    [[nodiscard]] int node_count() const {
+        return static_cast<int>(nodes_.size());
+    }
+    [[nodiscard]] int link_count() const {
+        return static_cast<int>(links_.size());
+    }
+    [[nodiscard]] const Node& node(NodeId id) const {
+        return nodes_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const Link& link(LinkId id) const {
+        return links_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+    [[nodiscard]] std::optional<NodeId> find(const std::string& name) const;
+    // Like find() but throws Topology_error when absent.
+    [[nodiscard]] NodeId require(const std::string& name) const;
+
+    [[nodiscard]] std::vector<NodeId> hosts() const;
+    [[nodiscard]] std::vector<NodeId> switches() const;
+    [[nodiscard]] std::vector<NodeId> middleboxes() const;
+
+    // Neighbors of `id` over undirected links, with the connecting link id.
+    struct Adjacent {
+        NodeId node;
+        LinkId link;
+    };
+    [[nodiscard]] const std::vector<Adjacent>& neighbors(NodeId id) const {
+        return adjacency_[static_cast<std::size_t>(id)];
+    }
+
+    [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+    // Locations allowed to host packet-processing function `fn`
+    // (empty if the function is unknown).
+    [[nodiscard]] std::vector<NodeId> placements(const std::string& fn) const;
+    [[nodiscard]] bool has_function(const std::string& fn) const;
+    [[nodiscard]] std::vector<std::string> function_names() const;
+
+    // True if every node can reach every other over undirected links.
+    [[nodiscard]] bool connected() const;
+
+private:
+    NodeId add_node(const std::string& name, Node_kind kind);
+
+    std::vector<Node> nodes_;
+    std::vector<Link> links_;
+    std::vector<std::vector<Adjacent>> adjacency_;
+    std::unordered_map<std::string, NodeId> by_name_;
+    std::unordered_map<std::string, std::vector<NodeId>> functions_;
+};
+
+}  // namespace merlin::topo

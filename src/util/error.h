@@ -1,0 +1,62 @@
+// Error-handling primitives shared by every Merlin module.
+//
+// Construction-time failures (bad grammar, malformed topology files,
+// inconsistent solver input) throw exceptions derived from `merlin::Error`.
+// Expected run-time outcomes (an infeasible provisioning problem, a rejected
+// policy refinement) are modelled as values, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace merlin {
+
+// Root of the Merlin exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A syntactically or semantically invalid policy program.
+class Parse_error : public Error {
+public:
+    Parse_error(std::string msg, int line, int column)
+        : Error("parse error at " + std::to_string(line) + ":" +
+                std::to_string(column) + ": " + msg),
+          line_(line),
+          column_(column) {}
+
+    [[nodiscard]] int line() const { return line_; }
+    [[nodiscard]] int column() const { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+// Invalid topology description (unknown node, duplicate link, ...).
+class Topology_error : public Error {
+public:
+    using Error::Error;
+};
+
+// A policy that violates the pre-processor requirements of Section 2.1
+// (overlapping predicates, non-total coverage, unknown function names, ...).
+class Policy_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Internal invariant violation in a solver (not user-facing input errors).
+class Solver_error : public Error {
+public:
+    using Error::Error;
+};
+
+// Precondition check used across the library. Throws `Solver_error`-style
+// diagnostics for internal invariants; callers validate user input earlier.
+inline void expects(bool condition, const char* message) {
+    if (!condition) throw Error(std::string("invariant violated: ") + message);
+}
+
+}  // namespace merlin

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random source used by generators and benchmarks.
+//
+// All experiments must be reproducible run-to-run, so every randomized
+// component receives an explicitly seeded `Rng` rather than global state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace merlin {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    // Uniform integer in [lo, hi] (inclusive).
+    [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(engine_);
+    }
+
+    // Uniform real in [lo, hi).
+    [[nodiscard]] double real(double lo, double hi) {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    // Normal with given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev) {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine_);
+    }
+
+    // Bernoulli with probability p of true.
+    [[nodiscard]] bool chance(double p) {
+        std::bernoulli_distribution d(p);
+        return d(engine_);
+    }
+
+    [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace merlin

@@ -1,0 +1,23 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace merlin {
+
+// Splits on a single-character delimiter; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace merlin

@@ -1,0 +1,84 @@
+#include "util/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace merlin {
+namespace {
+
+// Case-insensitive comparison of the unit suffix.
+bool iequals(const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Bandwidth parse_bandwidth(const std::string& text) {
+    std::size_t i = 0;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.'))
+        ++i;
+    if (i == 0)
+        throw Parse_error("bandwidth must start with a number: '" + text + "'",
+                          0, 0);
+    const double value = std::stod(text.substr(0, i));
+    std::string unit = text.substr(i);
+    // Strip surrounding whitespace in the unit.
+    while (!unit.empty() && unit.front() == ' ') unit.erase(unit.begin());
+    while (!unit.empty() && unit.back() == ' ') unit.pop_back();
+
+    double scale = 0;
+    if (iequals(unit, "bps"))
+        scale = 1;
+    else if (iequals(unit, "kbps"))
+        scale = 1e3;
+    else if (iequals(unit, "mbps"))
+        scale = 1e6;
+    else if (iequals(unit, "gbps"))
+        scale = 1e9;
+    else if (iequals(unit, "B/s"))
+        scale = 8;
+    else if (iequals(unit, "KB/s"))
+        scale = 8e3;
+    else if (iequals(unit, "MB/s"))
+        scale = 8e6;
+    else if (iequals(unit, "GB/s"))
+        scale = 8e9;
+    else
+        throw Parse_error("unknown bandwidth unit: '" + unit + "'", 0, 0);
+
+    const double bps = value * scale;
+    if (bps < 0 || std::isnan(bps))
+        throw Parse_error("negative bandwidth: '" + text + "'", 0, 0);
+    return Bandwidth(static_cast<std::uint64_t>(std::llround(bps)));
+}
+
+std::string to_string(Bandwidth bw) {
+    const std::uint64_t n = bw.bps();
+    struct Unit {
+        std::uint64_t scale;
+        const char* suffix;
+    };
+    // Prefer byte units (the paper's convention), then bit units.
+    static constexpr Unit units[] = {
+        {8'000'000'000ULL, "GB/s"}, {8'000'000ULL, "MB/s"},
+        {8'000ULL, "KB/s"},         {1'000'000'000ULL, "Gbps"},
+        {1'000'000ULL, "Mbps"},     {1'000ULL, "kbps"},
+    };
+    for (const Unit& u : units) {
+        if (n != 0 && n % u.scale == 0)
+            return std::to_string(n / u.scale) + u.suffix;
+    }
+    return std::to_string(n) + "bps";
+}
+
+}  // namespace merlin

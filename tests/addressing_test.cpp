@@ -1,0 +1,74 @@
+#include "core/addressing.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace merlin::core {
+namespace {
+
+using merlin::parser::parse_predicate;
+
+TEST(Addressing, DeterministicAssignment) {
+    const topo::Topology t = topo::fat_tree(4);
+    const Addressing a(t);
+    const auto hosts = t.hosts();
+    EXPECT_EQ(a.mac(hosts[0]), 1u);
+    EXPECT_EQ(a.mac(hosts[15]), 16u);
+    EXPECT_EQ(a.ip(hosts[0]), (10ULL << 24) | 1);
+    EXPECT_EQ(a.host_by_mac(1), hosts[0]);
+    EXPECT_EQ(a.host_by_ip((10ULL << 24) | 16), hosts[15]);
+    EXPECT_FALSE(a.host_by_mac(999).has_value());
+    EXPECT_THROW((void)a.mac(t.switches()[0]), Topology_error);
+}
+
+TEST(Addressing, EndpointsFromConjunction) {
+    const topo::Topology t = topo::fat_tree(4);
+    const Addressing a(t);
+    const auto ep = a.endpoints(parse_predicate(
+        "eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and "
+        "tcp.dst = 80"));
+    ASSERT_TRUE(ep.src && ep.dst);
+    EXPECT_EQ(a.mac(*ep.src), 1u);
+    EXPECT_EQ(a.mac(*ep.dst), 2u);
+}
+
+TEST(Addressing, EndpointsFromIpTests) {
+    const topo::Topology t = topo::fat_tree(4);
+    const Addressing a(t);
+    const auto ep =
+        a.endpoints(parse_predicate("ip.src = 10.0.0.3 and ip.dst = 10.0.0.4"));
+    ASSERT_TRUE(ep.src && ep.dst);
+    EXPECT_EQ(a.ip(*ep.src), (10ULL << 24) | 3);
+    EXPECT_EQ(a.ip(*ep.dst), (10ULL << 24) | 4);
+}
+
+TEST(Addressing, DisjunctionsAndNegationsNeverPin) {
+    const topo::Topology t = topo::fat_tree(4);
+    const Addressing a(t);
+    EXPECT_FALSE(a.endpoints(parse_predicate(
+                                 "eth.src = 00:00:00:00:00:01 or "
+                                 "eth.src = 00:00:00:00:00:02"))
+                     .src.has_value());
+    EXPECT_FALSE(
+        a.endpoints(parse_predicate("!(eth.src = 00:00:00:00:00:01)"))
+            .src.has_value());
+    // Unknown address: no pin either.
+    EXPECT_FALSE(a.endpoints(parse_predicate("eth.src = 00:00:00:00:ff:ff"))
+                     .src.has_value());
+}
+
+TEST(Addressing, PairPredicateRoundTrips) {
+    const topo::Topology t = topo::fat_tree(4);
+    const Addressing a(t);
+    const auto hosts = t.hosts();
+    const auto pred = a.pair_predicate(hosts[3], hosts[7]);
+    const auto ep = a.endpoints(pred);
+    EXPECT_EQ(ep.src, hosts[3]);
+    EXPECT_EQ(ep.dst, hosts[7]);
+}
+
+}  // namespace
+}  // namespace merlin::core

@@ -1,0 +1,271 @@
+#include "automata/automata.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace merlin::automata {
+namespace {
+
+using merlin::parser::parse_path;
+
+// Fixture with the small topology of Figure 2: h1, h2, s1, s2, m1; dpi can
+// run at h1, h2, m1; nat only at m1.
+class Fig2 : public ::testing::Test {
+protected:
+    Fig2() {
+        h1_ = alphabet_.add_location("h1");
+        h2_ = alphabet_.add_location("h2");
+        s1_ = alphabet_.add_location("s1");
+        s2_ = alphabet_.add_location("s2");
+        m1_ = alphabet_.add_location("m1");
+        alphabet_.add_function("dpi", {"h1", "h2", "m1"});
+        alphabet_.add_function("nat", {"m1"});
+    }
+
+    [[nodiscard]] Dfa dfa_of(const char* regex) const {
+        return determinize(thompson(parse_path(regex), alphabet_));
+    }
+
+    Alphabet alphabet_;
+    int h1_, h2_, s1_, s2_, m1_;
+};
+
+TEST_F(Fig2, AlphabetResolution) {
+    EXPECT_EQ(alphabet_.size(), 5);
+    EXPECT_EQ(alphabet_.resolve("h1"), (std::vector<int>{h1_}));
+    EXPECT_EQ(alphabet_.resolve("dpi"), (std::vector<int>{h1_, h2_, m1_}));
+    EXPECT_EQ(alphabet_.resolve("nat"), (std::vector<int>{m1_}));
+    EXPECT_TRUE(alphabet_.resolve("unknown").empty());
+    EXPECT_THROW(alphabet_.add_function("x", {"nowhere"}), Policy_error);
+}
+
+TEST_F(Fig2, SymbolAndAnyAcceptance) {
+    const Nfa n = thompson(parse_path("h1 . h2"), alphabet_);
+    EXPECT_TRUE(accepts(n, {h1_, s1_, h2_}));
+    EXPECT_TRUE(accepts(n, {h1_, m1_, h2_}));
+    EXPECT_FALSE(accepts(n, {h1_, h2_}));
+    EXPECT_FALSE(accepts(n, {h1_, s1_, s2_, h2_}));
+}
+
+TEST_F(Fig2, FunctionSubstitution) {
+    // ".* nat .*" becomes ".* m1 .*": the path must pass through m1.
+    const Nfa n = thompson(parse_path(".* nat .*"), alphabet_);
+    EXPECT_TRUE(accepts(n, {h1_, s1_, m1_, s2_, h2_}));
+    EXPECT_TRUE(accepts(n, {m1_}));
+    EXPECT_FALSE(accepts(n, {h1_, s1_, h2_}));
+
+    // ".* dpi .*" can be satisfied at h1, h2 or m1.
+    const Nfa d = thompson(parse_path(".* dpi .*"), alphabet_);
+    EXPECT_TRUE(accepts(d, {h1_, s1_, h2_}));  // endpoints count
+    EXPECT_FALSE(accepts(d, {s1_, s2_}));
+}
+
+TEST_F(Fig2, PaperExampleExpression) {
+    // Figure 2's statement: h1 .* dpi .* nat .* h2. Physical paths lift to
+    // location sequences in which a vertex may repeat consecutively when it
+    // consumes several regex symbols (Lemma 1) — m1 provides dpi AND nat.
+    const Nfa n = thompson(parse_path("h1 .* dpi .* nat .* h2"), alphabet_);
+    EXPECT_TRUE(accepts(n, {h1_, s1_, m1_, m1_, s2_, h2_}));
+    // dpi at h1, nat at m1 also works.
+    EXPECT_TRUE(accepts(n, {h1_, h1_, s1_, m1_, s2_, h2_}));
+    // A single visit to m1 cannot consume both dpi and nat without repeat.
+    EXPECT_FALSE(accepts(n, {h1_, s1_, m1_, s2_, h2_}));
+    // Avoiding m1 cannot satisfy the nat constraint at all.
+    EXPECT_FALSE(accepts(n, {h1_, s1_, h2_}));
+    EXPECT_FALSE(accepts(n, {h1_, h2_}));
+}
+
+TEST_F(Fig2, EpsilonRemovalPreservesLanguage) {
+    Rng rng(3);
+    for (const char* regex :
+         {".*", "h1 .* h2", ".* dpi .* nat .*", "(s1 | s2)* m1",
+          "h1 (s1 s2)* h2", "!(.* m1 .*)", "h1 .* dpi .* nat .* h2"}) {
+        const Nfa full = thompson(parse_path(regex), alphabet_);
+        const Nfa slim = remove_epsilon(full);
+        // No epsilon edges remain.
+        for (const auto& edges : slim.edges)
+            for (const Nfa_edge& e : edges) EXPECT_NE(e.symbol, kEpsilon);
+        // Languages agree on random short words.
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<int> word;
+            const int len = static_cast<int>(rng.uniform(0, 6));
+            for (int i = 0; i < len; ++i)
+                word.push_back(static_cast<int>(
+                    rng.uniform(0, alphabet_.size() - 1)));
+            EXPECT_EQ(accepts(full, word), accepts(slim, word)) << regex;
+        }
+    }
+}
+
+TEST_F(Fig2, DeterminizeAgreesWithNfa) {
+    Rng rng(4);
+    for (const char* regex :
+         {".*", "h1 .* h2", ".* dpi .* nat .*", "(s1 | s2)* m1",
+          "!(.* m1 .*) | h1*", "h1 !(s1) h2"}) {
+        const Nfa n = thompson(parse_path(regex), alphabet_);
+        const Dfa d = determinize(n);
+        for (int trial = 0; trial < 300; ++trial) {
+            std::vector<int> word;
+            const int len = static_cast<int>(rng.uniform(0, 6));
+            for (int i = 0; i < len; ++i)
+                word.push_back(static_cast<int>(
+                    rng.uniform(0, alphabet_.size() - 1)));
+            EXPECT_EQ(accepts(n, word), accepts(d, word)) << regex;
+        }
+    }
+}
+
+TEST_F(Fig2, ComplementFlipsMembership) {
+    const Dfa d = dfa_of(".* m1 .*");
+    const Dfa c = complement(d);
+    EXPECT_TRUE(accepts(d, {h1_, m1_, h2_}));
+    EXPECT_FALSE(accepts(c, {h1_, m1_, h2_}));
+    EXPECT_FALSE(accepts(d, {h1_, h2_}));
+    EXPECT_TRUE(accepts(c, {h1_, h2_}));
+    // Complement is an involution up to equivalence.
+    EXPECT_TRUE(equivalent(complement(c), d));
+}
+
+TEST_F(Fig2, NegationInsideExpression) {
+    // Paths of length >= 1 that avoid m1 entirely: !(.* m1 .*) includes the
+    // empty word; intersecting with `. .*` removes it.
+    const Dfa avoid = dfa_of("!(.* m1 .*)");
+    EXPECT_TRUE(accepts(avoid, {}));
+    EXPECT_TRUE(accepts(avoid, {h1_, s1_, h2_}));
+    EXPECT_FALSE(accepts(avoid, {h1_, m1_}));
+}
+
+TEST_F(Fig2, IntersectionMatchesBoth) {
+    const Dfa a = dfa_of(".* dpi .*");
+    const Dfa b = dfa_of(".* nat .*");
+    const Dfa both = intersect(a, b);
+    EXPECT_TRUE(accepts(both, {h1_, m1_, h2_}));   // m1 covers dpi and nat
+    EXPECT_TRUE(accepts(both, {h1_, s1_, m1_}));   // h1:dpi, m1:nat
+    EXPECT_FALSE(accepts(both, {h1_, s1_, h2_}));  // no nat
+}
+
+TEST_F(Fig2, InclusionChecks) {
+    // Section 4.2: refined path constraints must be included in the parent.
+    const Dfa parent = dfa_of(".* dpi .*");
+    const Dfa child = dfa_of(".* dpi .* nat .*");
+    EXPECT_TRUE(subset_of(child, parent));
+    EXPECT_FALSE(subset_of(parent, child));
+
+    // Dropping a required waypoint is rejected.
+    const Dfa lifted = dfa_of(".*");
+    EXPECT_FALSE(subset_of(lifted, parent));
+    EXPECT_TRUE(subset_of(parent, lifted));
+}
+
+TEST_F(Fig2, MinimizePreservesLanguageAndShrinks) {
+    Rng rng(5);
+    for (const char* regex :
+         {".* dpi .* nat .*", "(h1 | h2 | m1)*", "h1 .* h2 | h1 .* h2",
+          "!(.* m1 .*) (m1 | s1)"}) {
+        const Dfa d = determinize(thompson(parse_path(regex), alphabet_));
+        const Dfa m = minimize(d);
+        EXPECT_LE(m.state_count(), d.state_count());
+        EXPECT_TRUE(equivalent(m, d)) << regex;
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<int> word;
+            const int len = static_cast<int>(rng.uniform(0, 6));
+            for (int i = 0; i < len; ++i)
+                word.push_back(static_cast<int>(
+                    rng.uniform(0, alphabet_.size() - 1)));
+            EXPECT_EQ(accepts(d, word), accepts(m, word)) << regex;
+        }
+    }
+}
+
+TEST_F(Fig2, MinimizeIdenticalBranchesCollapses) {
+    // a|a has redundant structure; the minimal DFA for a single symbol
+    // needs exactly 3 states (start, accept, sink).
+    const Dfa m = minimize(dfa_of("h1 | h1"));
+    EXPECT_EQ(m.state_count(), 3);
+}
+
+TEST_F(Fig2, EmptinessAndWitness) {
+    const Dfa contradiction = intersect(dfa_of("s1"), dfa_of("s2"));
+    EXPECT_TRUE(is_empty(contradiction));
+    EXPECT_FALSE(shortest_word(contradiction).has_value());
+
+    const Dfa d = dfa_of(".* nat .*");
+    const auto word = shortest_word(d);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_EQ(*word, (std::vector<int>{m1_}));  // shortest is just "m1"
+    EXPECT_TRUE(accepts(d, *word));
+}
+
+TEST_F(Fig2, UnknownSymbolThrows) {
+    EXPECT_THROW((void)thompson(parse_path("h1 nowhere h2"), alphabet_),
+                 Policy_error);
+}
+
+// Property sweep over random regexes: algebraic laws of the language
+// operations, decided via the inclusion checker.
+class AutomataProperty : public ::testing::TestWithParam<int> {};
+
+ir::PathPtr random_regex(Rng& rng, const std::vector<std::string>& symbols,
+                         int depth) {
+    using namespace merlin::ir;
+    if (depth == 0 || rng.chance(0.35)) {
+        if (rng.chance(0.2)) return path_any();
+        const auto i = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<int>(symbols.size()) - 1));
+        return path_symbol(symbols[i]);
+    }
+    switch (rng.uniform(0, 3)) {
+        case 0:
+            return path_seq(random_regex(rng, symbols, depth - 1),
+                            random_regex(rng, symbols, depth - 1));
+        case 1:
+            return path_alt(random_regex(rng, symbols, depth - 1),
+                            random_regex(rng, symbols, depth - 1));
+        case 2: return path_star(random_regex(rng, symbols, depth - 1));
+        default: return path_not(random_regex(rng, symbols, depth - 1));
+    }
+}
+
+TEST_P(AutomataProperty, LanguageAlgebraLaws) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    Alphabet alphabet;
+    const std::vector<std::string> names{"a", "b", "c"};
+    for (const std::string& n : names) alphabet.add_location(n);
+
+    for (int round = 0; round < 12; ++round) {
+        const auto ra = random_regex(rng, names, 3);
+        const auto rb = random_regex(rng, names, 3);
+        const Dfa a = determinize(thompson(ra, alphabet));
+        const Dfa b = determinize(thompson(rb, alphabet));
+
+        // Reflexivity; union upper-bounds; intersection lower-bounds.
+        EXPECT_TRUE(subset_of(a, a));
+        const Dfa a_or_b =
+            determinize(thompson(ir::path_alt(ra, rb), alphabet));
+        EXPECT_TRUE(subset_of(a, a_or_b));
+        EXPECT_TRUE(subset_of(b, a_or_b));
+        const Dfa a_and_b = intersect(a, b);
+        EXPECT_TRUE(subset_of(a_and_b, a));
+        EXPECT_TRUE(subset_of(a_and_b, b));
+
+        // Double complement.
+        EXPECT_TRUE(equivalent(complement(complement(a)), a));
+
+        // Minimization preserves the language.
+        EXPECT_TRUE(equivalent(minimize(a), a));
+
+        // De Morgan over languages.
+        const Dfa lhs = complement(a_or_b);
+        const Dfa rhs = intersect(complement(a), complement(b));
+        EXPECT_TRUE(equivalent(lhs, rhs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomataProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace merlin::automata

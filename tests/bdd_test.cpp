@@ -1,0 +1,179 @@
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace merlin::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+    Manager m(3);
+    EXPECT_NE(kFalse, kTrue);
+    const Node x = m.var(0);
+    const Node nx = m.nvar(0);
+    EXPECT_NE(x, nx);
+    EXPECT_EQ(m.negate(x), nx);
+    EXPECT_EQ(m.negate(nx), x);
+    // Hash-consing: same structure, same node.
+    EXPECT_EQ(m.var(0), x);
+}
+
+TEST(Bdd, BooleanAlgebraLaws) {
+    Manager m(4);
+    const Node a = m.var(0);
+    const Node b = m.var(1);
+    const Node c = m.var(2);
+
+    EXPECT_EQ(m.apply_and(a, kTrue), a);
+    EXPECT_EQ(m.apply_and(a, kFalse), kFalse);
+    EXPECT_EQ(m.apply_or(a, kFalse), a);
+    EXPECT_EQ(m.apply_or(a, kTrue), kTrue);
+    EXPECT_EQ(m.apply_and(a, m.negate(a)), kFalse);
+    EXPECT_EQ(m.apply_or(a, m.negate(a)), kTrue);
+
+    // Commutativity / associativity / distributivity (canonical form makes
+    // these pointer equalities).
+    EXPECT_EQ(m.apply_and(a, b), m.apply_and(b, a));
+    EXPECT_EQ(m.apply_and(a, m.apply_and(b, c)),
+              m.apply_and(m.apply_and(a, b), c));
+    EXPECT_EQ(m.apply_and(a, m.apply_or(b, c)),
+              m.apply_or(m.apply_and(a, b), m.apply_and(a, c)));
+
+    // De Morgan.
+    EXPECT_EQ(m.negate(m.apply_and(a, b)),
+              m.apply_or(m.negate(a), m.negate(b)));
+    EXPECT_EQ(m.negate(m.apply_or(a, b)),
+              m.apply_and(m.negate(a), m.negate(b)));
+
+    // Double negation.
+    const Node f = m.apply_xor(a, m.apply_or(b, c));
+    EXPECT_EQ(m.negate(m.negate(f)), f);
+}
+
+TEST(Bdd, XorSemantics) {
+    Manager m(2);
+    const Node a = m.var(0);
+    const Node b = m.var(1);
+    const Node x = m.apply_xor(a, b);
+    EXPECT_TRUE(m.evaluate(x, {true, false}));
+    EXPECT_TRUE(m.evaluate(x, {false, true}));
+    EXPECT_FALSE(m.evaluate(x, {true, true}));
+    EXPECT_FALSE(m.evaluate(x, {false, false}));
+    EXPECT_EQ(m.apply_xor(a, a), kFalse);
+    EXPECT_EQ(m.apply_xor(a, kTrue), m.negate(a));
+}
+
+TEST(Bdd, SatCount) {
+    Manager m(3);
+    EXPECT_EQ(m.sat_count(kFalse), 0);
+    EXPECT_EQ(m.sat_count(kTrue), 8);
+    EXPECT_EQ(m.sat_count(m.var(0)), 4);
+    EXPECT_EQ(m.sat_count(m.var(2)), 4);
+    EXPECT_EQ(m.sat_count(m.apply_and(m.var(0), m.var(1))), 2);
+    EXPECT_EQ(m.sat_count(m.apply_or(m.var(0), m.var(1))), 6);
+    EXPECT_EQ(m.sat_count(m.apply_xor(m.var(0), m.var(2))), 4);
+}
+
+TEST(Bdd, PickAssignmentSatisfies) {
+    Manager m(5);
+    const Node f = m.apply_and(m.apply_or(m.var(0), m.var(3)),
+                               m.apply_and(m.nvar(1), m.var(4)));
+    const auto assignment = m.pick_assignment(f);
+    ASSERT_EQ(assignment.size(), 5u);
+    EXPECT_TRUE(m.evaluate(f, assignment));
+    EXPECT_TRUE(m.pick_assignment(kFalse).empty());
+}
+
+TEST(Bdd, ImplicationAndDisjointness) {
+    Manager m(3);
+    const Node a = m.var(0);
+    const Node ab = m.apply_and(a, m.var(1));
+    EXPECT_TRUE(m.implies(ab, a));
+    EXPECT_FALSE(m.implies(a, ab));
+    EXPECT_TRUE(m.disjoint(a, m.negate(a)));
+    EXPECT_FALSE(m.disjoint(a, ab));
+}
+
+// Property sweep: random expression trees evaluated on random assignments
+// must agree with the BDD evaluation.
+class BddRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomProperty, AgreesWithDirectEvaluation) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    constexpr int kVars = 8;
+    Manager m(kVars);
+
+    struct Expr {
+        Node node;
+        // direct evaluation closure by truth table over 2^kVars entries
+        std::vector<bool> table;
+    };
+    auto truth_index = [&](const std::vector<bool>& a) {
+        std::size_t idx = 0;
+        for (int v = 0; v < kVars; ++v)
+            idx = (idx << 1) | static_cast<std::size_t>(a[static_cast<std::size_t>(v)]);
+        return idx;
+    };
+
+    // Build random expressions bottom-up.
+    std::vector<Expr> pool;
+    for (int v = 0; v < kVars; ++v) {
+        Expr e;
+        e.node = m.var(v);
+        e.table.resize(1u << kVars);
+        for (std::size_t i = 0; i < e.table.size(); ++i)
+            e.table[i] = ((i >> (kVars - 1 - v)) & 1) != 0;
+        pool.push_back(std::move(e));
+    }
+    for (int step = 0; step < 40; ++step) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<int>(pool.size()) - 1));
+        const auto j = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<int>(pool.size()) - 1));
+        const int op = static_cast<int>(rng.uniform(0, 3));
+        Expr e;
+        e.table.resize(1u << kVars);
+        switch (op) {
+            case 0:
+                e.node = m.apply_and(pool[i].node, pool[j].node);
+                for (std::size_t t = 0; t < e.table.size(); ++t)
+                    e.table[t] = pool[i].table[t] && pool[j].table[t];
+                break;
+            case 1:
+                e.node = m.apply_or(pool[i].node, pool[j].node);
+                for (std::size_t t = 0; t < e.table.size(); ++t)
+                    e.table[t] = pool[i].table[t] || pool[j].table[t];
+                break;
+            case 2:
+                e.node = m.apply_xor(pool[i].node, pool[j].node);
+                for (std::size_t t = 0; t < e.table.size(); ++t)
+                    e.table[t] = pool[i].table[t] != pool[j].table[t];
+                break;
+            default:
+                e.node = m.negate(pool[i].node);
+                for (std::size_t t = 0; t < e.table.size(); ++t)
+                    e.table[t] = !pool[i].table[t];
+                break;
+        }
+        pool.push_back(std::move(e));
+    }
+
+    // Check all expressions against 64 random assignments + sat counts.
+    for (const Expr& e : pool) {
+        double expected_count = 0;
+        for (bool b : e.table) expected_count += b ? 1 : 0;
+        EXPECT_EQ(m.sat_count(e.node), expected_count);
+        for (int trial = 0; trial < 64; ++trial) {
+            std::vector<bool> a(kVars);
+            for (int v = 0; v < kVars; ++v) a[static_cast<std::size_t>(v)] = rng.chance(0.5);
+            EXPECT_EQ(m.evaluate(e.node, a), e.table[truth_index(a)]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace merlin::bdd

@@ -1,0 +1,214 @@
+#include "codegen/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "topo/generators.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace merlin::codegen {
+namespace {
+
+using merlin::parser::parse_policy;
+
+topo::Topology fig2_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi s1 s2 m1
+function nat m1
+)");
+}
+
+Configuration compile_and_generate(const topo::Topology& t,
+                                   const std::string& policy,
+                                   core::Compile_options options = {}) {
+    const core::Compilation c =
+        core::compile(parse_policy(policy), t, options);
+    EXPECT_TRUE(c.feasible) << c.diagnostic;
+    return generate(c, t);
+}
+
+TEST(Codegen, GuaranteedPathGetsTagsAndQueues) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ z : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> .* nat .* ],
+min(z, 100MB/s)
+)", o);
+
+    // The path h1 -> s1 -> m1 -> s2 -> h2 emits rules on s1 and s2.
+    ASSERT_GE(config.flow_rules.size(), 2u);
+    // Ingress rule classifies on the predicate and pushes a tag.
+    const Flow_rule& ingress = config.flow_rules.front();
+    EXPECT_EQ(ingress.device, "s1");
+    EXPECT_TRUE(ingress.match);
+    ASSERT_TRUE(ingress.set_tag);
+    // Egress rule matches the tag and strips it.
+    const Flow_rule& egress = config.flow_rules.back();
+    EXPECT_EQ(egress.device, "s2");
+    EXPECT_EQ(egress.match_tag, ingress.set_tag);
+    EXPECT_TRUE(egress.strip_tag);
+    EXPECT_EQ(egress.out_port, "h2");
+
+    // One queue per switch hop with the guaranteed rate.
+    ASSERT_EQ(config.queues.size(), 2u);
+    for (const Queue_config& q : config.queues)
+        EXPECT_EQ(q.min_rate, mb_per_sec(100));
+
+    // The nat placement lands on the middlebox as a Click config.
+    ASSERT_FALSE(config.click_configs.empty());
+    bool nat_on_m1 = false;
+    for (const Click_config& c : config.click_configs)
+        if (c.device == "m1" && c.function == "nat") nat_on_m1 = true;
+    EXPECT_TRUE(nat_on_m1);
+}
+
+TEST(Codegen, BestEffortUsesSharedTrees) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    // Two best-effort statements with the same (trivial) path constraints
+    // and destination share tree rules; each gets its own ingress rule.
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ a : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* ;
+  b : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 22 -> .* ]
+)", o);
+
+    int ingress_rules = 0;
+    int delivery_rules = 0;
+    for (const Flow_rule& r : config.flow_rules) {
+        if (r.match && !r.drop) ++ingress_rules;
+        if (r.strip_tag) ++delivery_rules;
+    }
+    EXPECT_EQ(ingress_rules, 2);   // one per statement
+    EXPECT_EQ(delivery_rules, 1);  // shared delivery at the egress
+}
+
+TEST(Codegen, CapsBecomeTcCommands) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 21 -> .* at max(25MB/s) ]
+)", o);
+    // Two tc commands (class + filter) on the source host.
+    ASSERT_EQ(config.tc_commands.size(), 2u);
+    EXPECT_EQ(config.tc_commands[0].host, "h1");
+    EXPECT_NE(config.tc_commands[0].command.find("rate 25MB/s"),
+              std::string::npos);
+    EXPECT_NE(config.tc_commands[1].command.find("--dport 21"),
+              std::string::npos);
+}
+
+TEST(Codegen, EmptyPathLanguageDrops) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> !(.*) ]
+)", o);
+    // iptables drop on the source host plus a switch drop rule.
+    ASSERT_EQ(config.iptables_rules.size(), 1u);
+    EXPECT_EQ(config.iptables_rules[0].host, "h1");
+    EXPECT_NE(config.iptables_rules[0].command.find("-j DROP"),
+              std::string::npos);
+    bool has_switch_drop = false;
+    for (const Flow_rule& r : config.flow_rules)
+        if (r.drop) has_switch_drop = true;
+    EXPECT_TRUE(has_switch_drop);
+}
+
+TEST(Codegen, DefaultStatementCoversAllHosts) {
+    // With the catch-all enabled, every (ingress switch, destination host)
+    // pair gets a classification rule.
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ a : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* ]
+)");
+    // The default plan produces ingress rules matching on eth.dst.
+    int dst_matched = 0;
+    for (const Flow_rule& r : config.flow_rules)
+        if (r.match && r.match_dst_mac) ++dst_matched;
+    EXPECT_GT(dst_matched, 0);
+}
+
+TEST(Codegen, InfeasibleCompilationRejected) {
+    const topo::Topology t = fig2_topology();
+    const core::Compilation c = core::compile(parse_policy(R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 -> .* ],
+min(x, 10GB/s)
+)"), t);
+    ASSERT_FALSE(c.feasible);
+    EXPECT_THROW((void)generate(c, t), Policy_error);
+}
+
+TEST(Codegen, WaypointTreeChangesTagsAcrossStates) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    // Best-effort traffic through a middlebox: the tree tracks NFA state, so
+    // some rule must rewrite the tag (state transition).
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ w : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> .* nat .* ]
+)", o);
+    bool rewrites_tag = false;
+    for (const Flow_rule& r : config.flow_rules)
+        if (r.match_tag && r.set_tag && *r.match_tag != *r.set_tag)
+            rewrites_tag = true;
+    bool mbox_forwarding = false;
+    for (const Click_config& c : config.click_configs)
+        if (c.device == "m1") mbox_forwarding = true;
+    EXPECT_TRUE(rewrites_tag || mbox_forwarding);
+}
+
+TEST(Codegen, AllPairsOnFatTreeScalesRules) {
+    const topo::Topology t = topo::fat_tree(4);
+    std::string sets = "hs := {";
+    for (std::size_t i = 0; i < t.hosts().size(); ++i) {
+        if (i > 0) sets += ", ";
+        char mac[32];
+        std::snprintf(mac, sizeof mac, "00:00:00:00:00:%02zx", i + 1);
+        sets += mac;
+    }
+    sets += "}\nforeach (s,d) in cross(hs,hs): true -> .*\n";
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const Configuration config = compile_and_generate(t, sets, o);
+    // 240 statements: one ingress rule each, plus shared tree rules.
+    int ingress = 0;
+    for (const Flow_rule& r : config.flow_rules)
+        if (r.match) ++ingress;
+    EXPECT_EQ(ingress, 240);
+    EXPECT_GT(config.flow_rules.size(), 240u);
+    EXPECT_TRUE(config.queues.empty());  // no guarantees anywhere
+}
+
+TEST(Codegen, TextDumpMentionsEveryArtifactKind) {
+    const Configuration config = compile_and_generate(fig2_topology(), R"(
+[ z : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> .* nat .* at min(10MB/s) ;
+  y : eth.src = 00:00:00:00:00:02 and eth.dst = 00:00:00:00:00:01
+      -> .* at max(5MB/s) ]
+)");
+    const std::string text = to_text(config);
+    EXPECT_NE(text.find("# OpenFlow rules"), std::string::npos);
+    EXPECT_NE(text.find("# Queues"), std::string::npos);
+    EXPECT_NE(text.find("# tc"), std::string::npos);
+    EXPECT_NE(text.find("# click"), std::string::npos);
+    EXPECT_NE(text.find("min=10MB/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merlin::codegen

@@ -1,0 +1,328 @@
+#include "core/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "topo/generators.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace merlin::core {
+namespace {
+
+using merlin::parser::parse_policy;
+
+// Figure 2 network (see logical_test.cpp).
+topo::Topology fig2_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi s1 s2 m1
+function nat m1
+)");
+}
+
+// Figure 3 network: h1 and h2 joined by a 3-link 400MB/s path (via a1, a2)
+// and a 2-link 100MB/s path (via b1).
+topo::Topology fig3_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch a1
+switch a2
+switch b1
+link h1 a1 400MB/s
+link a1 a2 400MB/s
+link a2 h2 400MB/s
+link h1 b1 100MB/s
+link b1 h2 100MB/s
+)");
+}
+
+// Two statements, each guaranteeing 50MB/s between h1 and h2 (the Figure 3
+// workload).
+ir::Policy fig3_policy() {
+    return parse_policy(R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* ;
+  y : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 22 -> .* ],
+min(x, 50MB/s) and min(y, 50MB/s)
+)");
+}
+
+// Hop count of the physical path through switches (excludes the hosts).
+int switch_hops(const Provisioned_path& p) {
+    return static_cast<int>(p.nodes.size()) - 2;
+}
+
+TEST(Compiler, Fig3WeightedShortestPathPicksTwoHopPaths) {
+    const topo::Topology t = fig3_topology();
+    Compile_options o;
+    o.heuristic = Heuristic::weighted_shortest_path;
+    const Compilation c = compile(fig3_policy(), t, o);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    ASSERT_TRUE(c.plans[0].path && c.plans[1].path);
+    // Both statements take the short (2-link via b1) route: 1 switch each.
+    EXPECT_EQ(switch_hops(*c.plans[0].path), 1);
+    EXPECT_EQ(switch_hops(*c.plans[1].path), 1);
+    // That reserves 100% of the 100MB/s links.
+    EXPECT_NEAR(c.provision.r_max, 1.0, 1e-6);
+}
+
+TEST(Compiler, Fig3MinMaxRatioBalancesFractions) {
+    const topo::Topology t = fig3_topology();
+    Compile_options o;
+    o.heuristic = Heuristic::min_max_ratio;
+    const Compilation c = compile(fig3_policy(), t, o);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    // Paper: "reserve no more than 25% of capacity on any link" — both
+    // statements use the 400MB/s path (100/400 = 0.25).
+    EXPECT_NEAR(c.provision.r_max, 0.25, 1e-6);
+    EXPECT_EQ(switch_hops(*c.plans[0].path), 2);
+    EXPECT_EQ(switch_hops(*c.plans[1].path), 2);
+}
+
+TEST(Compiler, Fig3MinMaxReservedSplitsPaths) {
+    const topo::Topology t = fig3_topology();
+    Compile_options o;
+    o.heuristic = Heuristic::min_max_reserved;
+    const Compilation c = compile(fig3_policy(), t, o);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    // Paper: "reserve no more than 50MB/s on any link" — one statement per
+    // path.
+    EXPECT_EQ(c.provision.big_r_max, mb_per_sec(50));
+    EXPECT_NE(switch_hops(*c.plans[0].path), switch_hops(*c.plans[1].path));
+}
+
+TEST(Compiler, RunningExampleCompiles) {
+    // Section 2's example: dpi on FTP data, plain forwarding for FTP
+    // control, dpi+nat chain for HTTP, with a cap and a guarantee.
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  y : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 21) -> .* ;
+  z : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* nat .* ],
+max(x + y, 50MB/s) and min(z, 100MB/s)
+)");
+    const Compilation c = compile(p, t);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+
+    // z is guaranteed: it gets a provisioned path through m1 (nat).
+    const Statement_plan& z = c.plans[2];
+    EXPECT_EQ(z.statement.id, "z");
+    EXPECT_TRUE(z.guaranteed());
+    EXPECT_EQ(z.guarantee, mb_per_sec(100));
+    ASSERT_TRUE(z.path);
+    bool has_nat = false;
+    for (const Placement& pl : z.path->placements)
+        if (pl.function == "nat") {
+            has_nat = true;
+            EXPECT_EQ(pl.location, t.require("m1"));
+        }
+    EXPECT_TRUE(has_nat);
+
+    // x and y share a localized 25MB/s cap each.
+    EXPECT_FALSE(c.plans[0].guaranteed());
+    ASSERT_TRUE(c.plans[0].cap);
+    EXPECT_EQ(*c.plans[0].cap, mb_per_sec(25));
+    ASSERT_TRUE(c.plans[1].cap);
+    EXPECT_EQ(*c.plans[1].cap, mb_per_sec(25));
+
+    // x is best-effort with a dpi waypoint: it has a path class and a tree.
+    EXPECT_GE(c.plans[0].path_class, 0);
+    // A catch-all plan was appended for totality.
+    EXPECT_EQ(c.plans.back().statement.id, "__default");
+}
+
+TEST(Compiler, SelectedPathsSatisfyLemma1) {
+    // Property: every provisioned path's location word is accepted by the
+    // statement's NFA over the full alphabet (Lemma 1 round trip).
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ g : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02)
+      -> h1 .* dpi .* nat .* h2 ],
+min(g, 10MB/s)
+)");
+    const Compilation c = compile(p, t);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    ASSERT_TRUE(c.plans[0].path);
+    const auto& word = c.plans[0].path->word;
+    const automata::Alphabet alphabet = make_alphabet(t);
+    const automata::Nfa nfa =
+        thompson(c.plans[0].statement.path, alphabet);
+    std::vector<int> symbols;
+    for (topo::NodeId loc : word) symbols.push_back(static_cast<int>(loc));
+    EXPECT_TRUE(accepts(nfa, symbols));
+    // The physical path starts at h1 and ends at h2.
+    EXPECT_EQ(c.plans[0].path->nodes.front(), t.require("h1"));
+    EXPECT_EQ(c.plans[0].path->nodes.back(), t.require("h2"));
+}
+
+TEST(Compiler, InfeasibleGuaranteesReported) {
+    // Two 80MB/s guarantees through a 100MB/s bottleneck cannot fit.
+    const topo::Topology t = topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+link h1 s1 1Gbps
+link s1 s2 100MB/s
+link s2 h2 1Gbps
+)");
+    const ir::Policy p = parse_policy(R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* ;
+  y : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 22 -> .* ],
+min(x, 80MB/s) and min(y, 80MB/s)
+)");
+    const Compilation c = compile(p, t);
+    EXPECT_FALSE(c.feasible);
+    EXPECT_FALSE(c.diagnostic.empty());
+}
+
+TEST(Compiler, UnsatisfiablePathExpressionReported) {
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> h1 h2 ],
+min(x, 1MB/s)
+)");
+    const Compilation c = compile(p, t);
+    EXPECT_FALSE(c.feasible);
+    EXPECT_NE(c.diagnostic.find("x"), std::string::npos);
+}
+
+TEST(Compiler, OverlappingPredicatesRejected) {
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : tcp.dst = 80 -> .* ;
+  y : ip.proto = tcp -> .* ]
+)");
+    EXPECT_THROW((void)compile(p, t), Policy_error);
+}
+
+TEST(Compiler, DisjointnessBucketsByEndpoints) {
+    // Same ports but different endpoint pairs: disjoint by bucketing, no
+    // Policy_error, and fast.
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+hs := {00:00:00:00:00:01, 00:00:00:00:00:02}
+foreach (s,d) in cross(hs,hs): tcp.dst = 80 -> .*
+)");
+    const Compilation c = compile(p, t);
+    EXPECT_TRUE(c.feasible) << c.diagnostic;
+}
+
+TEST(Compiler, CapsDoNotConsumeMipCapacity) {
+    // A capped (but not guaranteed) statement must not reserve bandwidth:
+    // many capped statements across a thin link all compile.
+    const topo::Topology t = fig3_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* at max(90MB/s) ;
+  y : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 22 -> .* at max(90MB/s) ]
+)");
+    const Compilation c = compile(p, t);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    EXPECT_EQ(c.provision.paths.size(), 0u);  // nothing went through the MIP
+    EXPECT_NEAR(c.provision.r_max, 0.0, 1e-9);
+}
+
+TEST(Compiler, SinkTreesCoverAllPairsPolicies) {
+    // All-pairs best-effort connectivity on a fat tree: trees are shared
+    // (one per egress switch), not per statement.
+    const topo::Topology t = topo::fat_tree(4);
+    std::string sets = "hs := {";
+    for (std::size_t i = 0; i < t.hosts().size(); ++i) {
+        if (i > 0) sets += ", ";
+        char mac[32];
+        std::snprintf(mac, sizeof mac, "00:00:00:00:00:%02zx", i + 1);
+        sets += mac;
+    }
+    sets += "}\nforeach (s,d) in cross(hs,hs): true -> .*\n";
+    const ir::Policy p = parse_policy(sets);
+    EXPECT_EQ(p.statements.size(), 16u * 15u);
+
+    Compile_options o;
+    const Compilation c = compile(p, t, o);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    // One path class (`.*`), trees only for the 8 edge switches (those with
+    // hosts attached).
+    EXPECT_EQ(c.class_nfas.size(), 1u);
+    EXPECT_EQ(c.trees.size(), 8u);
+    EXPECT_GT(c.timing.rateless_ms, 0.0);
+}
+
+TEST(Compiler, GuaranteesOnFatTreeAreCapacityRespecting) {
+    // 5% of pairs guaranteed on a k=4 fat tree; reservations per link must
+    // never exceed capacity (the MIP's constraint (5)).
+    const topo::Topology t = topo::fat_tree(4);
+    std::string text = "[";
+    int n = 0;
+    const auto hosts = t.hosts();
+    for (std::size_t i = 0; i < 12; ++i) {
+        const auto a = hosts[i % hosts.size()];
+        const auto b = hosts[(i + 5) % hosts.size()];
+        if (a == b) continue;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s g%d : eth.src = 00:00:00:00:00:%02x and "
+                      "eth.dst = 00:00:00:00:00:%02x -> .*",
+                      n ? ";" : "", n, static_cast<int>(i % hosts.size()) + 1,
+                      static_cast<int>((i + 5) % hosts.size()) + 1);
+        text += buf;
+        ++n;
+    }
+    text += "]";
+    for (int i = 0; i < n; ++i)
+        text += (i ? " and " : ",\n") + std::string("min(g") +
+                std::to_string(i) + ", 50MB/s)";
+    const ir::Policy p = parse_policy(text);
+
+    const Compilation c = compile(p, t);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    // Accumulate reservations per link and compare against capacity.
+    std::vector<std::uint64_t> reserved(
+        static_cast<std::size_t>(t.link_count()), 0);
+    for (const auto& path : c.provision.paths)
+        for (topo::LinkId l : path.links)
+            reserved[static_cast<std::size_t>(l)] += path.rate.bps();
+    for (topo::LinkId l = 0; l < t.link_count(); ++l)
+        EXPECT_LE(reserved[static_cast<std::size_t>(l)],
+                  t.link(l).capacity.bps())
+            << "link " << l;
+    EXPECT_LE(c.provision.r_max, 1.0 + 1e-9);
+}
+
+TEST(Compiler, FormulaOverUnknownStatementRejected) {
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : tcp.dst = 80 -> .* ], min(nope, 10MB/s)
+)");
+    EXPECT_THROW((void)compile(p, t), Policy_error);
+}
+
+TEST(Compiler, DisjunctiveFormulaRejected) {
+    const topo::Topology t = fig2_topology();
+    const ir::Policy p = parse_policy(R"(
+[ x : tcp.dst = 80 -> .* ], min(x, 10MB/s) or max(x, 20MB/s)
+)");
+    EXPECT_THROW((void)compile(p, t), Policy_error);
+}
+
+}  // namespace
+}  // namespace merlin::core

@@ -1,0 +1,96 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace merlin::graph {
+namespace {
+
+// A diamond: 0 -> {1,2} -> 3, plus an isolated vertex 4.
+Digraph diamond() {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    return g;
+}
+
+TEST(Digraph, Construction) {
+    Digraph g(3);
+    EXPECT_EQ(g.vertex_count(), 3);
+    EXPECT_EQ(g.edge_count(), 0);
+    const Edge e = g.add_edge(0, 2);
+    EXPECT_EQ(g.source(e), 0);
+    EXPECT_EQ(g.target(e), 2);
+    EXPECT_EQ(g.out_edges(0).size(), 1u);
+    EXPECT_EQ(g.in_edges(2).size(), 1u);
+    EXPECT_TRUE(g.out_edges(2).empty());
+}
+
+TEST(Digraph, AddVertexGrows) {
+    Digraph g;
+    const Vertex v0 = g.add_vertex();
+    const Vertex v1 = g.add_vertex();
+    EXPECT_EQ(v0, 0);
+    EXPECT_EQ(v1, 1);
+    EXPECT_EQ(g.vertex_count(), 2);
+}
+
+TEST(Digraph, Reachability) {
+    const Digraph g = diamond();
+    const auto seen = reachable_from(g, 0);
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+    EXPECT_FALSE(seen[4]);
+    const auto back = reachable_from(g, 3);
+    EXPECT_TRUE(back[3]);
+    EXPECT_FALSE(back[0]);
+}
+
+TEST(Digraph, Coreachability) {
+    const Digraph g = diamond();
+    const auto seen = coreachable_to(g, 3);
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+    EXPECT_FALSE(seen[4]);
+}
+
+TEST(Digraph, BfsPathFindsShortest) {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 4);
+    g.add_edge(0, 3);
+    g.add_edge(3, 4);
+    const auto path = bfs_path(g, 0, 4);
+    ASSERT_EQ(path.size(), 3u);  // 0 -> {1 or 3} -> 4 is impossible; 3 hops.
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 4);
+}
+
+TEST(Digraph, BfsPathNoRoute) {
+    const Digraph g = diamond();
+    EXPECT_TRUE(bfs_path(g, 3, 0).empty());
+    EXPECT_TRUE(bfs_path(g, 0, 4).empty());
+}
+
+TEST(Digraph, BfsPathTrivial) {
+    const Digraph g = diamond();
+    const auto path = bfs_path(g, 2, 2);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 2);
+}
+
+TEST(Digraph, BfsTreeParents) {
+    const Digraph g = diamond();
+    const auto parent = bfs_tree(g, 0);
+    EXPECT_EQ(parent[0], kNoEdge);
+    EXPECT_NE(parent[1], kNoEdge);
+    EXPECT_NE(parent[2], kNoEdge);
+    EXPECT_NE(parent[3], kNoEdge);
+    EXPECT_EQ(parent[4], kNoEdge);
+    // The parent edge of 3 must come from 1 or 2.
+    const Vertex p = g.source(parent[3]);
+    EXPECT_TRUE(p == 1 || p == 2);
+}
+
+}  // namespace
+}  // namespace merlin::graph

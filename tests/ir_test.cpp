@@ -1,0 +1,131 @@
+#include "ir/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "util/rng.h"
+
+namespace merlin::ir {
+namespace {
+
+TEST(Ir, PredicateEqualityIsStructural) {
+    const auto a = pred_and(pred_test("tcp.dst", 80), pred_true());
+    const auto b = pred_and(pred_test("tcp.dst", 80), pred_true());
+    const auto c = pred_and(pred_true(), pred_test("tcp.dst", 80));
+    EXPECT_TRUE(equal(a, b));
+    EXPECT_FALSE(equal(a, c));  // no normalization
+}
+
+TEST(Ir, PathHelpers) {
+    const auto p = path_seq(path_symbol("h1"),
+                            path_seq(path_any_star(), path_symbol("h2")));
+    EXPECT_EQ(node_count(p), 6);  // seq, h1, seq, star, any, h2
+    EXPECT_EQ(symbols_of(p), (std::set<std::string>{"h1", "h2"}));
+}
+
+TEST(Ir, FormulaIdsCollected) {
+    const auto f = parser::parse_formula(
+        "max(x + y, 10MB/s) and (min(z, 5MB/s) or ! max(w, 1MB/s))");
+    EXPECT_EQ(ids_of(f), (std::set<std::string>{"w", "x", "y", "z"}));
+}
+
+TEST(Ir, FindStatement) {
+    Policy p;
+    p.statements.push_back({"a", pred_true(), path_any_star()});
+    p.statements.push_back({"b", pred_false(), path_any()});
+    EXPECT_EQ(find_statement(p, "b"), &p.statements[1]);
+    EXPECT_EQ(find_statement(p, "zz"), nullptr);
+}
+
+// Property: printing any randomly generated AST and parsing it back yields
+// a structurally equal AST (printer/parser adjunction, incl. precedence).
+class PrinterRoundTrip : public ::testing::TestWithParam<int> {};
+
+PredPtr random_pred(Rng& rng, int depth) {
+    if (depth == 0 || rng.chance(0.3)) {
+        switch (rng.uniform(0, 3)) {
+            case 0: return pred_test("tcp.dst", static_cast<std::uint64_t>(
+                                                    rng.uniform(0, 1000)));
+            case 1: return pred_test("eth.src", static_cast<std::uint64_t>(
+                                                    rng.uniform(0, 99)));
+            case 2: return rng.chance(0.5) ? pred_true() : pred_false();
+            default: return pred_payload("p" + std::to_string(rng.uniform(0, 5)));
+        }
+    }
+    switch (rng.uniform(0, 2)) {
+        case 0: return pred_and(random_pred(rng, depth - 1),
+                                random_pred(rng, depth - 1));
+        case 1: return pred_or(random_pred(rng, depth - 1),
+                               random_pred(rng, depth - 1));
+        default: return pred_not(random_pred(rng, depth - 1));
+    }
+}
+
+PathPtr random_path(Rng& rng, int depth) {
+    if (depth == 0 || rng.chance(0.3)) {
+        return rng.chance(0.3) ? path_any()
+                               : path_symbol("n" + std::to_string(
+                                                       rng.uniform(0, 9)));
+    }
+    switch (rng.uniform(0, 3)) {
+        case 0: return path_seq(random_path(rng, depth - 1),
+                                random_path(rng, depth - 1));
+        case 1: return path_alt(random_path(rng, depth - 1),
+                                random_path(rng, depth - 1));
+        case 2: return path_star(random_path(rng, depth - 1));
+        default: return path_not(random_path(rng, depth - 1));
+    }
+}
+
+FormulaPtr random_formula(Rng& rng, int depth) {
+    if (depth == 0 || rng.chance(0.4)) {
+        Term t;
+        const int ids = static_cast<int>(rng.uniform(1, 3));
+        for (int i = 0; i < ids; ++i)
+            t.ids.push_back("v" + std::to_string(rng.uniform(0, 5)));
+        const Bandwidth rate =
+            mbps(static_cast<std::uint64_t>(rng.uniform(1, 100)));
+        return rng.chance(0.5) ? formula_max(std::move(t), rate)
+                               : formula_min(std::move(t), rate);
+    }
+    switch (rng.uniform(0, 2)) {
+        case 0: return formula_and(random_formula(rng, depth - 1),
+                                   random_formula(rng, depth - 1));
+        case 1: return formula_or(random_formula(rng, depth - 1),
+                                  random_formula(rng, depth - 1));
+        default: return formula_not(random_formula(rng, depth - 1));
+    }
+}
+
+TEST_P(PrinterRoundTrip, Predicates) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+    for (int i = 0; i < 50; ++i) {
+        const PredPtr p = random_pred(rng, 5);
+        const PredPtr q = parser::parse_predicate(to_string(p));
+        EXPECT_TRUE(equal(p, q)) << to_string(p);
+    }
+}
+
+TEST_P(PrinterRoundTrip, Paths) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 27653);
+    for (int i = 0; i < 50; ++i) {
+        const PathPtr p = random_path(rng, 5);
+        const PathPtr q = parser::parse_path(to_string(p));
+        EXPECT_TRUE(equal(p, q)) << to_string(p);
+    }
+}
+
+TEST_P(PrinterRoundTrip, Formulas) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 49999);
+    for (int i = 0; i < 50; ++i) {
+        const FormulaPtr f = random_formula(rng, 4);
+        const FormulaPtr g = parser::parse_formula(to_string(f));
+        EXPECT_TRUE(equal(f, g)) << to_string(f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace merlin::ir

@@ -1,0 +1,116 @@
+#include "core/logical.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "topo/parse.h"
+
+namespace merlin::core {
+namespace {
+
+using merlin::parser::parse_path;
+
+// The example network of Figure 2: h1 - s1 - s2 - h2 with middlebox m1
+// hanging off both switches; dpi at h1/h2/m1, nat only at m1.
+topo::Topology fig2_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi h1 h2 m1
+function nat m1
+)");
+}
+
+automata::Nfa nfa_for(const topo::Topology& t, const char* regex) {
+    return remove_epsilon(thompson(parse_path(regex), make_alphabet(t)));
+}
+
+TEST(Logical, Fig2ConstructionHasSourceSinkPaths) {
+    const topo::Topology t = fig2_topology();
+    const automata::Nfa nfa = nfa_for(t, "h1 .* dpi .* nat .* h2");
+    const Logical_topology lt =
+        build_logical(t, nfa, t.require("h1"), t.require("h2"));
+
+    ASSERT_TRUE(lt.solvable());
+    // Pruning must shrink the raw product (L x Q = 5 * |Q|).
+    EXPECT_LT(lt.pruned_vertex_count, lt.product_vertex_count);
+    // Some s -> t path exists.
+    const auto path =
+        graph::bfs_path(lt.graph, lt.source, lt.sink);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), lt.source);
+    EXPECT_EQ(path.back(), lt.sink);
+}
+
+TEST(Logical, PathsAvoidingM1DoNotLift) {
+    // Any s->t path must traverse a vertex located at m1 (the only nat
+    // placement) — the property the paper highlights about Figure 2.
+    const topo::Topology t = fig2_topology();
+    const automata::Nfa nfa = nfa_for(t, "h1 .* nat .* h2");
+    const Logical_topology lt =
+        build_logical(t, nfa, t.require("h1"), t.require("h2"));
+    ASSERT_TRUE(lt.solvable());
+    // Remove every edge whose consumed location is m1: sink must become
+    // unreachable.
+    graph::Digraph cut(lt.graph.vertex_count());
+    const topo::NodeId m1 = t.require("m1");
+    for (int e = 0; e < lt.graph.edge_count(); ++e) {
+        if (lt.edges[static_cast<std::size_t>(e)].location == m1) continue;
+        cut.add_edge(lt.graph.source(e), lt.graph.target(e));
+    }
+    EXPECT_TRUE(graph::bfs_path(cut, lt.source, lt.sink).empty());
+}
+
+TEST(Logical, EndpointRestrictionsApply) {
+    const topo::Topology t = fig2_topology();
+    const automata::Nfa nfa = nfa_for(t, ".*");
+    const Logical_topology lt =
+        build_logical(t, nfa, t.require("h1"), t.require("h2"));
+    // Every source edge must consume h1; every sink edge must leave a vertex
+    // located at h2 (its incoming edges consumed h2).
+    for (graph::Edge e : lt.graph.out_edges(lt.source))
+        EXPECT_EQ(lt.edges[static_cast<std::size_t>(e)].location,
+                  t.require("h1"));
+    for (graph::Edge e : lt.graph.in_edges(lt.sink)) {
+        const graph::Vertex v = lt.graph.source(e);
+        for (graph::Edge in : lt.graph.in_edges(v))
+            EXPECT_EQ(lt.edges[static_cast<std::size_t>(in)].location,
+                      t.require("h2"));
+    }
+}
+
+TEST(Logical, UnsatisfiableExpressionYieldsUnsolvable) {
+    const topo::Topology t = fig2_topology();
+    // s1 and s2 are not adjacent to h2 without passing through others; the
+    // expression "h1 h2" (direct hop) is unsatisfiable on this topology.
+    const automata::Nfa nfa = nfa_for(t, "h1 h2");
+    const Logical_topology lt =
+        build_logical(t, nfa, t.require("h1"), t.require("h2"));
+    EXPECT_FALSE(lt.solvable());
+}
+
+TEST(Logical, LabelsExposeFunctionPlacements) {
+    const topo::Topology t = fig2_topology();
+    const automata::Nfa nfa = nfa_for(t, ".* nat .*");
+    const Logical_topology lt = build_logical(t, nfa, std::nullopt,
+                                              std::nullopt);
+    bool found_nat_label = false;
+    for (const Logical_edge& e : lt.edges) {
+        if (e.label == automata::kNoLabel) continue;
+        EXPECT_EQ(lt.labels[static_cast<std::size_t>(e.label)], "nat");
+        EXPECT_EQ(e.location, t.require("m1"));
+        found_nat_label = true;
+    }
+    EXPECT_TRUE(found_nat_label);
+}
+
+}  // namespace
+}  // namespace merlin::core

@@ -1,0 +1,276 @@
+// Exact oracles for the solver substrate.
+//
+// The grid-search property in lp_test.cpp bounds optimality only loosely;
+// these tests compare against *exact* oracles: brute-force enumeration of
+// basic solutions (candidate vertices) for LPs, and a Myhill-Nerode
+// equivalence-class count for DFA minimization.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "automata/automata.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace merlin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LP vertex-enumeration oracle: for a small LP with variables in [0, u] and
+// <=/>= constraints, every vertex of the polytope is determined by choosing
+// n active constraints (from rows and bounds) and solving the linear system.
+// We enumerate all subsets, keep feasible points, and take the best.
+// ---------------------------------------------------------------------------
+
+constexpr int kVars = 3;
+
+struct OracleRow {
+    std::array<double, kVars> a;
+    double rhs;
+    lp::Sense sense;
+};
+
+// Solves a 3x3 system by Gaussian elimination; false if singular.
+bool solve3(std::array<std::array<double, kVars>, kVars> m,
+            std::array<double, kVars> b, std::array<double, kVars>& x) {
+    for (int c = 0; c < kVars; ++c) {
+        int pivot = -1;
+        double best = 1e-9;
+        for (int r = c; r < kVars; ++r)
+            if (std::abs(m[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(c)]) > best) {
+                best = std::abs(m[static_cast<std::size_t>(r)]
+                                 [static_cast<std::size_t>(c)]);
+                pivot = r;
+            }
+        if (pivot < 0) return false;
+        std::swap(m[static_cast<std::size_t>(c)],
+                  m[static_cast<std::size_t>(pivot)]);
+        std::swap(b[static_cast<std::size_t>(c)],
+                  b[static_cast<std::size_t>(pivot)]);
+        for (int r = 0; r < kVars; ++r) {
+            if (r == c) continue;
+            const double f = m[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(c)] /
+                             m[static_cast<std::size_t>(c)]
+                              [static_cast<std::size_t>(c)];
+            for (int k = c; k < kVars; ++k)
+                m[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] -=
+                    f * m[static_cast<std::size_t>(c)]
+                         [static_cast<std::size_t>(k)];
+            b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(c)];
+        }
+    }
+    for (int c = 0; c < kVars; ++c)
+        x[static_cast<std::size_t>(c)] = b[static_cast<std::size_t>(c)] /
+                                         m[static_cast<std::size_t>(c)]
+                                          [static_cast<std::size_t>(c)];
+    return true;
+}
+
+// Enumerates candidate vertices; returns the optimal objective or +inf.
+double vertex_oracle(const std::array<double, kVars>& cost, double upper,
+                     const std::vector<OracleRow>& rows) {
+    // Active-constraint pool: each row as equality, plus x_i = 0 / x_i = u.
+    struct Plane {
+        std::array<double, kVars> a;
+        double rhs;
+    };
+    std::vector<Plane> planes;
+    for (const OracleRow& r : rows) planes.push_back({r.a, r.rhs});
+    for (int i = 0; i < kVars; ++i) {
+        Plane lo{};
+        lo.a[static_cast<std::size_t>(i)] = 1;
+        lo.rhs = 0;
+        planes.push_back(lo);
+        Plane hi{};
+        hi.a[static_cast<std::size_t>(i)] = 1;
+        hi.rhs = upper;
+        planes.push_back(hi);
+    }
+    double best = std::numeric_limits<double>::infinity();
+    const int n = static_cast<int>(planes.size());
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            for (int k = j + 1; k < n; ++k) {
+                std::array<std::array<double, kVars>, kVars> m{
+                    planes[static_cast<std::size_t>(i)].a,
+                    planes[static_cast<std::size_t>(j)].a,
+                    planes[static_cast<std::size_t>(k)].a};
+                std::array<double, kVars> b{
+                    planes[static_cast<std::size_t>(i)].rhs,
+                    planes[static_cast<std::size_t>(j)].rhs,
+                    planes[static_cast<std::size_t>(k)].rhs};
+                std::array<double, kVars> x{};
+                if (!solve3(m, b, x)) continue;
+                // Feasibility.
+                bool ok = true;
+                for (int v = 0; v < kVars && ok; ++v)
+                    ok = x[static_cast<std::size_t>(v)] >= -1e-7 &&
+                         x[static_cast<std::size_t>(v)] <= upper + 1e-7;
+                for (const OracleRow& r : rows) {
+                    if (!ok) break;
+                    double act = 0;
+                    for (int v = 0; v < kVars; ++v)
+                        act += r.a[static_cast<std::size_t>(v)] *
+                               x[static_cast<std::size_t>(v)];
+                    ok = r.sense == lp::Sense::less_equal ? act <= r.rhs + 1e-7
+                                                          : act >= r.rhs - 1e-7;
+                }
+                if (!ok) continue;
+                double obj = 0;
+                for (int v = 0; v < kVars; ++v)
+                    obj += cost[static_cast<std::size_t>(v)] *
+                           x[static_cast<std::size_t>(v)];
+                best = std::min(best, obj);
+            }
+    return best;
+}
+
+class LpVertexOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpVertexOracle, SimplexMatchesEnumeratedVertices) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611);
+    constexpr double kUpper = 3.0;
+    for (int round = 0; round < 25; ++round) {
+        std::array<double, kVars> cost{};
+        for (double& c : cost) c = std::round(rng.real(-5, 5));
+
+        lp::Problem p;
+        for (int v = 0; v < kVars; ++v)
+            (void)p.add_variable(cost[static_cast<std::size_t>(v)], 0, kUpper);
+        std::vector<OracleRow> rows;
+        const int row_count = static_cast<int>(rng.uniform(1, 4));
+        for (int r = 0; r < row_count; ++r) {
+            OracleRow row{};
+            for (double& a : row.a) a = std::round(rng.real(-2, 3));
+            row.rhs = std::round(rng.real(1, 8));
+            row.sense = rng.chance(0.6) ? lp::Sense::less_equal
+                                        : lp::Sense::greater_equal;
+            std::vector<std::pair<int, double>> coeffs;
+            for (int v = 0; v < kVars; ++v)
+                if (row.a[static_cast<std::size_t>(v)] != 0)
+                    coeffs.emplace_back(v, row.a[static_cast<std::size_t>(v)]);
+            if (coeffs.empty()) {
+                --r;
+                continue;
+            }
+            p.add_constraint(row.sense, row.rhs, std::move(coeffs));
+            rows.push_back(row);
+        }
+
+        const double oracle = vertex_oracle(cost, kUpper, rows);
+        const lp::Solution s = lp::solve(p);
+        if (std::isinf(oracle)) {
+            EXPECT_EQ(s.status, lp::Status::infeasible) << "round " << round;
+        } else {
+            ASSERT_TRUE(s.optimal()) << "round " << round;
+            EXPECT_NEAR(s.objective, oracle, 1e-5) << "round " << round;
+            EXPECT_LE(p.violation(s.x), 1e-6);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpVertexOracle,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Minimization oracle: the number of Myhill-Nerode classes of a DFA equals
+// the minimal automaton's state count (over reachable states).
+// ---------------------------------------------------------------------------
+
+int nerode_classes(const automata::Dfa& dfa) {
+    const int n = dfa.state_count();
+    // Reachable states only.
+    std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+    std::vector<int> stack{dfa.start};
+    reachable[static_cast<std::size_t>(dfa.start)] = true;
+    while (!stack.empty()) {
+        const int q = stack.back();
+        stack.pop_back();
+        for (int s = 0; s < dfa.alphabet_size; ++s) {
+            const int t = dfa.next[static_cast<std::size_t>(q)]
+                                  [static_cast<std::size_t>(s)];
+            if (!reachable[static_cast<std::size_t>(t)]) {
+                reachable[static_cast<std::size_t>(t)] = true;
+                stack.push_back(t);
+            }
+        }
+    }
+    // Table-filling distinguishability.
+    std::vector<std::vector<bool>> distinct(
+        static_cast<std::size_t>(n),
+        std::vector<bool>(static_cast<std::size_t>(n), false));
+    for (int a = 0; a < n; ++a)
+        for (int b = 0; b < n; ++b)
+            if (dfa.accepting[static_cast<std::size_t>(a)] !=
+                dfa.accepting[static_cast<std::size_t>(b)])
+                distinct[static_cast<std::size_t>(a)]
+                        [static_cast<std::size_t>(b)] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int a = 0; a < n; ++a)
+            for (int b = 0; b < n; ++b) {
+                if (distinct[static_cast<std::size_t>(a)]
+                            [static_cast<std::size_t>(b)])
+                    continue;
+                for (int s = 0; s < dfa.alphabet_size; ++s) {
+                    const int ta = dfa.next[static_cast<std::size_t>(a)]
+                                           [static_cast<std::size_t>(s)];
+                    const int tb = dfa.next[static_cast<std::size_t>(b)]
+                                           [static_cast<std::size_t>(s)];
+                    if (distinct[static_cast<std::size_t>(ta)]
+                                [static_cast<std::size_t>(tb)]) {
+                        distinct[static_cast<std::size_t>(a)]
+                                [static_cast<std::size_t>(b)] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+    }
+    // Count classes among reachable states.
+    std::vector<int> representative;
+    for (int q = 0; q < n; ++q) {
+        if (!reachable[static_cast<std::size_t>(q)]) continue;
+        bool found = false;
+        for (int r : representative)
+            if (!distinct[static_cast<std::size_t>(q)]
+                         [static_cast<std::size_t>(r)])
+                found = true;
+        if (!found) representative.push_back(q);
+    }
+    return static_cast<int>(representative.size());
+}
+
+class MinimizeOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeOracle, HopcroftMatchesTableFilling) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 15137);
+    for (int round = 0; round < 30; ++round) {
+        // Random complete DFA over a 2-3 symbol alphabet.
+        automata::Dfa dfa;
+        dfa.alphabet_size = static_cast<int>(rng.uniform(2, 3));
+        const int states = static_cast<int>(rng.uniform(2, 10));
+        dfa.start = 0;
+        for (int q = 0; q < states; ++q) {
+            dfa.accepting.push_back(rng.chance(0.4));
+            dfa.next.emplace_back();
+            for (int s = 0; s < dfa.alphabet_size; ++s)
+                dfa.next.back().push_back(
+                    static_cast<int>(rng.uniform(0, states - 1)));
+        }
+        const automata::Dfa minimal = automata::minimize(dfa);
+        EXPECT_TRUE(automata::equivalent(minimal, dfa)) << "round " << round;
+        EXPECT_EQ(minimal.state_count(), nerode_classes(dfa))
+            << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeOracle,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,160 @@
+#include "mip/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace merlin::mip {
+namespace {
+
+TEST(Mip, KnapsackSmall) {
+    // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary) => pick a and b: 16.
+    Problem p;
+    const int a = p.add_binary(-10);
+    const int b = p.add_binary(-6);
+    const int c = p.add_binary(-4);
+    p.add_constraint(lp::Sense::less_equal, 2, {{a, 1}, {b, 1}, {c, 1}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.objective, -16, 1e-6);
+    EXPECT_EQ(s.x[0], 1);
+    EXPECT_EQ(s.x[1], 1);
+    EXPECT_EQ(s.x[2], 0);
+}
+
+TEST(Mip, FractionalRelaxationForcesBranching) {
+    // Classic: max x1 + x2 s.t. 2x1 + 2x2 <= 3 binary. LP gives 1.5 total;
+    // MIP optimum is 1 (either variable).
+    Problem p;
+    const int x1 = p.add_binary(-1);
+    const int x2 = p.add_binary(-1);
+    p.add_constraint(lp::Sense::less_equal, 3, {{x1, 2}, {x2, 2}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.objective, -1, 1e-6);
+    EXPECT_NEAR(s.x[0] + s.x[1], 1, 1e-6);
+}
+
+TEST(Mip, MixedContinuousAndBinary) {
+    // min y s.t. y >= 1.3 - b, y >= b - 0.2, y >= 0, b binary.
+    // b=1: y >= 0.8; b=0: y >= 1.3 => optimum b=1, y=0.8.
+    Problem p;
+    const int b = p.add_binary(0);
+    const int y = p.add_continuous(1, 0, lp::kInfinity);
+    p.add_constraint(lp::Sense::greater_equal, 1.3, {{y, 1}, {b, 1}});
+    p.add_constraint(lp::Sense::greater_equal, -0.2, {{y, 1}, {b, -1}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_EQ(s.x[0], 1);
+    EXPECT_NEAR(s.x[1], 0.8, 1e-6);
+}
+
+TEST(Mip, InfeasibleDetected) {
+    Problem p;
+    const int a = p.add_binary(1);
+    const int b = p.add_binary(1);
+    p.add_constraint(lp::Sense::greater_equal, 3, {{a, 1}, {b, 1}});
+    EXPECT_EQ(solve(p).status, Status::infeasible);
+}
+
+TEST(Mip, EqualityOverBinaries) {
+    // Exactly-one constraint: pick the cheapest of three.
+    Problem p;
+    const int a = p.add_binary(5);
+    const int b = p.add_binary(3);
+    const int c = p.add_binary(9);
+    p.add_constraint(lp::Sense::equal, 1, {{a, 1}, {b, 1}, {c, 1}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.objective, 3, 1e-6);
+    EXPECT_EQ(s.x[1], 1);
+}
+
+TEST(Mip, NodeLimitReported) {
+    // A problem engineered to branch: many symmetric fractional vars with a
+    // tiny node budget.
+    Problem p;
+    std::vector<std::pair<int, double>> sum;
+    for (int i = 0; i < 10; ++i) sum.emplace_back(p.add_binary(-1), 2.0);
+    p.add_constraint(lp::Sense::less_equal, 9, sum);
+    Options o;
+    o.max_nodes = 1;
+    const Solution s = solve(p, o);
+    EXPECT_EQ(s.status, Status::node_limit);
+}
+
+// Property sweep: random binary programs vs exhaustive enumeration.
+class MipBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipBruteForce, MatchesEnumeration) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503u);
+    for (int round = 0; round < 8; ++round) {
+        constexpr int kVars = 8;
+        Problem p;
+        double costs[kVars];
+        for (double& c : costs) c = std::round(rng.real(-10, 10));
+        for (double c : costs) (void)p.add_binary(c);
+
+        const int rows = static_cast<int>(rng.uniform(1, 3));
+        struct Row {
+            double a[kVars];
+            double rhs;
+            lp::Sense sense;
+        };
+        std::vector<Row> rows_data;
+        for (int i = 0; i < rows; ++i) {
+            Row r;
+            for (double& c : r.a) c = std::round(rng.real(0, 4));
+            r.rhs = std::round(rng.real(2, 10));
+            r.sense = rng.chance(0.7) ? lp::Sense::less_equal
+                                      : lp::Sense::greater_equal;
+            std::vector<std::pair<int, double>> coeffs;
+            for (int j = 0; j < kVars; ++j)
+                if (r.a[j] != 0) coeffs.emplace_back(j, r.a[j]);
+            if (coeffs.empty()) {
+                --i;
+                continue;
+            }
+            p.add_constraint(r.sense, r.rhs, std::move(coeffs));
+            rows_data.push_back(r);
+        }
+
+        // Brute force over 2^8 assignments.
+        double best = lp::kInfinity;
+        for (unsigned mask = 0; mask < (1u << kVars); ++mask) {
+            bool ok = true;
+            for (const Row& r : rows_data) {
+                double act = 0;
+                for (int j = 0; j < kVars; ++j)
+                    if (mask & (1u << j)) act += r.a[j];
+                if (r.sense == lp::Sense::less_equal ? act > r.rhs
+                                                     : act < r.rhs) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok) continue;
+            double obj = 0;
+            for (int j = 0; j < kVars; ++j)
+                if (mask & (1u << j)) obj += costs[j];
+            best = std::min(best, obj);
+        }
+
+        const Solution s = solve(p);
+        if (best == lp::kInfinity) {
+            EXPECT_EQ(s.status, Status::infeasible);
+        } else {
+            ASSERT_TRUE(s.optimal()) << "round " << round;
+            EXPECT_NEAR(s.objective, best, 1e-6) << "round " << round;
+            EXPECT_LE(p.relaxation().violation(s.x), 1e-6);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace merlin::mip

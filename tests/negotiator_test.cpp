@@ -1,0 +1,283 @@
+#include "negotiator/negotiator.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace merlin::negotiator {
+namespace {
+
+using merlin::parser::parse_policy;
+using merlin::parser::parse_predicate;
+
+automata::Alphabet test_alphabet() {
+    automata::Alphabet a;
+    for (const char* loc : {"h1", "h2", "s1", "s2", "m1"})
+        (void)a.add_location(loc);
+    a.add_function("dpi", {"m1"});
+    a.add_function("log", {"m1"});
+    a.add_function("nat", {"m1"});
+    return a;
+}
+
+// Section 4.1's running delegation example: a 100MB/s cap on all traffic
+// between two hosts...
+const char* kParent = R"(
+[x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .*],
+max(x, 100MB/s)
+)";
+
+// ...refined into HTTP via log (50), SSH (25), and the rest via dpi (25).
+const char* kValidRefinement = R"(
+[x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80)
+     -> .* log .*],
+[y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22)
+     -> .* ],
+[z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+      !(tcpDst=22 | tcpDst=80)) -> .* dpi .*],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+)";
+
+TEST(Verify, PaperSection41ExampleIsValid) {
+    const Verdict v =
+        verify_refinement(parse_policy(kParent),
+                          parse_policy(kValidRefinement), test_alphabet());
+    EXPECT_TRUE(v.valid) << v.reason;
+}
+
+TEST(Verify, OverAllocationRejected) {
+    // 50 + 60 + 25 > 100.
+    std::string text = kValidRefinement;
+    const auto pos = text.find("max(y, 25MB/s)");
+    text.replace(pos, 14, "max(y, 60MB/s)");
+    const Verdict v = verify_refinement(
+        parse_policy(kParent), parse_policy(text), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("above its cap"), std::string::npos);
+}
+
+TEST(Verify, UncappedChildOfCappedParentRejected) {
+    std::string text = kValidRefinement;
+    const auto pos = text.find(" and max(z, 25MB/s)");
+    text.replace(pos, 19, "");
+    const Verdict v = verify_refinement(
+        parse_policy(kParent), parse_policy(text), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("uncapped"), std::string::npos);
+}
+
+TEST(Verify, NonTotalPartitionRejected) {
+    // Dropping the z statement leaves non-HTTP/SSH traffic unhandled.
+    const char* partial = R"(
+[x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80)
+     -> .* log .*],
+[y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22)
+     -> .* ],
+max(x, 50MB/s) and max(y, 25MB/s)
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(kParent), parse_policy(partial), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("total"), std::string::npos);
+}
+
+TEST(Verify, ClaimingNewTrafficRejected) {
+    const char* grabby = R"(
+[x : (ip.src = 192.168.1.1) -> .*],
+max(x, 100MB/s)
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(kParent), parse_policy(grabby), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("outside the original"), std::string::npos);
+}
+
+TEST(Verify, LiftedPathConstraintRejected) {
+    // Section 4.2: "a tenant could lift restrictions on forwarding paths".
+    const char* parent = R"(
+[x : ip.src = 192.168.1.1 -> .* log .*]
+)";
+    const char* lifted = R"(
+[x : ip.src = 192.168.1.1 -> .*]
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(parent), parse_policy(lifted), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("paths"), std::string::npos);
+}
+
+TEST(Verify, AddedPathConstraintAccepted) {
+    // Section 4.1: ".* log .*" refined to ".* log .* dpi .*" is valid.
+    const char* parent = R"(
+[x : ip.src = 192.168.1.1 -> .* log .*]
+)";
+    const char* tightened = R"(
+[x : ip.src = 192.168.1.1 -> .* log .* dpi .*]
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(parent), parse_policy(tightened), test_alphabet());
+    EXPECT_TRUE(v.valid) << v.reason;
+}
+
+TEST(Verify, WeakenedGuaranteeRejected) {
+    const char* parent = R"(
+[x : ip.src = 192.168.1.1 -> .*], min(x, 100MB/s)
+)";
+    const char* weakened = R"(
+[a : ip.src = 192.168.1.1 and tcp.dst = 80 -> .*],
+[b : ip.src = 192.168.1.1 and tcp.dst != 80 -> .*],
+min(a, 40MB/s) and min(b, 40MB/s)
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(parent), parse_policy(weakened), test_alphabet());
+    EXPECT_FALSE(v.valid);
+    EXPECT_NE(v.reason.find("below its guarantee"), std::string::npos);
+}
+
+TEST(Verify, SplitGuaranteeCoveringOriginalAccepted) {
+    const char* parent = R"(
+[x : ip.src = 192.168.1.1 -> .*], min(x, 100MB/s)
+)";
+    const char* split = R"(
+[a : ip.src = 192.168.1.1 and tcp.dst = 80 -> .*],
+[b : ip.src = 192.168.1.1 and tcp.dst != 80 -> .*],
+min(a, 60MB/s) and min(b, 40MB/s)
+)";
+    const Verdict v = verify_refinement(
+        parse_policy(parent), parse_policy(split), test_alphabet());
+    EXPECT_TRUE(v.valid) << v.reason;
+}
+
+TEST(Verify, AggregateTermsAllowReDivision) {
+    // max(x + y, R) bounds the SUM: moving bandwidth between x and y is
+    // valid as long as the total stays within R (Section 4.1's intent).
+    const char* parent = R"(
+[ x : tcp.dst = 80 -> .* ;
+  y : tcp.dst = 22 -> .* ],
+max(x + y, 100MB/s)
+)";
+    const char* shifted = R"(
+[ x : tcp.dst = 80 -> .* ;
+  y : tcp.dst = 22 -> .* ],
+max(x, 95MB/s) and max(y, 5MB/s)
+)";
+    EXPECT_TRUE(verify_refinement(parse_policy(parent),
+                                  parse_policy(shifted), test_alphabet())
+                    .valid);
+    const char* exceeded = R"(
+[ x : tcp.dst = 80 -> .* ;
+  y : tcp.dst = 22 -> .* ],
+max(x, 95MB/s) and max(y, 15MB/s)
+)";
+    EXPECT_FALSE(verify_refinement(parse_policy(parent),
+                                   parse_policy(exceeded), test_alphabet())
+                     .valid);
+}
+
+TEST(Delegation, ScopesPredicatesAndFormula) {
+    const ir::Policy global = parse_policy(R"(
+[ a : tcp.dst = 80 -> .* ;
+  b : tcp.dst = 22 -> .* ],
+max(a, 50MB/s) and max(b, 25MB/s)
+)");
+    // Scope to traffic from one source: both statements survive, scoped.
+    const ir::Policy scoped =
+        delegate_policy(global, parse_predicate("ip.src = 192.168.1.1"));
+    ASSERT_EQ(scoped.statements.size(), 2u);
+    EXPECT_NE(ir::to_string(scoped.statements[0].predicate)
+                  .find("192.168.1.1"),
+              std::string::npos);
+    ASSERT_TRUE(scoped.formula);
+
+    // Scope that contradicts statement a: only b survives, and a's cap
+    // disappears from the formula.
+    const ir::Policy only_b =
+        delegate_policy(global, parse_predicate("tcp.dst = 22"));
+    ASSERT_EQ(only_b.statements.size(), 1u);
+    EXPECT_EQ(only_b.statements[0].id, "b");
+    ASSERT_TRUE(only_b.formula);
+    EXPECT_EQ(only_b.formula->kind, ir::Formula_kind::max);
+    EXPECT_EQ(only_b.formula->term.ids,
+              (std::vector<std::string>{"b"}));
+}
+
+TEST(Negotiator, TreeDelegationAndProposal) {
+    Negotiator root("root", parse_policy(kParent), test_alphabet());
+    Negotiator& tenant =
+        root.add_child("tenant", parse_predicate("ip.src = 192.168.1.1"));
+    EXPECT_EQ(root.children().size(), 1u);
+    EXPECT_EQ(root.child("tenant"), &tenant);
+    EXPECT_EQ(root.child("nobody"), nullptr);
+
+    // The tenant proposes the paper's refinement of its envelope.
+    const Verdict ok = tenant.propose(parse_policy(kValidRefinement));
+    EXPECT_TRUE(ok.valid) << ok.reason;
+    EXPECT_EQ(tenant.active().statements.size(), 3u);
+
+    // An over-allocation is rejected and the active policy is unchanged.
+    std::string bad = kValidRefinement;
+    bad.replace(bad.find("max(x, 50MB/s)"), 14, "max(x, 90MB/s)");
+    const Verdict rejected = tenant.propose(parse_policy(bad));
+    EXPECT_FALSE(rejected.valid);
+    EXPECT_EQ(tenant.active().statements.size(), 3u);
+}
+
+TEST(Aimd, SawtoothNeverExceedsPool) {
+    const Aimd aimd(mbps(500), mbps(25), 0.5);
+    std::vector<Bandwidth> rates{mbps(10), mbps(10)};
+    Bandwidth peak;
+    int decreases = 0;
+    for (int tick = 0; tick < 200; ++tick) {
+        const auto before = rates;
+        rates = aimd.step(rates, {true, true});
+        Bandwidth total;
+        for (Bandwidth r : rates) total += r;
+        EXPECT_LE(total.bps(), mbps(500).bps());
+        if (rates[0] < before[0]) ++decreases;
+        peak = std::max(peak, total);
+    }
+    // The classic sawtooth: rates climbed near the pool then backed off.
+    EXPECT_GT(peak.bps(), mbps(400).bps());
+    EXPECT_GT(decreases, 2);
+}
+
+TEST(Aimd, IdleTenantsKeepTheirRate) {
+    const Aimd aimd(mbps(100), mbps(10), 0.5);
+    const auto rates = aimd.step({mbps(20), mbps(30)}, {false, false});
+    EXPECT_EQ(rates[0], mbps(20));
+    EXPECT_EQ(rates[1], mbps(30));
+}
+
+TEST(Mmfs, WaterFillingTextbookCases) {
+    // Demands 10/40/60 over 100: smallest fully satisfied, rest split.
+    const auto a = max_min_fair(mbps(100), {mbps(10), mbps(40), mbps(60)});
+    EXPECT_EQ(a[0].bps(), mbps(10).bps());
+    EXPECT_EQ(a[1].bps(), mbps(40).bps());
+    EXPECT_EQ(a[2].bps(), mbps(50).bps());
+
+    // Everyone demands more than a fair share: equal split.
+    const auto b = max_min_fair(mbps(90), {mbps(100), mbps(100), mbps(100)});
+    EXPECT_EQ(b[0].bps(), mbps(30).bps());
+    EXPECT_EQ(b[1].bps(), mbps(30).bps());
+    EXPECT_EQ(b[2].bps(), mbps(30).bps());
+}
+
+TEST(Mmfs, LeftoverIsRedistributed) {
+    // Demands below the pool: leftovers handed back evenly.
+    const auto a = max_min_fair(mbps(100), {mbps(10), mbps(20)});
+    EXPECT_EQ((a[0] + a[1]).bps(), mbps(100).bps());
+    EXPECT_EQ(a[0].bps(), mbps(45).bps());  // 10 + 35 leftover share
+    EXPECT_EQ(a[1].bps(), mbps(55).bps());  // 20 + 35 leftover share
+}
+
+TEST(Mmfs, EdgeCases) {
+    EXPECT_TRUE(max_min_fair(mbps(10), {}).empty());
+    const auto one = max_min_fair(mbps(10), {mbps(50)});
+    EXPECT_EQ(one[0].bps(), mbps(10).bps());
+    const auto zero_pool = max_min_fair(Bandwidth{}, {mbps(5), mbps(5)});
+    EXPECT_EQ(zero_pool[0].bps(), 0u);
+    EXPECT_EQ(zero_pool[1].bps(), 0u);
+}
+
+}  // namespace
+}  // namespace merlin::negotiator

@@ -1,0 +1,154 @@
+// Hierarchical negotiator scenarios: multi-level delegation chains,
+// redistribution under changing demands, and envelope enforcement across
+// levels (Section 4).
+#include <gtest/gtest.h>
+
+#include "negotiator/negotiator.h"
+
+#include "presburger/localize.h"
+#include "parser/parser.h"
+
+namespace merlin::negotiator {
+namespace {
+
+using merlin::parser::parse_policy;
+using merlin::parser::parse_predicate;
+
+automata::Alphabet alphabet() {
+    automata::Alphabet a;
+    for (const char* loc : {"s1", "s2", "m1"}) (void)a.add_location(loc);
+    a.add_function("dpi", {"m1"});
+    return a;
+}
+
+TEST(NegotiatorTree, TwoLevelDelegationChain) {
+    // Root caps two tenants' subnets; the tenant further delegates a slice
+    // to a team; refinements at the bottom must respect the ROOT policy
+    // transitively, because each envelope was produced from the level above.
+    Negotiator root("root", parse_policy(R"(
+[ a : ip.src = 10.0.0.1 -> .* ;
+  b : ip.src = 10.0.0.2 -> .* ],
+max(a, 40MB/s) and max(b, 60MB/s)
+)"), alphabet());
+
+    Negotiator& tenant =
+        root.add_child("tenant", parse_predicate("ip.src = 10.0.0.1"));
+    // The tenant's envelope no longer mentions statement b.
+    EXPECT_EQ(tenant.envelope().statements.size(), 1u);
+
+    Negotiator& team =
+        tenant.add_child("team", parse_predicate("ip.proto = tcp"));
+    EXPECT_EQ(team.envelope().statements.size(), 1u);
+
+    // The team partitions its slice within the 40MB/s cap: valid.
+    const Verdict ok = team.propose(parse_policy(R"(
+[ w : ip.src = 10.0.0.1 and ip.proto = tcp and tcp.dst = 80 -> .* ;
+  r : ip.src = 10.0.0.1 and ip.proto = tcp and tcp.dst != 80 -> .* ],
+max(w, 30MB/s) and max(r, 10MB/s)
+)"));
+    EXPECT_TRUE(ok.valid) << ok.reason;
+
+    // Exceeding the inherited cap is rejected at the team level.
+    const Verdict bad = team.propose(parse_policy(R"(
+[ w : ip.src = 10.0.0.1 and ip.proto = tcp and tcp.dst = 80 -> .* ;
+  r : ip.src = 10.0.0.1 and ip.proto = tcp and tcp.dst != 80 -> .* ],
+max(w, 35MB/s) and max(r, 10MB/s)
+)"));
+    EXPECT_FALSE(bad.valid);
+}
+
+TEST(NegotiatorTree, RedistributeFollowsDemand) {
+    Negotiator node("tenant", parse_policy(R"(
+[ a : tcp.dst = 80 -> .* ;
+  b : tcp.dst = 22 -> .* ],
+max(a + b, 100MB/s)
+)"), alphabet());
+
+    // Demand shifts toward a: it receives the larger share, total unchanged.
+    // (The aggregate term is what makes cross-statement re-division legal.)
+    const Verdict v = node.redistribute(
+        {{"a", mb_per_sec(90)}, {"b", mb_per_sec(10)}});
+    ASSERT_TRUE(v.valid) << v.reason;
+    const auto rates = presburger::requirements(
+        presburger::localize(node.active().formula));
+    EXPECT_EQ(rates.caps.at("a"), mb_per_sec(90));
+    EXPECT_EQ(rates.caps.at("b"), mb_per_sec(10));
+
+    // Both greedy: equal split.
+    const Verdict v2 = node.redistribute(
+        {{"a", mb_per_sec(200)}, {"b", mb_per_sec(200)}});
+    ASSERT_TRUE(v2.valid) << v2.reason;
+    const auto rates2 = presburger::requirements(
+        presburger::localize(node.active().formula));
+    EXPECT_EQ(rates2.caps.at("a"), mb_per_sec(50));
+    EXPECT_EQ(rates2.caps.at("b"), mb_per_sec(50));
+}
+
+TEST(NegotiatorTree, RedistributePreservesGuarantees) {
+    Negotiator node("tenant", parse_policy(R"(
+[ a : tcp.dst = 80 -> .* ;
+  b : tcp.dst = 22 -> .* ],
+max(a + b, 100MB/s) and min(a, 10MB/s)
+)"), alphabet());
+    const Verdict v = node.redistribute(
+        {{"a", mb_per_sec(20)}, {"b", mb_per_sec(80)}});
+    ASSERT_TRUE(v.valid) << v.reason;
+    const auto rates = presburger::requirements(
+        presburger::localize(node.active().formula));
+    EXPECT_EQ(rates.guarantees.at("a"), mb_per_sec(10));
+    EXPECT_EQ(rates.caps.at("a") + rates.caps.at("b"), mb_per_sec(100));
+}
+
+TEST(NegotiatorTree, RedistributeWithoutCapsFails) {
+    Negotiator node("tenant", parse_policy(R"(
+[ a : tcp.dst = 80 -> .* ]
+)"), alphabet());
+    const Verdict v = node.redistribute({{"a", mb_per_sec(10)}});
+    EXPECT_FALSE(v.valid);
+}
+
+TEST(NegotiatorTree, ScopedDelegationDropsForeignStatements) {
+    Negotiator root("root", parse_policy(R"(
+[ a : ip.src = 10.0.0.1 -> .* dpi .* ;
+  b : ip.src = 10.0.0.2 -> .* ],
+max(a, 10MB/s) and max(b, 10MB/s)
+)"), alphabet());
+    Negotiator& child =
+        root.add_child("c", parse_predicate("ip.src = 10.0.0.1"));
+    ASSERT_EQ(child.envelope().statements.size(), 1u);
+    // The envelope keeps a's path constraint; lifting it is rejected.
+    const Verdict lifted = child.propose(parse_policy(R"(
+[ a : ip.src = 10.0.0.1 -> .* ], max(a, 10MB/s)
+)"));
+    EXPECT_FALSE(lifted.valid);
+}
+
+
+TEST(NegotiatorTree, PathScopedDelegation) {
+    // Section 5: delegation intersects regular expressions too. Scoping the
+    // child to paths through dpi tightens every statement's language.
+    const ir::Policy global = parse_policy(R"(
+[ a : ip.src = 10.0.0.1 -> .* ]
+)");
+    const ir::Policy scoped = delegate_policy(
+        global, parse_predicate("true"),
+        merlin::parser::parse_path(".* dpi .*"));
+    ASSERT_EQ(scoped.statements.size(), 1u);
+
+    // The scoped language is exactly the intersection: included in both
+    // operands, and excludes dpi-free paths.
+    const automata::Alphabet a = alphabet();
+    const auto dfa = [&](const ir::PathPtr& p) {
+        return automata::determinize(automata::thompson(p, a));
+    };
+    const auto intersection = dfa(scoped.statements[0].path);
+    EXPECT_TRUE(automata::subset_of(intersection,
+                                    dfa(global.statements[0].path)));
+    EXPECT_TRUE(automata::subset_of(
+        intersection, dfa(merlin::parser::parse_path(".* dpi .*"))));
+    EXPECT_TRUE(automata::equivalent(
+        intersection, dfa(merlin::parser::parse_path(".* dpi .*"))));
+}
+
+}  // namespace
+}  // namespace merlin::negotiator

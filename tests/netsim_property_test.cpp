@@ -1,0 +1,129 @@
+// Property tests for the simulator's allocation core: invariants that must
+// hold for any flow set on any topology.
+#include <gtest/gtest.h>
+
+#include "netsim/sim.h"
+#include "topo/generators.h"
+#include "util/rng.h"
+
+namespace merlin::netsim {
+namespace {
+
+struct Instance {
+    std::vector<std::vector<int>> channels;
+    std::vector<std::uint64_t> guarantee;
+    std::vector<std::uint64_t> limit;
+    std::vector<std::uint64_t> capacity;
+};
+
+Instance random_instance(Rng& rng) {
+    Instance inst;
+    const int channels = static_cast<int>(rng.uniform(1, 6));
+    for (int c = 0; c < channels; ++c)
+        inst.capacity.push_back(
+            static_cast<std::uint64_t>(rng.uniform(50, 1000)) * 1'000'000);
+    const int flows = static_cast<int>(rng.uniform(1, 8));
+    for (int f = 0; f < flows; ++f) {
+        std::vector<int> path;
+        for (int c = 0; c < channels; ++c)
+            if (rng.chance(0.5)) path.push_back(c);
+        if (path.empty()) path.push_back(0);
+        inst.channels.push_back(path);
+        inst.limit.push_back(
+            rng.chance(0.3)
+                ? static_cast<std::uint64_t>(rng.uniform(10, 400)) * 1'000'000
+                : kUnlimited.bps());
+        inst.guarantee.push_back(
+            rng.chance(0.4)
+                ? static_cast<std::uint64_t>(rng.uniform(1, 40)) * 1'000'000
+                : 0);
+    }
+    return inst;
+}
+
+class FillProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FillProperty, CapacityLimitsAndGuarantees) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+    for (int round = 0; round < 40; ++round) {
+        const Instance inst = random_instance(rng);
+        const auto rates = progressive_fill(inst.channels, inst.guarantee,
+                                            inst.limit, inst.capacity);
+        ASSERT_EQ(rates.size(), inst.channels.size());
+
+        // (1) No channel is oversubscribed.
+        std::vector<std::uint64_t> used(inst.capacity.size(), 0);
+        for (std::size_t f = 0; f < rates.size(); ++f)
+            for (int c : inst.channels[f])
+                used[static_cast<std::size_t>(c)] += rates[f];
+        for (std::size_t c = 0; c < used.size(); ++c)
+            EXPECT_LE(used[c], inst.capacity[c] + rates.size())  // 1bps slop
+                << "channel " << c;
+
+        // (2) No flow exceeds its limit.
+        for (std::size_t f = 0; f < rates.size(); ++f)
+            EXPECT_LE(rates[f], inst.limit[f]);
+
+        // (3) Guarantee dominance: when guarantees fit every channel, each
+        // flow receives at least min(guarantee, limit).
+        bool guarantees_fit = true;
+        std::vector<std::uint64_t> committed(inst.capacity.size(), 0);
+        for (std::size_t f = 0; f < rates.size(); ++f)
+            for (int c : inst.channels[f])
+                committed[static_cast<std::size_t>(c)] +=
+                    std::min(inst.guarantee[f], inst.limit[f]);
+        for (std::size_t c = 0; c < committed.size(); ++c)
+            if (committed[c] > inst.capacity[c]) guarantees_fit = false;
+        if (guarantees_fit) {
+            for (std::size_t f = 0; f < rates.size(); ++f)
+                EXPECT_GE(rates[f] + 1,
+                          std::min(inst.guarantee[f], inst.limit[f]))
+                    << "flow " << f;
+        }
+
+        // (4) Work conservation / Pareto efficiency: no single flow can be
+        // raised by a meaningful amount without violating a constraint.
+        constexpr std::uint64_t kStep = 1'000'000;  // 1 Mbps
+        for (std::size_t f = 0; f < rates.size(); ++f) {
+            if (rates[f] + kStep > inst.limit[f]) continue;
+            bool channel_blocks = false;
+            for (int c : inst.channels[f])
+                if (used[static_cast<std::size_t>(c)] + kStep >
+                    inst.capacity[static_cast<std::size_t>(c)])
+                    channel_blocks = true;
+            EXPECT_TRUE(channel_blocks)
+                << "flow " << f << " could still grow by 1 Mbps";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FillProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SimProperty, RatesStableUnderRepeatedSteps) {
+    // Without configuration changes, repeated steps keep identical rates.
+    const topo::Topology t = topo::fat_tree(4);
+    Simulator sim(t);
+    Rng rng(99);
+    const auto hosts = t.hosts();
+    std::vector<FlowId> flows;
+    for (int i = 0; i < 10; ++i) {
+        const auto a = hosts[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<int>(hosts.size()) - 1))];
+        auto b = a;
+        while (b == a)
+            b = hosts[static_cast<std::size_t>(
+                rng.uniform(0, static_cast<int>(hosts.size()) - 1))];
+        flows.push_back(sim.add_flow({"f" + std::to_string(i), a, b, {},
+                                      kUnlimited, {}, std::nullopt}));
+    }
+    sim.step(0.1);
+    std::vector<std::uint64_t> first;
+    for (FlowId f : flows) first.push_back(sim.rate(f).bps());
+    for (int i = 0; i < 5; ++i) sim.step(0.1);
+    for (std::size_t i = 0; i < flows.size(); ++i)
+        EXPECT_EQ(sim.rate(flows[i]).bps(), first[i]);
+}
+
+}  // namespace
+}  // namespace merlin::netsim

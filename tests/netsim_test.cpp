@@ -1,0 +1,282 @@
+#include "netsim/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/apps.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace merlin::netsim {
+namespace {
+
+// Two hosts joined by one switch; all links 1Gbps.
+topo::Topology dumbbell() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+host h3
+host h4
+switch s1
+switch s2
+link h1 s1 1Gbps
+link h2 s1 1Gbps
+link s1 s2 1Gbps
+link h3 s2 1Gbps
+link h4 s2 1Gbps
+)");
+}
+
+TEST(ProgressiveFill, EqualSharingOnBottleneck) {
+    // Two flows over one shared channel of 100: 50 each.
+    const auto rates = progressive_fill({{0}, {0}}, {0, 0},
+                                        {1'000, 1'000}, {100});
+    EXPECT_EQ(rates[0], 50u);
+    EXPECT_EQ(rates[1], 50u);
+}
+
+TEST(ProgressiveFill, DemandBoundedFlowsReturnSpare) {
+    // Flow 0 wants only 20; flow 1 takes the rest.
+    const auto rates =
+        progressive_fill({{0}, {0}}, {0, 0}, {20, 1'000}, {100});
+    EXPECT_EQ(rates[0], 20u);
+    EXPECT_GE(rates[1], 79u);  // 80 modulo integer resolution
+}
+
+TEST(ProgressiveFill, GuaranteesHoldUnderCongestion) {
+    // Channel 100; flow 0 guaranteed 70, flow 1 unguaranteed but greedy.
+    const auto rates =
+        progressive_fill({{0}, {0}}, {70, 0}, {1'000, 1'000}, {100});
+    EXPECT_GE(rates[0], 70u);
+    EXPECT_LE(rates[0] + rates[1], 100u);
+    EXPECT_GE(rates[1], 14u);  // receives the residual share
+}
+
+TEST(ProgressiveFill, WorkConservingWhenGuaranteedFlowIdle) {
+    // The guaranteed flow demands almost nothing: the other flow may use
+    // nearly everything (Figure 5's "does not come at the expense of
+    // utilization").
+    const auto rates = progressive_fill({{0}, {0}}, {70, 0}, {5, 1'000}, {100});
+    EXPECT_EQ(rates[0], 5u);
+    EXPECT_GE(rates[1], 94u);
+}
+
+TEST(ProgressiveFill, CapsBindEvenWithSpareCapacity) {
+    const auto rates = progressive_fill({{0}}, {0}, {30}, {100});
+    EXPECT_EQ(rates[0], 30u);
+}
+
+TEST(ProgressiveFill, OversubscribedGuaranteesScaleDown) {
+    // Guarantees 80 + 80 on a 100 channel: scaled proportionally, no crash.
+    const auto rates =
+        progressive_fill({{0}, {0}}, {80, 80}, {80, 80}, {100});
+    EXPECT_LE(rates[0] + rates[1], 100u);
+    EXPECT_GT(rates[0], 40u);
+    EXPECT_GT(rates[1], 40u);
+}
+
+TEST(ProgressiveFill, MultiHopBottleneck) {
+    // Flow A crosses channels {0,1}, flow B only {1}, flow C only {0}.
+    // Channel 0 cap 100, channel 1 cap 60.
+    const auto rates = progressive_fill({{0, 1}, {1}, {0}}, {0, 0, 0},
+                                        {1'000, 1'000, 1'000}, {100, 60});
+    // Channel 1 splits 30/30; channel 0 then gives C the rest.
+    EXPECT_EQ(rates[0], 30u);
+    EXPECT_EQ(rates[1], 30u);
+    EXPECT_GE(rates[2], 69u);
+}
+
+TEST(Simulator, RoutesAndDirectionality) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    // Opposite directions over the shared s1-s2 link do not contend
+    // (full duplex).
+    const FlowId a = sim.add_flow(
+        {"a", t.require("h1"), t.require("h3"), {}, kUnlimited, {}, {}});
+    const FlowId b = sim.add_flow(
+        {"b", t.require("h4"), t.require("h2"), {}, kUnlimited, {}, {}});
+    sim.step(1.0);
+    EXPECT_EQ(sim.rate(a).bps(), gbps(1).bps());
+    EXPECT_EQ(sim.rate(b).bps(), gbps(1).bps());
+    // Routes avoid transiting hosts.
+    for (topo::NodeId n : sim.route(a))
+        if (n != t.require("h1") && n != t.require("h3"))
+            EXPECT_NE(t.node(n).kind, topo::Node_kind::host);
+}
+
+TEST(Simulator, SameDirectionContends) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    const FlowId a = sim.add_flow(
+        {"a", t.require("h1"), t.require("h3"), {}, kUnlimited, {}, {}});
+    const FlowId b = sim.add_flow(
+        {"b", t.require("h2"), t.require("h4"), {}, kUnlimited, {}, {}});
+    sim.step(1.0);
+    EXPECT_NEAR(static_cast<double>(sim.rate(a).bps()), 5e8, 1e6);
+    EXPECT_NEAR(static_cast<double>(sim.rate(b).bps()), 5e8, 1e6);
+}
+
+TEST(Simulator, DeliveredBytesAccumulate) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    const FlowId a = sim.add_flow(
+        {"a", t.require("h1"), t.require("h3"), {}, kUnlimited, {}, {}});
+    for (int i = 0; i < 10; ++i) sim.step(0.1);
+    // 1 Gbps for 1 s = 125 MB.
+    EXPECT_NEAR(sim.delivered_bytes(a), 125e6, 1e4);
+    EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Simulator, RemoveFlowFreesCapacity) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    const FlowId a = sim.add_flow(
+        {"a", t.require("h1"), t.require("h3"), {}, kUnlimited, {}, {}});
+    const FlowId b = sim.add_flow(
+        {"b", t.require("h2"), t.require("h4"), {}, kUnlimited, {}, {}});
+    sim.step(1.0);
+    EXPECT_LT(sim.rate(a).bps(), gbps(1).bps());
+    sim.remove_flow(b);
+    sim.step(1.0);
+    EXPECT_EQ(sim.rate(a).bps(), gbps(1).bps());
+}
+
+TEST(Simulator, ExplicitRouteRespected) {
+    const topo::Topology t = topo::parse_topology(R"(
+host h1
+host h2
+switch sa
+switch sb
+link h1 sa 1Gbps
+link h1 sb 1Gbps
+link sa h2 1Gbps
+link sb h2 1Gbps
+)");
+    Simulator sim(t);
+    const std::vector<topo::NodeId> via_b{t.require("h1"), t.require("sb"),
+                                          t.require("h2")};
+    const FlowId f = sim.add_flow(
+        {"f", t.require("h1"), t.require("h2"), via_b, kUnlimited, {}, {}});
+    EXPECT_EQ(sim.route(f), via_b);
+    EXPECT_THROW(sim.add_flow({"g", t.require("h1"), t.require("h2"),
+                               {t.require("h1"), t.require("h2")},
+                               kUnlimited, {}, {}}),
+                 Topology_error);
+}
+
+TEST(Apps, TransferCompletes) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    Transfer_tracker tracker(sim);
+    Flow_spec spec;
+    spec.name = "copy";
+    spec.src = t.require("h1");
+    spec.dst = t.require("h3");
+    tracker.add(std::move(spec), 125e6);  // 1 second at 1 Gbps
+    double finish = -1;
+    for (int i = 0; i < 50 && finish < 0; ++i) {
+        sim.step(0.1);
+        tracker.update();
+        if (tracker.done()) finish = sim.now();
+    }
+    EXPECT_NEAR(finish, 1.0, 0.15);
+}
+
+TEST(Apps, HadoopPhasesProgress) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    Hadoop_job::Config config;
+    config.workers = {t.require("h1"), t.require("h2"), t.require("h3"),
+                      t.require("h4")};
+    config.map_seconds = 1;
+    config.reduce_seconds = 1;
+    config.shuffle_bytes_per_pair = 1e6;
+    Hadoop_job job(sim, config);
+    EXPECT_STREQ(job.phase_name(), "map");
+    while (!job.done() && sim.now() < 60) {
+        sim.step(0.05);
+        job.update(0.05);
+    }
+    EXPECT_TRUE(job.done());
+    EXPECT_GT(job.elapsed(), 2.0);  // at least map + reduce
+}
+
+TEST(Apps, RingServiceThroughputTracksClientsAndBottleneck) {
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    Ring_service::Config config;
+    config.name = "svc";
+    config.ring = {t.require("h1"), t.require("h3"), t.require("h2")};
+    config.per_client = mbps(100);
+    Ring_service svc(sim, config);
+
+    svc.set_clients(0);
+    sim.step(0.1);
+    EXPECT_EQ(svc.throughput().bps(), 0u);
+
+    svc.set_clients(3);
+    sim.step(0.1);
+    EXPECT_EQ(svc.throughput().bps(), mbps(300).bps());
+
+    // Demand beyond the 1Gbps bottleneck saturates.
+    svc.set_clients(50);
+    sim.step(0.1);
+    EXPECT_LE(svc.throughput().bps(), gbps(1).bps());
+    EXPECT_GT(svc.throughput().bps(), mbps(900).bps());
+}
+
+
+TEST(Apps, TcpSourcesConvergeToFairShare) {
+    // Two adaptive sources on one bottleneck oscillate around equal shares
+    // without a standing queue (demand tracks allocation).
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    const FlowId a = sim.add_flow(
+        {"a", t.require("h1"), t.require("h3"), {}, Bandwidth{}, {}, {}});
+    const FlowId b = sim.add_flow(
+        {"b", t.require("h2"), t.require("h4"), {}, Bandwidth{}, {}, {}});
+    Tcp_source sa(sim, a, mbps(50), 0.5);
+    Tcp_source sb(sim, b, mbps(50), 0.5);
+    double sum_a = 0;
+    double sum_b = 0;
+    int samples = 0;
+    for (int tick = 0; tick < 400; ++tick) {
+        sim.step(0.1);
+        sa.update(0.1);
+        sb.update(0.1);
+        if (tick >= 200) {  // measure after convergence
+            sum_a += static_cast<double>(sim.rate(a).bps());
+            sum_b += static_cast<double>(sim.rate(b).bps());
+            ++samples;
+        }
+    }
+    const double mean_a = sum_a / samples;
+    const double mean_b = sum_b / samples;
+    // Fair-ish split of the 1Gbps bottleneck: each between 25% and 75%.
+    EXPECT_GT(mean_a, 2.5e8);
+    EXPECT_GT(mean_b, 2.5e8);
+    EXPECT_LT(mean_a, 7.5e8);
+    EXPECT_LT(mean_b, 7.5e8);
+    // And they never exceeded the link together.
+    EXPECT_LE(sim.rate(a).bps() + sim.rate(b).bps(), gbps(1).bps());
+}
+
+TEST(Apps, TcpSourceBacksOffUnderGuaranteedCompetitor) {
+    // A guaranteed flow squeezes the adaptive source down to the residual.
+    const topo::Topology t = dumbbell();
+    Simulator sim(t);
+    const FlowId g = sim.add_flow({"g", t.require("h1"), t.require("h3"),
+                                   {}, kUnlimited, mbps(800), {}});
+    const FlowId x = sim.add_flow(
+        {"x", t.require("h2"), t.require("h4"), {}, Bandwidth{}, {}, {}});
+    Tcp_source source(sim, x, mbps(100), 0.5);
+    for (int tick = 0; tick < 300; ++tick) {
+        sim.step(0.1);
+        source.update(0.1);
+    }
+    EXPECT_GE(sim.rate(g).bps(), mbps(800).bps());
+    EXPECT_LE(sim.rate(x).bps(), mbps(250).bps());
+    EXPECT_GT(sim.rate(x).bps(), 0u);
+}
+
+}  // namespace
+}  // namespace merlin::netsim

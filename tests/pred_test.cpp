@@ -1,0 +1,185 @@
+#include "pred/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/fields.h"
+#include "parser/parser.h"
+#include "pred/packet.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace merlin::pred {
+namespace {
+
+using merlin::parser::parse_predicate;
+
+TEST(Pred, PacketMatching) {
+    Packet k;
+    k.fields["tcp.dst"] = 80;
+    k.fields["ip.proto"] = 6;
+    EXPECT_TRUE(matches(parse_predicate("tcp.dst = 80"), k));
+    EXPECT_FALSE(matches(parse_predicate("tcp.dst = 22"), k));
+    EXPECT_TRUE(matches(parse_predicate("ip.proto = tcp and tcp.dst = 80"), k));
+    EXPECT_TRUE(matches(parse_predicate("tcp.dst = 22 or tcp.dst = 80"), k));
+    EXPECT_TRUE(matches(parse_predicate("!(tcp.dst = 22)"), k));
+    EXPECT_TRUE(matches(parse_predicate("true"), k));
+    EXPECT_FALSE(matches(parse_predicate("false"), k));
+}
+
+TEST(Pred, PayloadMatching) {
+    Packet k;
+    k.payload = "GET /index.html HTTP/1.1";
+    EXPECT_TRUE(matches(parse_predicate("payload = \"GET /\""), k));
+    EXPECT_FALSE(matches(parse_predicate("payload = \"POST\""), k));
+}
+
+TEST(Pred, DisjointnessOfPortTests) {
+    Analyzer a;
+    EXPECT_TRUE(a.disjoint(parse_predicate("tcp.dst = 20"),
+                           parse_predicate("tcp.dst = 21")));
+    EXPECT_FALSE(a.disjoint(parse_predicate("tcp.dst = 20"),
+                            parse_predicate("ip.proto = tcp")));
+    // Different fields are never disjoint by equality tests alone.
+    EXPECT_FALSE(a.disjoint(parse_predicate("tcp.src = 20"),
+                            parse_predicate("tcp.dst = 20")));
+}
+
+TEST(Pred, RefinementPartitionFromPaper) {
+    // Section 4.1: tcp traffic partitioned into HTTP and non-HTTP.
+    Analyzer a;
+    const auto parent = parse_predicate("ip.proto = tcp");
+    const auto http = parse_predicate("ip.proto = tcp and tcp.dst = 80");
+    const auto rest = parse_predicate("ip.proto = tcp and tcp.dst != 80");
+
+    EXPECT_TRUE(a.implies(http, parent));
+    EXPECT_TRUE(a.implies(rest, parent));
+    EXPECT_TRUE(a.disjoint(http, rest));
+    // The two children exactly cover the parent.
+    const auto joined = ir::pred_or(http, rest);
+    EXPECT_TRUE(a.equivalent(joined, parent));
+}
+
+TEST(Pred, TotalityAndPairwiseDisjoint) {
+    Analyzer a;
+    const auto p = parse_predicate("tcp.dst = 80");
+    const auto q = parse_predicate("!(tcp.dst = 80)");
+    EXPECT_TRUE(a.total({p, q}));
+    EXPECT_TRUE(a.pairwise_disjoint({p, q}));
+    EXPECT_FALSE(a.total({p}));
+    EXPECT_FALSE(a.pairwise_disjoint(
+        {p, parse_predicate("ip.proto = tcp and tcp.dst = 80")}));
+}
+
+TEST(Pred, SatisfiabilityAndWitness) {
+    Analyzer a;
+    const auto contradiction =
+        parse_predicate("tcp.dst = 80 and tcp.dst = 22");
+    EXPECT_FALSE(a.satisfiable(contradiction));
+    EXPECT_THROW((void)a.witness(contradiction), Policy_error);
+
+    const auto p = parse_predicate(
+        "eth.src = 00:00:00:00:00:01 and tcp.dst = 80 and !(ip.proto = 17)");
+    ASSERT_TRUE(a.satisfiable(p));
+    const Packet w = a.witness(p);
+    EXPECT_TRUE(matches(p, w));
+    EXPECT_EQ(w.get("eth.src"), 1u);
+    EXPECT_EQ(w.get("tcp.dst"), 80u);
+}
+
+TEST(Pred, PayloadAtomsAreUninterpreted) {
+    Analyzer a;
+    const auto p1 = parse_predicate("payload = \"a\"");
+    const auto p2 = parse_predicate("payload = \"b\"");
+    // Conservative: different patterns may co-occur in one packet.
+    EXPECT_FALSE(a.disjoint(p1, p2));
+    // Same pattern is one atom.
+    EXPECT_TRUE(a.disjoint(p1, ir::pred_not(p1)));
+    EXPECT_TRUE(a.equivalent(p1, parse_predicate("payload = \"a\"")));
+}
+
+TEST(Pred, MacEqualityIsExact) {
+    Analyzer a;
+    EXPECT_TRUE(a.disjoint(parse_predicate("eth.src = 00:00:00:00:00:01"),
+                           parse_predicate("eth.src = 00:00:00:00:00:02")));
+    EXPECT_TRUE(a.equivalent(parse_predicate("eth.src = 00:00:00:00:00:ff"),
+                             parse_predicate("eth.src = 00:00:00:00:00:FF")));
+}
+
+// Property sweep: the BDD compilation must agree with the direct evaluator
+// on randomly generated predicates and packets.
+class PredOracleProperty : public ::testing::TestWithParam<int> {};
+
+ir::PredPtr random_pred(Rng& rng, int depth) {
+    if (depth == 0 || rng.chance(0.3)) {
+        switch (rng.uniform(0, 3)) {
+            case 0:
+                return ir::pred_test("tcp.dst",
+                                     static_cast<std::uint64_t>(rng.uniform(79, 82)));
+            case 1:
+                return ir::pred_test("ip.proto",
+                                     static_cast<std::uint64_t>(rng.uniform(6, 7)));
+            case 2:
+                return ir::pred_test(
+                    "eth.src", static_cast<std::uint64_t>(rng.uniform(1, 3)));
+            default: return rng.chance(0.5) ? ir::pred_true() : ir::pred_false();
+        }
+    }
+    switch (rng.uniform(0, 2)) {
+        case 0:
+            return ir::pred_and(random_pred(rng, depth - 1),
+                                random_pred(rng, depth - 1));
+        case 1:
+            return ir::pred_or(random_pred(rng, depth - 1),
+                               random_pred(rng, depth - 1));
+        default: return ir::pred_not(random_pred(rng, depth - 1));
+    }
+}
+
+Packet random_packet(Rng& rng) {
+    Packet k;
+    k.fields["tcp.dst"] = static_cast<std::uint64_t>(rng.uniform(79, 82));
+    k.fields["ip.proto"] = static_cast<std::uint64_t>(rng.uniform(6, 7));
+    k.fields["eth.src"] = static_cast<std::uint64_t>(rng.uniform(1, 3));
+    return k;
+}
+
+// Encodes a packet into the analyzer's bit assignment.
+std::vector<bool> to_bits(const Analyzer& unused, const Packet& k, int nvars) {
+    (void)unused;
+    std::vector<bool> bits(static_cast<std::size_t>(nvars), false);
+    for (const ir::Field& f : ir::fields()) {
+        const std::uint64_t v = k.get(f.name);
+        for (int bit = 0; bit < f.width; ++bit) {
+            const int shift = f.width - 1 - bit;
+            bits[static_cast<std::size_t>(f.bit_offset + bit)] =
+                ((v >> shift) & 1) != 0;
+        }
+    }
+    return bits;
+}
+
+TEST_P(PredOracleProperty, BddAgreesWithEvaluator) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+    Analyzer a;
+    for (int round = 0; round < 30; ++round) {
+        const ir::PredPtr p = random_pred(rng, 4);
+        const bdd::Node n = a.compile(p);
+        for (int trial = 0; trial < 20; ++trial) {
+            const Packet k = random_packet(rng);
+            const auto bits = to_bits(a, k, a.manager().variable_count());
+            EXPECT_EQ(a.manager().evaluate(n, bits), matches(p, k))
+                << ir::to_string(p);
+        }
+        // Witnesses of satisfiable predicates must match.
+        if (a.satisfiable(p)) {
+            const Packet w = a.witness(p);
+            EXPECT_TRUE(matches(p, w)) << ir::to_string(p);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredOracleProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace merlin::pred

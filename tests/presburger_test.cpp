@@ -1,0 +1,132 @@
+#include "presburger/localize.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "util/error.h"
+
+namespace merlin::presburger {
+namespace {
+
+using merlin::parser::parse_formula;
+
+TEST(Localize, PaperExampleSplitsEqually) {
+    // Section 3.1: max(x + y, 50MB/s) becomes max(x, 25MB/s) and
+    // max(y, 25MB/s).
+    const auto localized = localize(parse_formula("max(x + y, 50MB/s)"));
+    EXPECT_TRUE(ir::equal(
+        localized, parse_formula("max(x, 25MB/s) and max(y, 25MB/s)")));
+}
+
+TEST(Localize, SingleIdPassesThrough) {
+    const auto f = parse_formula("min(z, 100MB/s)");
+    EXPECT_TRUE(ir::equal(localize(f), f));
+}
+
+TEST(Localize, ThreeWaySplitDistributesRemainder) {
+    const auto localized = localize(parse_formula("max(a + b + c, 10bps)"));
+    // 10 = 4 + 3 + 3.
+    const Rate_table rates = requirements(localized);
+    EXPECT_EQ(rates.caps.at("a").bps(), 4u);
+    EXPECT_EQ(rates.caps.at("b").bps(), 3u);
+    EXPECT_EQ(rates.caps.at("c").bps(), 3u);
+}
+
+TEST(Localize, ConstantsFoldIntoTheRate) {
+    // max(x + 10MB/s, 50MB/s): the literal consumes 10, leaving x <= 40.
+    const auto localized = localize(parse_formula("max(x + 10MB/s, 50MB/s)"));
+    const Rate_table rates = requirements(localized);
+    EXPECT_EQ(rates.caps.at("x"), mb_per_sec(40));
+    // A constant above the cap is unsatisfiable.
+    EXPECT_THROW((void)localize(parse_formula("max(x + 60MB/s, 50MB/s)")),
+                 Policy_error);
+}
+
+TEST(Localize, CustomSplitScheme) {
+    // "Other schemes are permissible": give everything to the first id.
+    const Split_fn first_takes_all = [](const std::vector<std::string>& ids,
+                                        Bandwidth total) {
+        std::vector<Bandwidth> out(ids.size());
+        out[0] = total;
+        return out;
+    };
+    const auto localized =
+        localize(parse_formula("min(x + y, 100MB/s)"), first_takes_all);
+    const Rate_table rates = requirements(localized);
+    EXPECT_EQ(rates.guarantees.at("x"), mb_per_sec(100));
+    EXPECT_EQ(rates.guarantees.at("y"), Bandwidth{});
+}
+
+TEST(Localize, RecursesThroughConnectives) {
+    const auto localized = localize(
+        parse_formula("max(a + b, 10MB/s) and min(c, 5MB/s)"));
+    const Rate_table rates = requirements(localized);
+    EXPECT_EQ(rates.caps.size(), 2u);
+    EXPECT_EQ(rates.guarantees.size(), 1u);
+}
+
+TEST(Localize, NullFormula) { EXPECT_EQ(localize(nullptr), nullptr); }
+
+TEST(Requirements, TightestBoundWins) {
+    const Rate_table rates = requirements(
+        parse_formula("max(x, 50MB/s) and max(x, 20MB/s) and "
+                      "min(x, 5MB/s) and min(x, 10MB/s)"));
+    EXPECT_EQ(rates.caps.at("x"), mb_per_sec(20));
+    EXPECT_EQ(rates.guarantees.at("x"), mb_per_sec(10));
+}
+
+TEST(Requirements, GuaranteeAboveCapRejected) {
+    EXPECT_THROW(
+        (void)requirements(
+            parse_formula("min(x, 50MB/s) and max(x, 20MB/s)")),
+        Policy_error);
+}
+
+TEST(Requirements, RejectsNonLocalizedAndNonConjunctive) {
+    EXPECT_THROW((void)requirements(parse_formula("max(x + y, 10MB/s)")),
+                 Policy_error);
+    EXPECT_THROW(
+        (void)requirements(parse_formula("max(x, 1MB/s) or max(y, 1MB/s)")),
+        Policy_error);
+    EXPECT_THROW((void)requirements(parse_formula("! max(x, 1MB/s)")),
+                 Policy_error);
+}
+
+TEST(Requirements, HelperLookups) {
+    const Rate_table rates =
+        requirements(parse_formula("min(x, 10MB/s) and max(y, 20MB/s)"));
+    EXPECT_EQ(rates.guarantee_of("x"), mb_per_sec(10));
+    EXPECT_EQ(rates.guarantee_of("y"), Bandwidth{});
+    EXPECT_TRUE(rates.has_cap("y"));
+    EXPECT_FALSE(rates.has_cap("x"));
+}
+
+// Property sweep: any equal split sums back to (at most) the original rate
+// and never differs across ids by more than one bit/s.
+class EqualSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqualSplitProperty, SumsAndBalance) {
+    const int n = GetParam();
+    std::vector<std::string> ids;
+    for (int i = 0; i < n; ++i) ids.push_back("id" + std::to_string(i));
+    for (const std::uint64_t total : {7ULL, 1'000ULL, 123'456'789ULL}) {
+        const auto shares = equal_split(ids, Bandwidth(total));
+        ASSERT_EQ(shares.size(), ids.size());
+        std::uint64_t sum = 0;
+        std::uint64_t lo = ~0ULL;
+        std::uint64_t hi = 0;
+        for (Bandwidth b : shares) {
+            sum += b.bps();
+            lo = std::min(lo, b.bps());
+            hi = std::max(hi, b.bps());
+        }
+        EXPECT_EQ(sum, total);
+        EXPECT_LE(hi - lo, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EqualSplitProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 64));
+
+}  // namespace
+}  // namespace merlin::presburger

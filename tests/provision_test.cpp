@@ -1,0 +1,163 @@
+#include "core/provision.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logical.h"
+#include "parser/parser.h"
+#include "topo/generators.h"
+#include "topo/parse.h"
+#include "util/rng.h"
+
+namespace merlin::core {
+namespace {
+
+topo::Topology two_paths() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch a1
+switch a2
+switch b1
+link h1 a1 400MB/s
+link a1 a2 400MB/s
+link a2 h2 400MB/s
+link h1 b1 100MB/s
+link b1 h2 100MB/s
+)");
+}
+
+std::vector<Guaranteed_request> make_requests(const topo::Topology& t, int n,
+                                              Bandwidth rate) {
+    const automata::Alphabet alphabet = make_alphabet(t);
+    auto nfa = automata::remove_epsilon(
+        automata::thompson(parser::parse_path(".*"), alphabet));
+    nfa = automata::to_nfa(automata::minimize(automata::determinize(nfa)));
+    std::vector<Guaranteed_request> out;
+    for (int i = 0; i < n; ++i) {
+        Guaranteed_request r;
+        r.id = "g" + std::to_string(i);
+        r.rate = rate;
+        r.logical =
+            build_logical(t, nfa, t.require("h1"), t.require("h2"));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+TEST(ProvisionGreedy, MatchesMipOnFigure3) {
+    const topo::Topology t = two_paths();
+    for (const Heuristic h : {Heuristic::weighted_shortest_path,
+                              Heuristic::min_max_ratio,
+                              Heuristic::min_max_reserved}) {
+        const auto requests = make_requests(t, 2, mb_per_sec(50));
+        const Provision_result exact = provision(t, requests, h);
+        const Provision_result greedy = provision_greedy(t, requests, h);
+        ASSERT_TRUE(exact.feasible);
+        ASSERT_TRUE(greedy.feasible);
+        // Greedy may not match the exact optimum for min-max-ratio (it
+        // commits one path at a time) but must stay capacity-feasible.
+        EXPECT_LE(greedy.r_max, 1.0 + 1e-9) << to_string(h);
+        if (h == Heuristic::weighted_shortest_path)
+            EXPECT_EQ(exact.paths[0].nodes.size(),
+                      greedy.paths[0].nodes.size());
+    }
+}
+
+TEST(ProvisionGreedy, RespectsCapacitiesUnderLoad) {
+    const topo::Topology t = two_paths();
+    // 5 x 40MB/s = 200MB/s total; must be split 100 (b1 path) + 100+ (a path).
+    const auto requests = make_requests(t, 5, mb_per_sec(40));
+    const Provision_result r = provision_greedy(t, requests);
+    ASSERT_TRUE(r.feasible);
+    std::vector<std::uint64_t> reserved(
+        static_cast<std::size_t>(t.link_count()), 0);
+    for (const auto& p : r.paths)
+        for (topo::LinkId l : p.links)
+            reserved[static_cast<std::size_t>(l)] += p.rate.bps();
+    for (topo::LinkId l = 0; l < t.link_count(); ++l)
+        EXPECT_LE(reserved[static_cast<std::size_t>(l)],
+                  t.link(l).capacity.bps());
+}
+
+TEST(ProvisionGreedy, FailsCleanlyWhenSaturated) {
+    const topo::Topology t = two_paths();
+    // 500MB/s total demand into 500MB/s of cut capacity with integral paths:
+    // 7 x 80MB/s = 560 cannot fit.
+    const auto requests = make_requests(t, 7, mb_per_sec(80));
+    const Provision_result r = provision_greedy(t, requests);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.proven_infeasible);  // greedy never proves
+    EXPECT_FALSE(r.diagnostic.empty());
+}
+
+TEST(ProvisionMip, ProvesInfeasibility) {
+    const topo::Topology t = two_paths();
+    const auto requests = make_requests(t, 7, mb_per_sec(80));
+    const Provision_result r = provision(t, requests);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_TRUE(r.proven_infeasible);
+}
+
+TEST(ProvisionGreedy, LargestFirstOrdering) {
+    // A big request that only fits on the fat path must be placed first
+    // even when listed last.
+    const topo::Topology t = two_paths();
+    auto requests = make_requests(t, 2, mb_per_sec(80));
+    requests[1].rate = mb_per_sec(300);  // only fits the 400MB/s path
+    const Provision_result r = provision_greedy(t, requests);
+    ASSERT_TRUE(r.feasible);
+    // The 300MB/s path must be the 2-switch (a1,a2) route.
+    EXPECT_EQ(r.paths[1].nodes.size(), 4u);
+    EXPECT_LE(r.r_max, 1.0 + 1e-9);
+}
+
+// Property: on random zoo topologies with spread requests, greedy results
+// always satisfy Lemma 1 (the word matches `.*` trivially) and capacity.
+class GreedyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyProperty, CapacityAndEndpointInvariants) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7321);
+    const topo::Topology t = topo::zoo_topology(20, rng);
+    const automata::Alphabet alphabet = make_alphabet(t);
+    auto nfa = automata::remove_epsilon(
+        automata::thompson(parser::parse_path(".*"), alphabet));
+    nfa = automata::to_nfa(automata::minimize(automata::determinize(nfa)));
+
+    const auto hosts = t.hosts();
+    std::vector<Guaranteed_request> requests;
+    for (int i = 0; i < 10; ++i) {
+        const auto src = hosts[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<int>(hosts.size()) - 1))];
+        auto dst = src;
+        while (dst == src)
+            dst = hosts[static_cast<std::size_t>(
+                rng.uniform(0, static_cast<int>(hosts.size()) - 1))];
+        Guaranteed_request r;
+        r.id = "g" + std::to_string(i);
+        r.rate = mbps(50);
+        r.logical = build_logical(t, nfa, src, dst);
+        requests.push_back(std::move(r));
+    }
+    const Provision_result result = provision_greedy(t, requests);
+    if (!result.feasible) return;  // saturation is allowed; no invariant broken
+    std::vector<std::uint64_t> reserved(
+        static_cast<std::size_t>(t.link_count()), 0);
+    for (const auto& p : result.paths) {
+        // Path endpoints are hosts, intermediate nodes never are.
+        EXPECT_EQ(t.node(p.nodes.front()).kind, topo::Node_kind::host);
+        EXPECT_EQ(t.node(p.nodes.back()).kind, topo::Node_kind::host);
+        for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i)
+            EXPECT_NE(t.node(p.nodes[i]).kind, topo::Node_kind::host);
+        for (topo::LinkId l : p.links)
+            reserved[static_cast<std::size_t>(l)] += p.rate.bps();
+    }
+    for (topo::LinkId l = 0; l < t.link_count(); ++l)
+        EXPECT_LE(reserved[static_cast<std::size_t>(l)],
+                  t.link(l).capacity.bps());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace merlin::core

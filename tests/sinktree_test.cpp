@@ -1,0 +1,138 @@
+#include "core/sinktree.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "topo/generators.h"
+#include "topo/parse.h"
+
+namespace merlin::core {
+namespace {
+
+using merlin::parser::parse_path;
+
+topo::Topology diamond() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+switch s3
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s1 s3 1Gbps
+link s2 s3 1Gbps
+link s3 h2 1Gbps
+link s2 m1 1Gbps
+function scrub m1
+)");
+}
+
+automata::Nfa nfa_over(const Switch_graph& sg, const char* regex) {
+    auto nfa =
+        automata::remove_epsilon(automata::thompson(parse_path(regex),
+                                                    sg.alphabet));
+    if (nfa.labels.empty())
+        nfa = automata::to_nfa(
+            automata::minimize(automata::determinize(nfa)));
+    return nfa;
+}
+
+TEST(SwitchGraph, ExcludesHosts) {
+    const topo::Topology t = diamond();
+    const Switch_graph sg = make_switch_graph(t);
+    EXPECT_EQ(sg.size(), 4);  // s1 s2 s3 m1
+    for (topo::NodeId h : t.hosts())
+        EXPECT_EQ(sg.symbol_of[static_cast<std::size_t>(h)], -1);
+    // Functions survive with non-host placements.
+    EXPECT_EQ(sg.alphabet.resolve("scrub").size(), 1u);
+}
+
+TEST(SinkTree, PlainBfsForDotStar) {
+    const topo::Topology t = diamond();
+    const Switch_graph sg = make_switch_graph(t);
+    const automata::Nfa nfa = nfa_over(sg, ".*");
+    ASSERT_EQ(nfa.state_count(), 1);  // minimized
+
+    const int egress = sg.symbol_of[static_cast<std::size_t>(t.require("s3"))];
+    const Sink_tree tree = build_sink_tree(sg, nfa, egress);
+
+    // Every switch reaches the egress; distance from s1 is 1 hop.
+    const int s1 = sg.symbol_of[static_cast<std::size_t>(t.require("s1"))];
+    const auto entry = tree.entry_state(nfa, s1);
+    ASSERT_TRUE(entry.has_value());
+    const auto word = tree.walk(s1, *entry);
+    ASSERT_EQ(word.size(), 1u);
+    EXPECT_EQ(word[0], egress);
+}
+
+TEST(SinkTree, WaypointForcesDetour) {
+    const topo::Topology t = diamond();
+    const Switch_graph sg = make_switch_graph(t);
+    const automata::Nfa nfa = nfa_over(sg, ".* scrub .*");
+    const int egress = sg.symbol_of[static_cast<std::size_t>(t.require("s3"))];
+    const Sink_tree tree = build_sink_tree(sg, nfa, egress);
+
+    const int s1 = sg.symbol_of[static_cast<std::size_t>(t.require("s1"))];
+    const int m1 = sg.symbol_of[static_cast<std::size_t>(t.require("m1"))];
+    const auto entry = tree.entry_state(nfa, s1);
+    ASSERT_TRUE(entry.has_value());
+    const auto word = tree.walk(s1, *entry);
+    // The walk must pass through m1 (the only scrub placement) and end at
+    // the egress.
+    EXPECT_NE(std::find(word.begin(), word.end(), m1), word.end());
+    EXPECT_EQ(word.back(), egress);
+    // And the full location word (entry node + walk) is accepted.
+    std::vector<int> full{s1};
+    full.insert(full.end(), word.begin(), word.end());
+    EXPECT_TRUE(accepts(nfa, full));
+}
+
+TEST(SinkTree, UnreachableWhenLanguageForbids) {
+    const topo::Topology t = diamond();
+    const Switch_graph sg = make_switch_graph(t);
+    // Paths consisting of exactly one location: only the egress itself can
+    // satisfy this.
+    const automata::Nfa nfa = nfa_over(sg, ".");
+    const int egress = sg.symbol_of[static_cast<std::size_t>(t.require("s3"))];
+    const Sink_tree tree = build_sink_tree(sg, nfa, egress);
+
+    const int s1 = sg.symbol_of[static_cast<std::size_t>(t.require("s1"))];
+    EXPECT_FALSE(tree.entry_state(nfa, s1).has_value());
+    const int s3 = egress;
+    const auto at_egress = tree.entry_state(nfa, s3);
+    ASSERT_TRUE(at_egress.has_value());
+    EXPECT_TRUE(tree.walk(s3, *at_egress).empty());
+}
+
+// Property: on fat trees, every ingress reaches every egress under `.*`,
+// and the walk length equals the BFS distance (shortest paths).
+class SinkTreeFatTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(SinkTreeFatTree, AllIngressesReachAllEgresses) {
+    const topo::Topology t = topo::fat_tree(GetParam());
+    const Switch_graph sg = make_switch_graph(t);
+    const automata::Nfa nfa = nfa_over(sg, ".*");
+    for (int egress = 0; egress < sg.size(); egress += 3) {
+        const Sink_tree tree = build_sink_tree(sg, nfa, egress);
+        for (int ingress = 0; ingress < sg.size(); ++ingress) {
+            const auto entry = tree.entry_state(nfa, ingress);
+            ASSERT_TRUE(entry.has_value()) << "ingress " << ingress;
+            const auto word = tree.walk(ingress, *entry);
+            if (ingress == egress) {
+                EXPECT_TRUE(word.empty());
+            } else {
+                EXPECT_EQ(word.back(), egress);
+                // No cycles: the walk never revisits a node.
+                std::set<int> seen(word.begin(), word.end());
+                EXPECT_EQ(seen.size(), word.size());
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, SinkTreeFatTree, ::testing::Values(2, 4, 6));
+
+}  // namespace
+}  // namespace merlin::core

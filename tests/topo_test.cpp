@@ -1,0 +1,144 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace merlin::topo {
+namespace {
+
+TEST(Topology, BasicConstruction) {
+    Topology t;
+    const NodeId h1 = t.add_host("h1");
+    const NodeId s1 = t.add_switch("s1");
+    const NodeId m1 = t.add_middlebox("m1");
+    t.add_link(h1, s1, gbps(1));
+    t.add_link(s1, m1, mbps(100));
+
+    EXPECT_EQ(t.node_count(), 3);
+    EXPECT_EQ(t.link_count(), 2);
+    EXPECT_EQ(t.node(h1).kind, Node_kind::host);
+    EXPECT_EQ(t.require("s1"), s1);
+    EXPECT_FALSE(t.find("nope"));
+    ASSERT_TRUE(t.link_between(h1, s1));
+    EXPECT_EQ(t.link(*t.link_between(s1, m1)).capacity, mbps(100));
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, RejectsBadInput) {
+    Topology t;
+    const NodeId a = t.add_switch("a");
+    const NodeId b = t.add_switch("b");
+    EXPECT_THROW(t.add_switch("a"), Topology_error);
+    EXPECT_THROW(t.add_link(a, a, gbps(1)), Topology_error);
+    t.add_link(a, b, gbps(1));
+    EXPECT_THROW(t.add_link(b, a, gbps(1)), Topology_error);
+    EXPECT_THROW((void)t.require("missing"), Topology_error);
+    EXPECT_THROW(t.allow_function("dpi", NodeId{99}), Topology_error);
+}
+
+TEST(Topology, FunctionPlacements) {
+    Topology t;
+    t.add_middlebox("m1");
+    t.add_host("h1");
+    t.allow_function("dpi", "m1");
+    t.allow_function("dpi", "h1");
+    t.allow_function("dpi", "m1");  // duplicate ignored
+    t.allow_function("nat", "m1");
+
+    EXPECT_TRUE(t.has_function("dpi"));
+    EXPECT_FALSE(t.has_function("cache"));
+    EXPECT_EQ(t.placements("dpi").size(), 2u);
+    EXPECT_EQ(t.placements("nat").size(), 1u);
+    EXPECT_EQ(t.function_names(), (std::vector<std::string>{"dpi", "nat"}));
+}
+
+TEST(Generators, FatTreeCounts) {
+    // k-ary fat tree: 5k^2/4 switches, k^3/4 hosts.
+    const Topology t = fat_tree(4);
+    EXPECT_EQ(t.switches().size(), 20u);
+    EXPECT_EQ(t.hosts().size(), 16u);
+    EXPECT_TRUE(t.connected());
+    // Each edge switch has k/2 hosts + k/2 agg links; each host one link.
+    EXPECT_EQ(t.link_count(), 16 + 16 + 16);  // host + edge-agg + agg-core
+}
+
+TEST(Generators, FatTreeRejectsOdd) {
+    EXPECT_THROW((void)fat_tree(3), Topology_error);
+    EXPECT_THROW((void)fat_tree(0), Topology_error);
+}
+
+TEST(Generators, BalancedTreeCounts) {
+    const Topology t = balanced_tree(2, 3, 2);
+    // 1 + 3 + 9 switches, 9 * 2 hosts.
+    EXPECT_EQ(t.switches().size(), 13u);
+    EXPECT_EQ(t.hosts().size(), 18u);
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Generators, CampusShape) {
+    const Topology t = campus();
+    EXPECT_EQ(t.switches().size(), 16u);  // Figure 4: 16-switch Stanford core.
+    EXPECT_EQ(t.hosts().size(), 24u);     // 24 subnets.
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Generators, ZooTopologiesAreConnected) {
+    Rng rng(7);
+    for (int size : {1, 2, 5, 40, 120}) {
+        const Topology t = zoo_topology(size, rng);
+        EXPECT_EQ(t.switches().size(), static_cast<std::size_t>(size));
+        EXPECT_EQ(t.hosts().size(), static_cast<std::size_t>(size));
+        EXPECT_TRUE(t.connected()) << "size " << size;
+    }
+}
+
+TEST(Generators, ZooSizeDistribution) {
+    Rng rng(11);
+    const auto sizes = zoo_size_distribution(262, rng);
+    ASSERT_EQ(sizes.size(), 262u);
+    EXPECT_EQ(sizes.back(), 754);
+    double sum = 0;
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        EXPECT_GE(sizes[i], 4);
+        EXPECT_LE(sizes[i], 200);
+        sum += sizes[i];
+    }
+    const double mean = sum / 261.0;
+    EXPECT_GT(mean, 30);  // centred near the dataset's mean of 40
+    EXPECT_LT(mean, 50);
+}
+
+TEST(TopoParse, RoundTrip) {
+    const std::string text =
+        "# demo\n"
+        "host h1\n"
+        "host h2\n"
+        "switch s1\n"
+        "middlebox m1\n"
+        "link h1 s1 1Gbps\n"
+        "link h2 s1 1Gbps\n"
+        "link s1 m1 100Mbps\n"
+        "function dpi m1 h2\n";
+    const Topology t = parse_topology(text);
+    EXPECT_EQ(t.node_count(), 4);
+    EXPECT_EQ(t.link_count(), 3);
+    EXPECT_EQ(t.placements("dpi").size(), 2u);
+
+    const Topology again = parse_topology(to_text(t));
+    EXPECT_EQ(again.node_count(), t.node_count());
+    EXPECT_EQ(again.link_count(), t.link_count());
+    EXPECT_EQ(again.placements("dpi").size(), 2u);
+}
+
+TEST(TopoParse, Diagnostics) {
+    EXPECT_THROW((void)parse_topology("bogus h1\n"), Parse_error);
+    EXPECT_THROW((void)parse_topology("host\n"), Parse_error);
+    EXPECT_THROW((void)parse_topology("link a b 1Gbps\n"), Topology_error);
+    EXPECT_THROW((void)parse_topology("host h1\nfunction dpi\n"), Parse_error);
+}
+
+}  // namespace
+}  // namespace merlin::topo

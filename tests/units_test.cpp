@@ -1,0 +1,59 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace merlin {
+namespace {
+
+TEST(Units, ParsesBitUnits) {
+    EXPECT_EQ(parse_bandwidth("12bps").bps(), 12u);
+    EXPECT_EQ(parse_bandwidth("100kbps").bps(), 100'000u);
+    EXPECT_EQ(parse_bandwidth("100Mbps").bps(), 100'000'000u);
+    EXPECT_EQ(parse_bandwidth("1Gbps").bps(), 1'000'000'000u);
+}
+
+TEST(Units, ParsesByteUnits) {
+    EXPECT_EQ(parse_bandwidth("1B/s").bps(), 8u);
+    EXPECT_EQ(parse_bandwidth("50MB/s").bps(), 400'000'000u);
+    EXPECT_EQ(parse_bandwidth("1GB/s").bps(), 8'000'000'000u);
+}
+
+TEST(Units, ParsesFractionsAndCase) {
+    EXPECT_EQ(parse_bandwidth("1.5MB/s").bps(), 12'000'000u);
+    EXPECT_EQ(parse_bandwidth("2gbps").bps(), 2'000'000'000u);
+    EXPECT_EQ(parse_bandwidth("0.5Gbps").bps(), 500'000'000u);
+}
+
+TEST(Units, RejectsMalformed) {
+    EXPECT_THROW((void)parse_bandwidth("MB/s"), Parse_error);
+    EXPECT_THROW((void)parse_bandwidth("10furlongs"), Parse_error);
+    EXPECT_THROW((void)parse_bandwidth(""), Parse_error);
+}
+
+TEST(Units, PrintingPrefersPaperConvention) {
+    EXPECT_EQ(to_string(mb_per_sec(50)), "50MB/s");
+    // Byte units are preferred whenever the value divides evenly:
+    // 1 Gbps is exactly 125 MB/s.
+    EXPECT_EQ(to_string(gbps(1)), "125MB/s");
+}
+
+TEST(Units, PrintingRoundTrips) {
+    for (const char* text : {"50MB/s", "3KB/s", "7bps"}) {
+        EXPECT_EQ(to_string(parse_bandwidth(text)), text);
+    }
+    // Bit-based values that are not whole byte multiples keep bit units.
+    EXPECT_EQ(parse_bandwidth(to_string(mbps(100))).bps(), mbps(100).bps());
+}
+
+TEST(Units, Arithmetic) {
+    EXPECT_EQ((mbps(10) + mbps(5)).bps(), mbps(15).bps());
+    EXPECT_EQ((mbps(10) - mbps(5)).bps(), mbps(5).bps());
+    // Saturating subtraction: bandwidths are never negative.
+    EXPECT_EQ((mbps(5) - mbps(10)).bps(), 0u);
+    EXPECT_LT(mbps(10), mbps(20));
+}
+
+}  // namespace
+}  // namespace merlin

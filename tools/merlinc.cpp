@@ -1,0 +1,118 @@
+// merlinc — the Merlin policy compiler, as a command-line tool.
+//
+//   merlinc <topology-file> <policy-file> [options]
+//
+// Options:
+//   --heuristic wsp|mmr|mmres   path-selection heuristic (default wsp)
+//   --solver mip|greedy|auto    provisioning solver (default auto)
+//   --programs                  also print per-host interpreter programs
+//   --quiet                     only print the summary line
+//
+// Exit status: 0 on success, 1 on infeasible policy, 2 on usage/parse
+// errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "codegen/codegen.h"
+#include "core/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw merlin::Error("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int usage() {
+    std::cerr
+        << "usage: merlinc <topology-file> <policy-file>\n"
+           "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
+           "       [--programs] [--quiet]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace merlin;
+    if (argc < 3) return usage();
+
+    core::Compile_options options;
+    bool print_programs = false;
+    bool quiet = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--heuristic" && i + 1 < argc) {
+            const std::string h = argv[++i];
+            if (h == "wsp")
+                options.heuristic = core::Heuristic::weighted_shortest_path;
+            else if (h == "mmr")
+                options.heuristic = core::Heuristic::min_max_ratio;
+            else if (h == "mmres")
+                options.heuristic = core::Heuristic::min_max_reserved;
+            else
+                return usage();
+        } else if (arg == "--solver" && i + 1 < argc) {
+            const std::string s = argv[++i];
+            if (s == "mip")
+                options.solver = core::Solver::mip;
+            else if (s == "greedy")
+                options.solver = core::Solver::greedy;
+            else if (s == "auto")
+                options.solver = core::Solver::auto_select;
+            else
+                return usage();
+        } else if (arg == "--programs") {
+            print_programs = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        const topo::Topology network =
+            topo::parse_topology(read_file(argv[1]));
+        const ir::Policy policy = parser::parse_policy(read_file(argv[2]));
+        const core::Compilation compiled =
+            core::compile(policy, network, options);
+        if (!compiled.feasible) {
+            std::cerr << "infeasible: " << compiled.diagnostic << '\n';
+            return 1;
+        }
+        const codegen::Configuration config =
+            codegen::generate(compiled, network);
+        if (!quiet) std::cout << codegen::to_text(config);
+        if (print_programs) {
+            for (const auto& [host, program] :
+                 codegen::host_programs(compiled, network)) {
+                std::cout << "# host program: " << host << '\n'
+                          << interp::to_text(program);
+            }
+        }
+        std::cout << "compiled " << policy.statements.size()
+                  << " statements: " << config.flow_rules.size()
+                  << " flow rules, " << config.queues.size() << " queues, "
+                  << config.tc_commands.size() << " tc, "
+                  << config.iptables_rules.size() << " iptables, "
+                  << config.click_configs.size() << " click ("
+                  << compiled.timing.lp_construction_ms +
+                         compiled.timing.lp_solve_ms +
+                         compiled.timing.rateless_ms
+                  << " ms)\n";
+        return 0;
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+}
