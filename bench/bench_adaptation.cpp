@@ -13,6 +13,7 @@
 #include "negotiator/negotiator.h"
 #include "netsim/sim.h"
 #include "topo/parse.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -25,11 +26,11 @@ topo::Topology dumbbell(Bandwidth middle) {
     const auto s2 = t.add_switch("s2");
     t.add_link(s1, s2, middle);
     for (int i = 1; i <= 2; ++i) {
-        const auto h = t.add_host("h" + std::to_string(i));
+        const auto h = t.add_host(indexed("h", i));
         t.add_link(h, s1, gbps(1));
     }
     for (int i = 3; i <= 4; ++i) {
-        const auto h = t.add_host("h" + std::to_string(i));
+        const auto h = t.add_host(indexed("h", i));
         t.add_link(h, s2, gbps(1));
     }
     return t;

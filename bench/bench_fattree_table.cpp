@@ -12,6 +12,8 @@
 // full 5% is applied on the smaller trees.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "bench_util.h"
 #include "topo/generators.h"
@@ -31,7 +33,11 @@ int main() {
         int k;
         int guaranteed_cap;
     };
-    for (const Row row : {Row{2, 64}, Row{4, 64}, Row{6, 1024}, Row{8, 1024}}) {
+    // MERLIN_BENCH_TINY restricts the sweep to the smallest instance, so CI
+    // can smoke-test the harness without paying for the k=6/k=8 MIPs.
+    std::vector<Row> rows{Row{2, 64}, Row{4, 64}, Row{6, 1024}, Row{8, 1024}};
+    if (std::getenv("MERLIN_BENCH_TINY") != nullptr) rows.resize(1);
+    for (const Row row : rows) {
         const topo::Topology t = topo::fat_tree(row.k);
         const auto hosts = static_cast<int>(t.hosts().size());
         const int classes = hosts * (hosts - 1);

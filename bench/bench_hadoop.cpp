@@ -11,6 +11,7 @@
 #include "netsim/apps.h"
 #include "netsim/sim.h"
 #include "topo/topology.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -21,7 +22,7 @@ double run_configuration(bool background, Bandwidth per_flow_guarantee) {
     const auto tor = cluster.add_switch("tor");
     std::vector<topo::NodeId> workers;
     for (int i = 0; i < 4; ++i) {
-        const auto w = cluster.add_host("w" + std::to_string(i));
+        const auto w = cluster.add_host(indexed("w", i));
         cluster.add_link(w, tor, gbps(1));
         workers.push_back(w);
     }

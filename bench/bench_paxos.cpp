@@ -15,6 +15,7 @@
 #include "netsim/apps.h"
 #include "netsim/sim.h"
 #include "topo/topology.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -25,7 +26,7 @@ topo::Topology make_cluster() {
     topo::Topology t;
     const auto sw = t.add_switch("sw");
     for (int i = 0; i < 8; ++i) {
-        const auto m = t.add_host("m" + std::to_string(i));
+        const auto m = t.add_host(indexed("m", i));
         t.add_link(m, sw, gbps(1));
     }
     return t;

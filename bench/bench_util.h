@@ -14,6 +14,7 @@
 #include "core/compiler.h"
 #include "ir/ast.h"
 #include "topo/topology.h"
+#include "util/strings.h"
 
 namespace merlin::bench {
 
@@ -35,7 +36,7 @@ inline ir::Policy all_pairs_policy(const topo::Topology& topo, int guaranteed,
         for (topo::NodeId dst : hosts) {
             if (src == dst) continue;
             ir::Statement s;
-            s.id = "t" + std::to_string(index);
+            s.id = indexed("t", index);
             s.predicate = addressing.pair_predicate(src, dst);
             s.path = ir::path_any_star();
             policy.statements.push_back(std::move(s));
@@ -43,7 +44,7 @@ inline ir::Policy all_pairs_policy(const topo::Topology& topo, int guaranteed,
                 index % stride == 0) {
                 ++granted;
                 ir::Term term;
-                term.ids.push_back("t" + std::to_string(index));
+                term.ids.push_back(indexed("t", index));
                 const auto leaf = ir::formula_min(std::move(term), rate);
                 policy.formula = policy.formula
                                      ? ir::formula_and(policy.formula, leaf)
@@ -64,7 +65,7 @@ inline ir::Policy per_destination_policy(const topo::Topology& topo) {
     int index = 0;
     for (topo::NodeId dst : topo.hosts()) {
         ir::Statement s;
-        s.id = "d" + std::to_string(index++);
+        s.id = indexed("d", index++);
         s.predicate = ir::pred_test("eth.dst", addressing.mac(dst));
         s.path = ir::path_any_star();
         policy.statements.push_back(std::move(s));

@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "ir/ast.h"
 #include "negotiator/negotiator.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -25,7 +26,7 @@ using namespace merlin;
 automata::Alphabet make_alphabet() {
     automata::Alphabet a;
     for (int i = 0; i < 8; ++i)
-        (void)a.add_location("s" + std::to_string(i));
+        (void)a.add_location(indexed("s", i));
     return a;
 }
 
@@ -50,7 +51,7 @@ ir::Policy partition_by_port(int n, Bandwidth cap, bool with_rates) {
     for (int i = 0; i + 1 < n; ++i) {
         const auto port = static_cast<std::uint64_t>(i + 1);
         p.statements.push_back(ir::Statement{
-            "c" + std::to_string(i),
+            indexed("c", i),
             ir::pred_and(ir::pred_test("ip.proto", 6),
                          ir::pred_test("tcp.dst", port)),
             ir::path_any_star()});
@@ -62,7 +63,7 @@ ir::Policy partition_by_port(int n, Bandwidth cap, bool with_rates) {
         const auto share = Bandwidth(cap.bps() / static_cast<std::uint64_t>(n));
         for (int i = 0; i < n; ++i) {
             ir::Term t;
-            t.ids.push_back(i + 1 < n ? "c" + std::to_string(i) : "rest");
+            t.ids.push_back(i + 1 < n ? indexed("c", i) : std::string("rest"));
             const auto leaf = ir::formula_max(std::move(t), share);
             p.formula =
                 p.formula ? ir::formula_and(p.formula, leaf) : leaf;
@@ -78,7 +79,7 @@ ir::PathPtr wide_regex(int nodes) {
     int next = 1;
     while (used + 2 < nodes) {
         alt = ir::path_alt(alt,
-                           ir::path_symbol("s" + std::to_string(next % 8)));
+                           ir::path_symbol(indexed("s", next % 8)));
         ++next;
         used += 2;
     }

@@ -16,6 +16,7 @@
 #include "netsim/apps.h"
 #include "netsim/sim.h"
 #include "topo/generators.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -26,7 +27,7 @@ double run_job(bool background, Bandwidth guarantee) {
     const auto s1 = cluster.add_switch("tor");
     std::vector<topo::NodeId> workers;
     for (int i = 0; i < 4; ++i) {
-        const auto h = cluster.add_host("w" + std::to_string(i));
+        const auto h = cluster.add_host(indexed("w", i));
         cluster.add_link(h, s1, gbps(1));
         workers.push_back(h);
     }

@@ -112,7 +112,9 @@ Node Manager::negate(Node a) {
         cache_key(static_cast<std::uint8_t>(Op::xor_), a, kTrue);
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
-    const Node_data& na = nodes_[static_cast<std::size_t>(a)];
+    // Copy, not reference: the recursive negate calls can grow nodes_ and
+    // reallocate it out from under a reference.
+    const Node_data na = nodes_[static_cast<std::size_t>(a)];
     const Node out = make(na.var, negate(na.low), negate(na.high));
     cache_.emplace(key, out);
     return out;

@@ -7,6 +7,7 @@
 #include "ir/fields.h"
 #include "parser/lexer.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace merlin::parser {
 namespace {
@@ -392,7 +393,7 @@ private:
             for (const std::string& d : dst_values) {
                 if (s == d) continue;  // self-pairs need no provisioning
                 Statement stmt;
-                stmt.id = "g" + std::to_string(generated_counter_++);
+                stmt.id = indexed("g", generated_counter_++);
                 stmt.predicate =
                     pred_and(endpoint_test(s, /*source=*/true),
                              endpoint_test(d, /*source=*/false));

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace merlin::topo {
 
@@ -16,17 +17,15 @@ Topology fat_tree(int k, Bandwidth capacity) {
     std::vector<NodeId> core;
     core.reserve(static_cast<std::size_t>(half * half));
     for (int i = 0; i < half * half; ++i)
-        core.push_back(t.add_switch("c" + std::to_string(i)));
+        core.push_back(t.add_switch(indexed("c", i)));
 
     int host_index = 0;
     for (int pod = 0; pod < k; ++pod) {
         std::vector<NodeId> agg;
         std::vector<NodeId> edge;
         for (int i = 0; i < half; ++i) {
-            agg.push_back(t.add_switch("a" + std::to_string(pod) + "_" +
-                                       std::to_string(i)));
-            edge.push_back(t.add_switch("e" + std::to_string(pod) + "_" +
-                                        std::to_string(i)));
+            agg.push_back(t.add_switch(indexed("a", pod, i)));
+            edge.push_back(t.add_switch(indexed("e", pod, i)));
         }
         // Aggregation <-> edge full bipartite within the pod.
         for (int i = 0; i < half; ++i)
@@ -42,7 +41,7 @@ Topology fat_tree(int k, Bandwidth capacity) {
         // Hosts under each edge switch.
         for (int i = 0; i < half; ++i)
             for (int j = 0; j < half; ++j) {
-                const NodeId h = t.add_host("h" + std::to_string(host_index++));
+                const NodeId h = t.add_host(indexed("h", host_index++));
                 t.add_link(edge[static_cast<std::size_t>(i)], h, capacity);
             }
     }
@@ -56,13 +55,13 @@ Topology balanced_tree(int depth, int fanout, int hosts_per_leaf,
     Topology t;
     int switch_index = 0;
     int host_index = 0;
-    std::vector<NodeId> level{t.add_switch("s" + std::to_string(switch_index++))};
+    std::vector<NodeId> level{t.add_switch(indexed("s", switch_index++))};
     for (int d = 0; d < depth; ++d) {
         std::vector<NodeId> next;
         for (NodeId parent : level) {
             for (int i = 0; i < fanout; ++i) {
                 const NodeId s =
-                    t.add_switch("s" + std::to_string(switch_index++));
+                    t.add_switch(indexed("s", switch_index++));
                 t.add_link(parent, s, capacity);
                 next.push_back(s);
             }
@@ -71,7 +70,7 @@ Topology balanced_tree(int depth, int fanout, int hosts_per_leaf,
     }
     for (NodeId leaf : level) {
         for (int i = 0; i < hosts_per_leaf; ++i) {
-            const NodeId h = t.add_host("h" + std::to_string(host_index++));
+            const NodeId h = t.add_host(indexed("h", host_index++));
             t.add_link(leaf, h, capacity);
         }
     }
@@ -89,7 +88,7 @@ Topology campus(int subnets, Bandwidth capacity) {
     std::vector<NodeId> zones;
     zones.reserve(kZones);
     for (int i = 0; i < kZones; ++i) {
-        const NodeId z = t.add_switch("z" + std::to_string(i));
+        const NodeId z = t.add_switch(indexed("z", i));
         // Dual-homed to the backbone, like the Stanford zone routers.
         t.add_link(z, bb_a, capacity);
         t.add_link(z, bb_b, capacity);
@@ -101,7 +100,7 @@ Topology campus(int subnets, Bandwidth capacity) {
                    zones[static_cast<std::size_t>(i + 1)], capacity);
 
     for (int i = 0; i < subnets; ++i) {
-        const NodeId h = t.add_host("n" + std::to_string(i));
+        const NodeId h = t.add_host(indexed("n", i));
         t.add_link(h, zones[static_cast<std::size_t>(i % kZones)], capacity);
     }
     return t;
@@ -114,7 +113,7 @@ Topology zoo_topology(int switches, Rng& rng, double extra_edge_fraction,
     std::vector<NodeId> sw;
     sw.reserve(static_cast<std::size_t>(switches));
     for (int i = 0; i < switches; ++i)
-        sw.push_back(t.add_switch("s" + std::to_string(i)));
+        sw.push_back(t.add_switch(indexed("s", i)));
 
     // Random spanning tree: attach node i to a uniformly chosen predecessor.
     for (int i = 1; i < switches; ++i) {
@@ -132,7 +131,7 @@ Topology zoo_topology(int switches, Rng& rng, double extra_edge_fraction,
     }
     // One host per switch, as the compiler's all-pairs benchmark expects.
     for (int i = 0; i < switches; ++i) {
-        const NodeId h = t.add_host("h" + std::to_string(i));
+        const NodeId h = t.add_host(indexed("h", i));
         t.add_link(h, sw[static_cast<std::size_t>(i)], capacity);
     }
     return t;

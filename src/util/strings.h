@@ -20,4 +20,23 @@ namespace merlin {
 // True if `text` starts with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
 
+// "h" + 3 -> "h3".  Built with append because GCC 12's -Wrestrict misfires
+// on `"h" + std::to_string(n)` under optimization (GCC PR105651).
+[[nodiscard]] inline std::string indexed(std::string_view prefix,
+                                         long long n) {
+    std::string out(prefix);
+    out += std::to_string(n);
+    return out;
+}
+
+// "a" + 1, 2 -> "a1_2" (pod-style two-level names).
+[[nodiscard]] inline std::string indexed(std::string_view prefix, long long a,
+                                         long long b) {
+    std::string out(prefix);
+    out += std::to_string(a);
+    out += '_';
+    out += std::to_string(b);
+    return out;
+}
+
 }  // namespace merlin

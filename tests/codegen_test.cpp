@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "interp/interp.h"
 #include "parser/parser.h"
 #include "topo/generators.h"
 #include "topo/parse.h"
@@ -208,6 +213,80 @@ TEST(Codegen, TextDumpMentionsEveryArtifactKind) {
     EXPECT_NE(text.find("# tc"), std::string::npos);
     EXPECT_NE(text.find("# click"), std::string::npos);
     EXPECT_NE(text.find("min=10MB/s"), std::string::npos);
+}
+
+// ------------------------------------------------------------- golden files
+//
+// The emitted device configurations for the paper's running example (the
+// Figure-2 middlebox chain) are pinned against committed expected output in
+// tests/golden/, so codegen refactors cannot silently change what reaches
+// the devices.  Regenerate with MERLIN_UPDATE_GOLDEN=1 after an intentional
+// change, and review the diff like any other code change.
+
+std::string golden_path(const std::string& name) {
+    return std::string(MERLIN_GOLDEN_DIR) + "/" + name;
+}
+
+void compare_with_golden(const std::string& name, const std::string& actual) {
+    if (std::getenv("MERLIN_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(golden_path(name));
+        ASSERT_TRUE(out) << "cannot write golden file " << golden_path(name);
+        out << actual;
+        GTEST_SKIP() << "regenerated " << name;
+    }
+    std::ifstream in(golden_path(name));
+    ASSERT_TRUE(in) << "missing golden file " << golden_path(name)
+                    << " (run with MERLIN_UPDATE_GOLDEN=1 to create it)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "codegen output changed for " << name
+        << "; if intentional, regenerate with MERLIN_UPDATE_GOLDEN=1";
+}
+
+// The Section 2 running example: HTTP through dpi, FTP control direct, web
+// traffic through dpi then nat, with the paper's aggregate cap and guarantee.
+const char* kFig2Policy = R"(
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  y : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 21) -> .* ;
+  z : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* nat .* ],
+max(x + y, 50MB/s) and min(z, 100MB/s)
+)";
+
+TEST(CodegenGolden, Fig2DeviceConfigurations) {
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const Configuration config =
+        compile_and_generate(fig2_topology(), kFig2Policy, o);
+    compare_with_golden("fig2_device_config.txt", to_text(config));
+}
+
+TEST(CodegenGolden, Fig2HostPrograms) {
+    const topo::Topology t = fig2_topology();
+    const core::Compilation c = core::compile(parse_policy(kFig2Policy), t);
+    ASSERT_TRUE(c.feasible) << c.diagnostic;
+    std::ostringstream text;
+    for (const auto& [host, program] : host_programs(c, t))
+        text << "# host program: " << host << '\n' << interp::to_text(program);
+    compare_with_golden("fig2_host_programs.txt", text.str());
+}
+
+TEST(CodegenGolden, OutputIsDeterministic) {
+    // The golden comparison is only meaningful if repeated compilations of
+    // the same policy emit byte-identical configurations.
+    core::Compile_options o;
+    o.add_default_statement = false;
+    const std::string first =
+        to_text(compile_and_generate(fig2_topology(), kFig2Policy, o));
+    const std::string second =
+        to_text(compile_and_generate(fig2_topology(), kFig2Policy, o));
+    EXPECT_EQ(first, second);
 }
 
 }  // namespace

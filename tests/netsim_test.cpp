@@ -99,8 +99,9 @@ TEST(Simulator, RoutesAndDirectionality) {
     EXPECT_EQ(sim.rate(b).bps(), gbps(1).bps());
     // Routes avoid transiting hosts.
     for (topo::NodeId n : sim.route(a))
-        if (n != t.require("h1") && n != t.require("h3"))
+        if (n != t.require("h1") && n != t.require("h3")) {
             EXPECT_NE(t.node(n).kind, topo::Node_kind::host);
+        }
 }
 
 TEST(Simulator, SameDirectionContends) {

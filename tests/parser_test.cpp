@@ -200,6 +200,23 @@ TEST(Parser, Diagnostics) {
                  Parse_error);  // duplicate id
 }
 
+TEST(Parser, LexerDiagnostics) {
+    // One case per lexer throw site.
+    EXPECT_THROW((void)parse_policy("- "), Parse_error);  // '-' without '>'
+    EXPECT_THROW((void)parse_policy("\"unterminated"), Parse_error);
+    EXPECT_THROW((void)parse_policy("@"), Parse_error);  // unknown character
+    // next_value at end of input, and at a token with no value characters.
+    EXPECT_THROW((void)parse_policy("[ x : tcp.dst ="), Parse_error);
+    EXPECT_THROW((void)parse_policy("[ x : tcp.dst = ]"), Parse_error);
+}
+
+TEST(Parser, RejectsMalformedRates) {
+    EXPECT_THROW((void)parse_policy("[ x : true -> .* ], min(x, bogus)"),
+                 Parse_error);
+    EXPECT_THROW((void)parse_policy("[ x : true -> .* at max(notarate) ]"),
+                 Parse_error);
+}
+
 TEST(Parser, ErrorPositionsAreReported) {
     try {
         (void)parse_policy("[x : tcp.dst =\n@ -> .*]");

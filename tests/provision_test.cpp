@@ -57,9 +57,10 @@ TEST(ProvisionGreedy, MatchesMipOnFigure3) {
         // Greedy may not match the exact optimum for min-max-ratio (it
         // commits one path at a time) but must stay capacity-feasible.
         EXPECT_LE(greedy.r_max, 1.0 + 1e-9) << to_string(h);
-        if (h == Heuristic::weighted_shortest_path)
+        if (h == Heuristic::weighted_shortest_path) {
             EXPECT_EQ(exact.paths[0].nodes.size(),
                       greedy.paths[0].nodes.size());
+        }
     }
 }
 

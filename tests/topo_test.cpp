@@ -5,6 +5,7 @@
 #include "topo/generators.h"
 #include "topo/parse.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace merlin::topo {
 namespace {
@@ -37,6 +38,7 @@ TEST(Topology, RejectsBadInput) {
     EXPECT_THROW(t.add_link(b, a, gbps(1)), Topology_error);
     EXPECT_THROW((void)t.require("missing"), Topology_error);
     EXPECT_THROW(t.allow_function("dpi", NodeId{99}), Topology_error);
+    EXPECT_THROW(t.add_link(a, NodeId{99}, gbps(1)), Topology_error);
 }
 
 TEST(Topology, FunctionPlacements) {
@@ -138,6 +140,19 @@ TEST(TopoParse, Diagnostics) {
     EXPECT_THROW((void)parse_topology("host\n"), Parse_error);
     EXPECT_THROW((void)parse_topology("link a b 1Gbps\n"), Topology_error);
     EXPECT_THROW((void)parse_topology("host h1\nfunction dpi\n"), Parse_error);
+    // Truncated link directive and a function directive with no name.
+    EXPECT_THROW((void)parse_topology("host a\nhost b\nlink a b\n"),
+                 Parse_error);
+    EXPECT_THROW((void)parse_topology("function\n"), Parse_error);
+}
+
+TEST(Generators, RejectsBadParameters) {
+    EXPECT_THROW((void)balanced_tree(-1, 3, 2), Topology_error);
+    EXPECT_THROW((void)balanced_tree(2, 0, 2), Topology_error);
+    EXPECT_THROW((void)balanced_tree(2, 3, -1), Topology_error);
+    EXPECT_THROW((void)campus(0), Topology_error);
+    Rng rng(42);
+    EXPECT_THROW((void)zoo_topology(0, rng), Topology_error);
 }
 
 }  // namespace

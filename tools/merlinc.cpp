@@ -1,8 +1,12 @@
 // merlinc — the Merlin policy compiler, as a command-line tool.
 //
 //   merlinc <topology-file> <policy-file> [options]
+//   merlinc --generate <spec> <policy-file> [options]
 //
 // Options:
+//   --generate <spec>           use a generated topology instead of a file:
+//                               fat-tree:<k>, balanced-tree:<d>:<f>:<h>,
+//                               or campus:<subnets>
 //   --heuristic wsp|mmr|mmres   path-selection heuristic (default wsp)
 //   --solver mip|greedy|auto    provisioning solver (default auto)
 //   --programs                  also print per-host interpreter programs
@@ -14,13 +18,16 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "codegen/codegen.h"
 #include "core/compiler.h"
 #include "interp/interp.h"
 #include "parser/parser.h"
+#include "topo/generators.h"
 #include "topo/parse.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -35,23 +42,57 @@ std::string read_file(const std::string& path) {
 int usage() {
     std::cerr
         << "usage: merlinc <topology-file> <policy-file>\n"
+           "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
-           "       [--programs] [--quiet]\n";
+           "       [--programs] [--quiet]\n"
+           "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
+           "campus:<subnets>\n";
     return 2;
+}
+
+// Builds a topology from a generator spec like "fat-tree:4". Throws Error on
+// an unknown generator name or malformed parameters.
+merlin::topo::Topology generate_topology(const std::string& spec) {
+    using namespace merlin;
+    const std::vector<std::string> parts = split(spec, ':');
+    // Whole-string integer parse: stoi alone would accept "4x".
+    const auto param = [&spec](const std::string& text) {
+        std::size_t consumed = 0;
+        int value = 0;
+        try {
+            value = std::stoi(text, &consumed);
+        } catch (const std::logic_error&) {
+            consumed = 0;
+        }
+        if (consumed != text.size() || text.empty())
+            throw Error("malformed generator parameter in spec: " + spec);
+        return value;
+    };
+    if (parts.size() == 2 && parts[0] == "fat-tree")
+        return topo::fat_tree(param(parts[1]));
+    if (parts.size() == 4 && parts[0] == "balanced-tree")
+        return topo::balanced_tree(param(parts[1]), param(parts[2]),
+                                   param(parts[3]));
+    if (parts.size() == 2 && parts[0] == "campus")
+        return topo::campus(param(parts[1]));
+    throw Error("unknown topology spec: " + spec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace merlin;
-    if (argc < 3) return usage();
 
     core::Compile_options options;
+    std::vector<std::string> positional;
+    std::string generate_spec;
     bool print_programs = false;
     bool quiet = false;
-    for (int i = 3; i < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--heuristic" && i + 1 < argc) {
+        if (arg == "--generate" && i + 1 < argc) {
+            generate_spec = argv[++i];
+        } else if (arg == "--heuristic" && i + 1 < argc) {
             const std::string h = argv[++i];
             if (h == "wsp")
                 options.heuristic = core::Heuristic::weighted_shortest_path;
@@ -75,15 +116,22 @@ int main(int argc, char** argv) {
             print_programs = true;
         } else if (arg == "--quiet") {
             quiet = true;
-        } else {
+        } else if (!arg.empty() && arg[0] == '-') {
             return usage();
+        } else {
+            positional.push_back(arg);
         }
     }
+    const std::size_t expected_args = generate_spec.empty() ? 2u : 1u;
+    if (positional.size() != expected_args) return usage();
 
     try {
         const topo::Topology network =
-            topo::parse_topology(read_file(argv[1]));
-        const ir::Policy policy = parser::parse_policy(read_file(argv[2]));
+            generate_spec.empty()
+                ? topo::parse_topology(read_file(positional[0]))
+                : generate_topology(generate_spec);
+        const ir::Policy policy =
+            parser::parse_policy(read_file(positional.back()));
         const core::Compilation compiled =
             core::compile(policy, network, options);
         if (!compiled.feasible) {

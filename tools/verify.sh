@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+#   tools/verify.sh          # tier-1: configure, build, run the full suite
+#
+# Then, as a smoke check that the evaluation harnesses still build and run:
+# re-configure in Release with benches enabled and run one tiny bench config.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+# --- tier 1: the verify command from ROADMAP.md -----------------------------
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+# --- bench smoke: Release build of every bench_* target + one tiny run ------
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      -DMERLIN_BUILD_BENCHES=ON -DMERLIN_BUILD_TESTS=OFF
+cmake --build build-release -j "$JOBS"
+MERLIN_BENCH_TINY=1 ./build-release/bench/bench_fattree_table
+
+echo "verify.sh: OK"
