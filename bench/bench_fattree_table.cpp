@@ -3,7 +3,12 @@
 // For fat trees of increasing arity, compile all-pairs connectivity with 5%
 // of the traffic classes guaranteed, and report the paper's columns:
 // traffic classes, hosts, switches, LP construction time, LP solution time,
-// and the rateless (sink tree) time.
+// and the rateless (sink tree) time — plus the solver work counters
+// (simplex iterations, B&B nodes) that explain the wall-clock.
+//
+// When MERLIN_BENCH_JSON names a file, the same rows are emitted as
+// machine-readable JSON so CI can archive the solver perf trajectory
+// (tools/verify.sh writes BENCH_solver.json).
 //
 // Scaling note: the paper drove Gurobi to ~230k classes / 11.5k guaranteed
 // on server hardware; our self-contained simplex is exercised on scaled
@@ -13,30 +18,76 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "topo/generators.h"
 
+namespace {
+
+struct Result {
+    int k = 0;
+    int classes = 0;
+    int guaranteed = 0;
+    double construction_ms = 0;
+    double solve_ms = 0;
+    double rateless_ms = 0;
+    long long simplex_iterations = 0;
+    int mip_nodes = 0;
+    int warm_started_nodes = 0;
+    std::string solver;
+};
+
+void write_json(const char* path, const std::vector<Result>& results) {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"fattree_table\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        std::fprintf(out,
+                     "    {\"k\": %d, \"classes\": %d, \"guaranteed\": %d, "
+                     "\"lp_construction_ms\": %.3f, \"mip_wall_ms\": %.3f, "
+                     "\"rateless_ms\": %.3f, \"simplex_iterations\": %lld, "
+                     "\"mip_nodes\": %d, \"warm_started_nodes\": %d, "
+                     "\"solver\": \"%s\"}%s\n",
+                     r.k, r.classes, r.guaranteed, r.construction_ms,
+                     r.solve_ms, r.rateless_ms, r.simplex_iterations,
+                     r.mip_nodes, r.warm_started_nodes, r.solver.c_str(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
 int main() {
     using namespace merlin;
-    using bench::Stopwatch;
 
     std::printf(
         "Table 7 — fat trees, 5%% of classes guaranteed (guaranteed count "
         "capped where marked)\n\n");
-    std::printf("%8s %10s %6s %8s %11s %14s %12s %13s\n", "classes",
+    std::printf("%8s %10s %6s %8s %13s %16s %12s %10s %6s %s\n", "classes",
                 "guaranteed", "hosts", "switches", "LP constr(ms)",
-                "LP solution(ms)", "rateless(ms)", "");
+                "LP solution(ms)", "rateless(ms)", "simplex-it", "nodes",
+                "");
 
     struct Row {
         int k;
         int guaranteed_cap;
     };
-    // MERLIN_BENCH_TINY restricts the sweep to the smallest instance, so CI
-    // can smoke-test the harness without paying for the k=6/k=8 MIPs.
+    // MERLIN_BENCH_TINY restricts the sweep to the two smallest instances
+    // (k=4 is the first row the MIP does real work on), so CI can smoke-test
+    // the harness and record a solver datapoint without paying for the
+    // k=6/k=8 trees.
     std::vector<Row> rows{Row{2, 64}, Row{4, 64}, Row{6, 1024}, Row{8, 1024}};
-    if (std::getenv("MERLIN_BENCH_TINY") != nullptr) rows.resize(1);
+    if (std::getenv("MERLIN_BENCH_TINY") != nullptr) rows.resize(2);
+    std::vector<Result> results;
     for (const Row row : rows) {
         const topo::Topology t = topo::fat_tree(row.k);
         const auto hosts = static_cast<int>(t.hosts().size());
@@ -52,15 +103,31 @@ int main() {
             std::printf("k=%d INFEASIBLE: %s\n", row.k, c.diagnostic.c_str());
             continue;
         }
-        std::printf("%8d %10d %6d %8zu %13.1f %16.1f %12.1f  [%s]%s\n",
+        std::printf("%8d %10d %6d %8zu %13.1f %16.1f %12.1f %10lld %6d  [%s]%s\n",
                     classes, guaranteed, hosts, t.switches().size(),
                     c.timing.lp_construction_ms, c.timing.lp_solve_ms,
-                    c.timing.rateless_ms, c.provision.solver,
+                    c.timing.rateless_ms, c.provision.simplex_iterations,
+                    c.provision.mip_nodes, c.provision.solver,
                     guaranteed < five_percent ? " (capped)" : "");
+        Result r;
+        r.k = row.k;
+        r.classes = classes;
+        r.guaranteed = guaranteed;
+        r.construction_ms = c.timing.lp_construction_ms;
+        r.solve_ms = c.timing.lp_solve_ms;
+        r.rateless_ms = c.timing.rateless_ms;
+        r.simplex_iterations = c.provision.simplex_iterations;
+        r.mip_nodes = c.provision.mip_nodes;
+        r.warm_started_nodes = c.provision.warm_started_nodes;
+        r.solver = c.provision.solver;
+        results.push_back(r);
     }
     std::printf(
         "\npaper (server-class machine, Gurobi): 870 classes -> 25/22/33 ms; "
         "28730 -> 364/252/106 ms;\n95790 -> 13.3s/249s/0.2s; 229920 -> "
         "86.7s/10476s/0.5s — same super-linear LP-solution growth\n");
+
+    if (const char* json_path = std::getenv("MERLIN_BENCH_JSON"))
+        write_json(json_path, results);
     return 0;
 }

@@ -61,20 +61,23 @@ Provisioned_path extract_path(const Logical_topology& logical,
 }
 
 // Computes the achieved r_max / R_max from the selected reservations.
+// Rates are accumulated exactly in integer bps — converting through Mbps
+// doubles and truncating back used to underreport R_max by up to 1 bps.
 void fill_maxima(const topo::Topology& topo, Provision_result& out) {
-    std::vector<double> reserved_mbps(
-        static_cast<std::size_t>(topo.link_count()), 0.0);
+    std::vector<std::uint64_t> reserved_bps(
+        static_cast<std::size_t>(topo.link_count()), 0);
     for (const Provisioned_path& p : out.paths)
         for (topo::LinkId link : p.links)
-            reserved_mbps[static_cast<std::size_t>(link)] += to_mbps(p.rate);
+            reserved_bps[static_cast<std::size_t>(link)] += p.rate.bps();
     for (topo::LinkId link = 0; link < topo.link_count(); ++link) {
-        const double cap = to_mbps(topo.link(link).capacity);
-        const double reserved = reserved_mbps[static_cast<std::size_t>(link)];
-        out.r_max = std::max(out.r_max, reserved / cap);
-        if (Bandwidth(static_cast<std::uint64_t>(reserved * 1e6)) >
-            out.big_r_max)
-            out.big_r_max =
-                Bandwidth(static_cast<std::uint64_t>(reserved * 1e6));
+        const std::uint64_t reserved =
+            reserved_bps[static_cast<std::size_t>(link)];
+        out.r_max = std::max(out.r_max,
+                             static_cast<double>(reserved) /
+                                 static_cast<double>(
+                                     topo.link(link).capacity.bps()));
+        if (Bandwidth(reserved) > out.big_r_max)
+            out.big_r_max = Bandwidth(reserved);
     }
 }
 
@@ -189,6 +192,9 @@ Provision_result provision(const topo::Topology& topo,
     out.variables = problem.variable_count();
     out.constraints = problem.relaxation().constraint_count();
     out.mip_nodes = solution.nodes_explored;
+    out.simplex_iterations = solution.simplex_iterations;
+    out.lp_factorizations = solution.lp_factorizations;
+    out.warm_started_nodes = solution.warm_started_nodes;
     if (!solution.usable()) {
         out.proven_infeasible = solution.status == mip::Status::infeasible;
         return out;
@@ -317,9 +323,34 @@ Provision_result provision_greedy(
         }
         out.paths[i] =
             extract_path(logical, std::move(used), request.id, request.rate);
+        // An NFV chain can cross one physical link through several logical
+        // edges (e.g. switch -> middlebox -> switch), so a link must afford
+        // rate * occurrences — the per-edge Dijkstra check only guaranteed
+        // one occurrence, and charging per occurrence unchecked used to
+        // wrap the unsigned residual past zero.
+        std::vector<std::pair<topo::LinkId, std::uint64_t>> charges;
         for (topo::LinkId l : out.paths[i].links) {
-            residual[static_cast<std::size_t>(l)] -= rate;
-            used_bps[static_cast<std::size_t>(l)] += rate;
+            auto it = std::find_if(charges.begin(), charges.end(),
+                                   [l](const auto& c) { return c.first == l; });
+            if (it == charges.end())
+                charges.emplace_back(l, rate);
+            else
+                it->second += rate;
+        }
+        bool fits = true;
+        for (const auto& [l, charge] : charges)
+            fits = fits && residual[static_cast<std::size_t>(l)] >= charge;
+        if (!fits) {
+            out.diagnostic = "greedy could not route request '" + request.id +
+                             "' (" + std::to_string(rate / 1'000'000) +
+                             " Mbps): its path revisits a physical link with "
+                             "insufficient residual capacity";
+            out.paths.clear();
+            return out;
+        }
+        for (const auto& [l, charge] : charges) {
+            residual[static_cast<std::size_t>(l)] -= charge;
+            used_bps[static_cast<std::size_t>(l)] += charge;
         }
     }
     out.feasible = true;

@@ -71,6 +71,10 @@ struct Provision_result {
     int variables = 0;
     int constraints = 0;
     int mip_nodes = 0;
+    // LP work underneath the MIP (zero for the greedy solver).
+    long long simplex_iterations = 0;
+    int lp_factorizations = 0;
+    int warm_started_nodes = 0;
 };
 
 // Solves the provisioning MIP exactly (the paper's formulation). Requests

@@ -1,17 +1,28 @@
-// Linear programming: a bounded-variable revised simplex solver.
+// Linear programming: a bounded-variable sparse revised simplex solver.
 //
 // Merlin's path-selection problem (Section 3.2, constraints (1)-(5)) is a
 // mixed-integer program; the original system called the Gurobi optimizer.
 // This module provides the LP relaxation engine underneath our own
-// branch-and-bound (src/mip). It implements the textbook two-phase primal
-// simplex with variable bounds, a dense basis inverse maintained by
-// product-form (eta) updates, Dantzig pricing with a Bland's-rule fallback
-// for anti-cycling, and periodic recomputation of the basic solution to
-// bound numerical drift.
+// branch-and-bound (src/mip). It implements the two-phase primal simplex
+// with variable bounds over a *sparse* basis factorization: the basis is
+// held as an LU factorization (an L eta file plus sparse upper-triangular
+// columns, with row/column permutations chosen during elimination) and
+// pivots append sparse product-form update etas on top of it, so FTRAN /
+// BTRAN cost is proportional to factor fill rather than m^2. The flow
+// conservation matrices Merlin produces have ~2 nonzeros per column, which
+// keeps the factors near the size of the basis itself.
+//
+// Bases can be exported from a solved problem and passed back to warm-start
+// a re-solve after bound changes (the branch & bound workload): the
+// inherited basis skips phase 1 entirely — a basic variable stranded
+// outside a tightened bound (the child node's branching variable) is first
+// repaired with bounded dual-simplex-style pivots, and any failure falls
+// back to the ordinary two-phase cold start.
 //
 // Problems are minimization; use negated costs to maximize.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -30,12 +41,44 @@ struct Options {
     double optimality_tol = 1e-7;
     // Recompute x_B = B^-1 (b - N x_N) every this many pivots.
     int refresh_interval = 128;
+    // Rebuild the LU factorization after this many update etas; sparse
+    // refactorization is cheap and long eta files slow every FTRAN/BTRAN.
+    int refactor_interval = 64;
+};
+
+// A basis snapshot over the structural + slack columns of a Problem.
+// `basic` maps each constraint row to the column basic in it; -1 marks a
+// redundant row (e.g. the dependent flow-conservation row of each
+// commodity) whose zero-pinned artificial stays basic — the warm-starter
+// recreates it. `at_upper[j]` records which bound nonbasic column j sits
+// at. The slack layout depends only on the constraint senses, so a
+// snapshot stays valid across bound/cost changes to the same problem —
+// exactly the branch & bound use case.
+struct Basis {
+    std::vector<int> basic;
+    std::vector<std::uint8_t> at_upper;
+
+    [[nodiscard]] bool empty() const { return basic.empty(); }
+};
+
+// Work counters for one solve, for benchmarks and regression tests.
+struct Stats {
+    int iterations = 0;         // pricing rounds across both phases
+    int phase1_iterations = 0;  // subset of the above spent in phase 1
+    int factorizations = 0;     // sparse LU (re)factorizations
+    bool warm_started = false;  // phase 1 skipped via a warm basis
 };
 
 struct Solution {
     Status status = Status::iteration_limit;
     double objective = 0;
     std::vector<double> x;  // one value per added variable
+    // Final basis, exported on every optimal solve (redundant rows whose
+    // artificial stayed basic are marked -1); empty when the solve did not
+    // reach optimality or the problem had no constraints. Feed it back to
+    // solve() to warm-start a related problem.
+    Basis basis;
+    Stats stats;
 
     [[nodiscard]] bool optimal() const { return status == Status::optimal; }
 };
@@ -102,7 +145,12 @@ private:
 };
 
 // Solves the problem; `x` in the result has one entry per variable added.
+// A non-null `warm` basis is tried first: if it factorizes and is primal
+// feasible under the problem's current bounds (after repairing basics
+// stranded by tightened bounds), phase 1 is skipped; any failure falls
+// back to the ordinary two-phase cold start.
 [[nodiscard]] Solution solve(const Problem& problem,
-                             const Options& options = {});
+                             const Options& options = {},
+                             const Basis* warm = nullptr);
 
 }  // namespace merlin::lp

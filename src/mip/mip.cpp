@@ -32,6 +32,8 @@ struct Node {
     // Branching decisions: variable -> fixed value (0 or 1).
     std::vector<std::pair<int, double>> fixes;
     double bound;  // parent LP objective (lower bound for minimization)
+    // The parent's optimal basis; warm-starts this node's LP re-solve.
+    std::shared_ptr<const lp::Basis> warm;
 };
 
 struct NodeOrder {
@@ -51,10 +53,13 @@ Solution solve(const Problem& problem, const Options& options) {
     std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
                         NodeOrder>
         open;
-    open.push(std::make_shared<Node>(Node{{}, -lp::kInfinity}));
+    open.push(std::make_shared<Node>(Node{{}, -lp::kInfinity, nullptr}));
 
-    // One scratch copy of the relaxation per node evaluation; bounds are
-    // rewritten according to the node's fix list.
+    // One shared relaxation for the whole tree: each node patches the
+    // bounds of its fixed binaries in, solves (warm-started from the
+    // parent's basis), and restores the {0,1} bounds afterwards — no
+    // per-node copy of the problem.
+    lp::Problem relaxed = problem.lp_;
     int nodes = 0;
     bool undecided = false;
     while (!open.empty()) {
@@ -73,10 +78,16 @@ Solution solve(const Problem& problem, const Options& options) {
             continue;
         ++nodes;
 
-        lp::Problem relaxed = problem.lp_;
         for (const auto& [var, value] : node->fixes)
             relaxed.set_bounds(var, value, value);
-        const lp::Solution lp_solution = lp::solve(relaxed, options.lp);
+        const lp::Basis* warm =
+            options.warm_start && node->warm ? node->warm.get() : nullptr;
+        lp::Solution lp_solution = lp::solve(relaxed, options.lp, warm);
+        for (const auto& [var, value] : node->fixes)
+            relaxed.set_bounds(var, 0.0, 1.0);  // binaries are always {0,1}
+        incumbent.simplex_iterations += lp_solution.stats.iterations;
+        incumbent.lp_factorizations += lp_solution.stats.factorizations;
+        if (lp_solution.stats.warm_started) ++incumbent.warm_started_nodes;
         if (lp_solution.status == lp::Status::infeasible) continue;
         if (lp_solution.status != lp::Status::optimal) {
             // The relaxation was not decided (iteration limit): this node's
@@ -117,6 +128,13 @@ Solution solve(const Problem& problem, const Options& options) {
 
         const double frac_value =
             lp_solution.x[static_cast<std::size_t>(branch_var)];
+        // Children warm-start from this node's basis (fall back to the
+        // grandparent's if the solve could not export one).
+        std::shared_ptr<const lp::Basis> basis =
+            lp_solution.basis.empty()
+                ? node->warm
+                : std::make_shared<const lp::Basis>(
+                      std::move(lp_solution.basis));
         // Explore the side the relaxation leans toward first (priority queue
         // breaks ties by bound anyway).
         const double preferred = frac_value >= 0.5 ? 1.0 : 0.0;
@@ -125,6 +143,7 @@ Solution solve(const Problem& problem, const Options& options) {
             child->fixes = node->fixes;
             child->fixes.emplace_back(branch_var, value);
             child->bound = lp_solution.objective;
+            child->warm = basis;
             open.push(std::move(child));
         }
     }

@@ -6,6 +6,11 @@
 // time, so a lean best-first branch & bound with most-fractional branching
 // closes these instances with few nodes — the role Gurobi played for the
 // original system.
+//
+// Nodes are bound-change deltas over one shared relaxation (never copies of
+// the whole problem), and each child inherits its parent's optimal basis:
+// the LP layer warm-starts from it, skipping phase 1 and usually finishing
+// in a handful of dual pivots.
 #pragma once
 
 #include <vector>
@@ -29,6 +34,9 @@ struct Options {
     // Relative optimality gap at which a node is pruned against the
     // incumbent.
     double gap_tol = 1e-9;
+    // Warm-start each node's LP from the parent's optimal basis (disable to
+    // measure the cold-start baseline).
+    bool warm_start = true;
     lp::Options lp;
 };
 
@@ -37,6 +45,11 @@ struct Solution {
     double objective = 0;
     std::vector<double> x;
     int nodes_explored = 0;
+    // Aggregated LP work across all node solves (Table 7 reports solver
+    // cost; these let benches report *why* the wall-clock moved).
+    long long simplex_iterations = 0;
+    int lp_factorizations = 0;
+    int warm_started_nodes = 0;
 
     [[nodiscard]] bool optimal() const { return status == Status::optimal; }
     // True when `x` holds a usable integral solution.

@@ -6,6 +6,7 @@
 // equivalence-class count for DFA minimization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -174,6 +175,121 @@ TEST_P(LpVertexOracle, SimplexMatchesEnumeratedVertices) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpVertexOracle,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Warm-start oracle sweep: ~200 random instances are solved cold, then
+// re-solved after a branch-and-bound-style bound fixing both cold and warm
+// (from the exported basis). Both paths must agree with each other — and
+// with the exact vertex oracle on the modified instance — and warm-started
+// solves must never run phase 1.
+// ---------------------------------------------------------------------------
+
+class LpWarmOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpWarmOracle, WarmResolveMatchesColdAndOracle) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 77171u);
+    constexpr double kUpper = 3.0;
+    int warm_accepted = 0;
+    for (int round = 0; round < 20; ++round) {
+        std::array<double, kVars> cost{};
+        for (double& c : cost) c = std::round(rng.real(-5, 5));
+
+        lp::Problem p;
+        for (int v = 0; v < kVars; ++v)
+            (void)p.add_variable(cost[static_cast<std::size_t>(v)], 0, kUpper);
+        std::vector<OracleRow> rows;
+        const int row_count = static_cast<int>(rng.uniform(1, 4));
+        for (int r = 0; r < row_count; ++r) {
+            OracleRow row{};
+            for (double& a : row.a) a = std::round(rng.real(-2, 3));
+            row.rhs = std::round(rng.real(1, 8));
+            row.sense = rng.chance(0.6) ? lp::Sense::less_equal
+                                        : lp::Sense::greater_equal;
+            std::vector<std::pair<int, double>> coeffs;
+            for (int v = 0; v < kVars; ++v)
+                if (row.a[static_cast<std::size_t>(v)] != 0)
+                    coeffs.emplace_back(v, row.a[static_cast<std::size_t>(v)]);
+            if (coeffs.empty()) {
+                --r;
+                continue;
+            }
+            p.add_constraint(row.sense, row.rhs, std::move(coeffs));
+            rows.push_back(row);
+        }
+
+        const lp::Solution cold = lp::solve(p);
+        if (!cold.optimal() || cold.basis.empty()) continue;
+        EXPECT_LE(p.violation(cold.x), 1e-6);
+
+        // Branch-and-bound-style change: fix one variable at the bound its
+        // relaxation value rounds to (clamped into the box).
+        const int fixed = static_cast<int>(rng.uniform(0, kVars - 1));
+        const double value = std::clamp(
+            std::round(cold.x[static_cast<std::size_t>(fixed)]), 0.0, kUpper);
+        p.set_bounds(fixed, value, value);
+
+        const lp::Solution re_cold = lp::solve(p);
+        const lp::Solution re_warm = lp::solve(p, {}, &cold.basis);
+        ASSERT_EQ(re_cold.status, re_warm.status) << "round " << round;
+        if (re_warm.stats.warm_started) {
+            ++warm_accepted;
+            EXPECT_EQ(re_warm.stats.phase1_iterations, 0)
+                << "round " << round;
+        }
+        if (re_cold.optimal()) {
+            EXPECT_NEAR(re_cold.objective, re_warm.objective, 1e-5)
+                << "round " << round;
+            EXPECT_LE(p.violation(re_warm.x), 1e-6) << "round " << round;
+            // The fixing plane joins the oracle's active-set pool via the
+            // modified bounds: check against exact enumeration too.
+            std::vector<OracleRow> fixed_rows = rows;
+            OracleRow fix{};
+            fix.a[static_cast<std::size_t>(fixed)] = 1;
+            fix.rhs = value;
+            fix.sense = lp::Sense::less_equal;
+            fixed_rows.push_back(fix);
+            fix.sense = lp::Sense::greater_equal;
+            fixed_rows.push_back(fix);
+            const double oracle = vertex_oracle(cost, kUpper, fixed_rows);
+            EXPECT_NEAR(re_warm.objective, oracle, 1e-5) << "round " << round;
+        }
+    }
+    // The rounded-to-bound fixing keeps most parent bases primal feasible;
+    // the warm path must actually engage, not silently cold-start.
+    EXPECT_GE(warm_accepted, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpWarmOracle,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(LpWarm, BoundFixStrandingTwoBasicsStaysConsistent) {
+    // Fixing x0 shifts *two* basic variables below their lower bounds. The
+    // warm-start repair must not let one violated basic "block" another's
+    // repair pivot — snapping a variable that is not actually at a bound
+    // silently breaks Ax = b and once returned an infeasible x with an
+    // understated objective (10.0 instead of 12.5, violation 0.5).
+    lp::Problem p;
+    (void)p.add_variable(3, 0, 1);     // x0
+    (void)p.add_variable(1, 1.5, 10);  // x1
+    (void)p.add_variable(1, 0.5, 10);  // x2
+    (void)p.add_variable(5, 0, 10);    // x3
+    (void)p.add_variable(5, 0, 10);    // x4
+    (void)p.add_variable(5, 0, 10);    // x5
+    p.add_constraint(lp::Sense::equal, 2, {{0, 1}, {1, 1}, {3, -1}, {4, 1}});
+    p.add_constraint(lp::Sense::equal, 1, {{0, 1}, {2, 1}, {3, 1}, {5, -1}});
+
+    const lp::Solution cold = lp::solve(p);
+    ASSERT_TRUE(cold.optimal());
+    ASSERT_FALSE(cold.basis.empty());
+
+    p.set_bounds(0, 1, 1);
+    const lp::Solution re_cold = lp::solve(p);
+    const lp::Solution re_warm = lp::solve(p, {}, &cold.basis);
+    ASSERT_TRUE(re_cold.optimal());
+    ASSERT_TRUE(re_warm.optimal());
+    EXPECT_NEAR(re_warm.objective, re_cold.objective, 1e-6);
+    EXPECT_LE(p.violation(re_warm.x), 1e-6);
+}
 
 // ---------------------------------------------------------------------------
 // Minimization oracle: the number of Myhill-Nerode classes of a DFA equals

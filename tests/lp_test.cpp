@@ -164,6 +164,95 @@ TEST(Lp, DegenerateRatioTests) {
     EXPECT_NEAR(s.objective, -2, 1e-6);
 }
 
+TEST(Lp, RedundantEqualityRowsSolveCleanly) {
+    // The duplicated equality gets its own artificial; phase 1 can finish
+    // with that artificial basic at zero in the redundant row. It must be
+    // pivoted out (or pinned harmlessly) rather than poisoning a phase-2
+    // ratio test into a singular pivot / spurious iteration_limit.
+    Problem p;
+    const int x = p.add_variable(-1, 0, 8);
+    const int y = p.add_variable(-1, 0, 8);
+    p.add_constraint(Sense::equal, 10, {{x, 1}, {y, 1}});
+    p.add_constraint(Sense::equal, 10, {{x, 1}, {y, 1}});
+    p.add_constraint(Sense::equal, 2, {{x, 1}, {y, -1}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.x[0], 6, 1e-6);
+    EXPECT_NEAR(s.x[1], 4, 1e-6);
+    EXPECT_NEAR(s.objective, -10, 1e-6);
+}
+
+// Regression sweep for the stuck-artificial bug: random LPs built around a
+// known feasible point, with every equality row duplicated. The duplicated
+// problem must reach the same optimum as the base problem.
+class LpRedundantRows : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRedundantRows, DuplicatedEqualitiesMatchBaseProblem) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 90821u);
+    for (int round = 0; round < 10; ++round) {
+        constexpr int kVars = 4;
+        constexpr double kHi = 4.0;
+        double x0[kVars];
+        for (double& v : x0) v = std::round(rng.real(0, kHi));
+
+        Problem base;
+        Problem redundant;
+        for (int j = 0; j < kVars; ++j) {
+            const double c = std::round(rng.real(-3, 3));
+            (void)base.add_variable(c, 0, kHi);
+            (void)redundant.add_variable(c, 0, kHi);
+        }
+        const int rows = static_cast<int>(rng.uniform(1, 3));
+        for (int r = 0; r < rows; ++r) {
+            std::vector<std::pair<int, double>> coeffs;
+            double rhs = 0;
+            for (int j = 0; j < kVars; ++j) {
+                const double a = std::round(rng.real(-2, 2));
+                if (a == 0) continue;
+                coeffs.emplace_back(j, a);
+                rhs += a * x0[j];
+            }
+            if (coeffs.empty()) {
+                --r;
+                continue;
+            }
+            // Equalities through x0 stay feasible; duplicate each one.
+            base.add_constraint(Sense::equal, rhs, coeffs);
+            redundant.add_constraint(Sense::equal, rhs, coeffs);
+            redundant.add_constraint(Sense::equal, rhs, coeffs);
+        }
+        const Solution sb = solve(base);
+        const Solution sr = solve(redundant);
+        ASSERT_TRUE(sb.optimal()) << "round " << round;
+        ASSERT_TRUE(sr.optimal()) << "round " << round;
+        EXPECT_NEAR(sb.objective, sr.objective, 1e-6) << "round " << round;
+        EXPECT_LE(redundant.violation(sr.x), 1e-6) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRedundantRows,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Lp, LargeChainBasisExercisesSparseFactorization) {
+    // A 400-row bidiagonal chain (x_i + x_{i+1} = 1) whose optimal basis is
+    // ~400 two-nonzero structural columns: factorizing it builds an L-eta
+    // file far past the linear-scan threshold, covering the indexed
+    // (min-heap) sparse elimination path that small instances never reach.
+    // Closed form: x_even = a, x_odd = 1 - a, objective 200 + a => 200.
+    constexpr int kRows = 400;
+    Problem p;
+    for (int j = 0; j <= kRows; ++j) (void)p.add_variable(1, 0, 2);
+    for (int i = 0; i < kRows; ++i)
+        p.add_constraint(Sense::equal, 1, {{i, 1}, {i + 1, 1}});
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_NEAR(s.objective, 200, 1e-5);
+    EXPECT_LE(p.violation(s.x), 1e-6);
+    // The solve must have refactorized repeatedly (every refactor_interval
+    // pivots) on the way to a ~400-column basis.
+    EXPECT_GE(s.stats.factorizations, 4);
+}
+
 // Property sweep: random boxed LPs, checked for feasibility of the answer
 // and near-optimality against a dense grid search oracle.
 class LpGridProperty : public ::testing::TestWithParam<int> {};

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/logical.h"
 #include "parser/parser.h"
 #include "topo/generators.h"
@@ -110,6 +113,124 @@ TEST(ProvisionGreedy, LargestFirstOrdering) {
     // The 300MB/s path must be the 2-switch (a1,a2) route.
     EXPECT_EQ(r.paths[1].nodes.size(), 4u);
     EXPECT_LE(r.r_max, 1.0 + 1e-9);
+}
+
+// An NFV-chain topology whose only compliant route crosses the s1-m1 link
+// twice (out to the middlebox and back).
+topo::Topology middlebox_spur(Bandwidth spur_capacity) {
+    topo::Topology t;
+    t.add_host("h1");
+    t.add_host("h2");
+    t.add_switch("s1");
+    t.add_middlebox("m1");
+    t.add_link("h1", "s1", gbps(10));
+    t.add_link("s1", "m1", spur_capacity);
+    t.add_link("s1", "h2", gbps(10));
+    return t;
+}
+
+Guaranteed_request spur_request(const topo::Topology& t, Bandwidth rate) {
+    const automata::Alphabet alphabet = make_alphabet(t);
+    const auto nfa = automata::remove_epsilon(
+        automata::thompson(parser::parse_path(".* m1 .*"), alphabet));
+    Guaranteed_request r;
+    r.id = "chain";
+    r.rate = rate;
+    r.logical = build_logical(t, nfa, t.require("h1"), t.require("h2"));
+    return r;
+}
+
+TEST(ProvisionGreedy, DoubleTraversalDoesNotUnderflowResidual) {
+    // The spur link affords the rate once but the path crosses it twice:
+    // greedy must fail the request, not wrap the unsigned residual to ~2^64
+    // and report an oversubscribed link as feasible.
+    const topo::Topology t = middlebox_spur(mbps(100));
+    const Provision_result r =
+        provision_greedy(t, {spur_request(t, mbps(100))});
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.proven_infeasible);
+    EXPECT_FALSE(r.diagnostic.empty());
+}
+
+TEST(ProvisionGreedy, DoubleTraversalChargesPerOccurrence) {
+    // With capacity for both crossings the request fits exactly; the link
+    // must be charged once per occurrence.
+    const topo::Topology t = middlebox_spur(mbps(200));
+    const Provision_result r =
+        provision_greedy(t, {spur_request(t, mbps(100))});
+    ASSERT_TRUE(r.feasible);
+    const topo::LinkId spur = 1;  // added second above
+    int occurrences = 0;
+    for (const topo::LinkId l : r.paths[0].links)
+        if (l == spur) ++occurrences;
+    EXPECT_EQ(occurrences, 2);
+    EXPECT_NEAR(r.r_max, 1.0, 1e-9);  // 2 x 100 over the 200 Mbps spur
+    EXPECT_EQ(r.big_r_max, mbps(200));
+}
+
+TEST(ProvisionGreedy, BigRMaxAccumulatesExactBps) {
+    // 333333333 bps is not representable after a round-trip through Mbps
+    // doubles; truncation used to lose 1 bps per link aggregate. The
+    // reported R_max must equal the exact integer sum of committed rates.
+    const topo::Topology t = two_paths();
+    const auto requests = make_requests(t, 3, Bandwidth(333'333'333));
+    const Provision_result r = provision_greedy(t, requests);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.big_r_max.bps() % 333'333'333ULL, 0ULL);
+    std::vector<std::uint64_t> reserved(
+        static_cast<std::size_t>(t.link_count()), 0);
+    for (const auto& p : r.paths)
+        for (topo::LinkId l : p.links)
+            reserved[static_cast<std::size_t>(l)] += p.rate.bps();
+    const std::uint64_t exact =
+        *std::max_element(reserved.begin(), reserved.end());
+    EXPECT_EQ(r.big_r_max.bps(), exact);
+}
+
+TEST(ProvisionMip, WarmStartMatchesColdOnFatTree4) {
+    // Three inter-pod flows (500/500/600 Mbps) leaving edge switch e0_0
+    // through its two 1 Gbps uplinks: fractionally the min-max-ratio
+    // relaxation balances them at 0.8, but integrally the best packing is
+    // {500,500}|{600} at 1.0 — so branch & bound must branch. Warm-started
+    // child nodes (the default) must reach the same incumbent as
+    // cold-started ones with strictly less simplex work.
+    const topo::Topology t = topo::fat_tree(4);
+    const automata::Alphabet alphabet = make_alphabet(t);
+    auto nfa = automata::remove_epsilon(
+        automata::thompson(parser::parse_path(".*"), alphabet));
+    nfa = automata::to_nfa(automata::minimize(automata::determinize(nfa)));
+    std::vector<Guaranteed_request> requests;
+    int index = 0;
+    for (const std::uint64_t rate : {500, 500, 600}) {
+        Guaranteed_request r;
+        r.id = "g" + std::to_string(index++);
+        r.rate = mbps(rate);
+        r.logical =
+            build_logical(t, nfa, t.require("e0_0"), t.require("e3_0"));
+        requests.push_back(std::move(r));
+    }
+
+    // The instance is symmetric enough that proving optimality exhausts a
+    // large tree; the incumbent itself appears within a few dozen nodes, so
+    // cap the search identically for both runs.
+    mip::Options warm_opts;
+    warm_opts.warm_start = true;
+    warm_opts.max_nodes = 300;
+    mip::Options cold_opts = warm_opts;
+    cold_opts.warm_start = false;
+    const Provision_result warm =
+        provision(t, requests, Heuristic::min_max_ratio, warm_opts);
+    const Provision_result cold =
+        provision(t, requests, Heuristic::min_max_ratio, cold_opts);
+
+    ASSERT_TRUE(warm.feasible);
+    ASSERT_TRUE(cold.feasible);
+    EXPECT_NEAR(warm.r_max, cold.r_max, 1e-6);  // identical incumbents
+    EXPECT_NEAR(warm.r_max, 1.0, 1e-6);         // the {500,500}|{600} packing
+    EXPECT_GT(cold.mip_nodes, 1);               // branching actually happened
+    EXPECT_GT(warm.warm_started_nodes, 0);
+    EXPECT_EQ(cold.warm_started_nodes, 0);
+    EXPECT_LT(warm.simplex_iterations, cold.simplex_iterations);
 }
 
 // Property: on random zoo topologies with spread requests, greedy results

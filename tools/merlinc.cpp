@@ -44,7 +44,7 @@ int usage() {
         << "usage: merlinc <topology-file> <policy-file>\n"
            "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
-           "       [--programs] [--quiet]\n"
+           "       [--programs] [--stats] [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
            "campus:<subnets>\n";
     return 2;
@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> positional;
     std::string generate_spec;
     bool print_programs = false;
+    bool print_stats = false;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -114,6 +115,8 @@ int main(int argc, char** argv) {
                 return usage();
         } else if (arg == "--programs") {
             print_programs = true;
+        } else if (arg == "--stats") {
+            print_stats = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -147,6 +150,17 @@ int main(int argc, char** argv) {
                 std::cout << "# host program: " << host << '\n'
                           << interp::to_text(program);
             }
+        }
+        if (print_stats) {
+            const core::Provision_result& pr = compiled.provision;
+            std::cout << "solver stats: solver=" << pr.solver
+                      << " vars=" << pr.variables
+                      << " constraints=" << pr.constraints
+                      << " nodes=" << pr.mip_nodes
+                      << " simplex_iterations=" << pr.simplex_iterations
+                      << " factorizations=" << pr.lp_factorizations
+                      << " warm_started_nodes=" << pr.warm_started_nodes
+                      << '\n';
         }
         std::cout << "compiled " << policy.statements.size()
                   << " statements: " << config.flow_rules.size()

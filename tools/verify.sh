@@ -3,8 +3,14 @@
 #
 #   tools/verify.sh          # tier-1: configure, build, run the full suite
 #
-# Then, as a smoke check that the evaluation harnesses still build and run:
-# re-configure in Release with benches enabled and run one tiny bench config.
+# Then:
+#   - an ASan/UBSan leg over the solver-path suites (lp, mip, core), the
+#     layers the provisioning MIP exercises hardest;
+#   - a Release build of every bench_* target with one tiny bench config as
+#     a smoke check, refreshing the tracked solver perf datapoint
+#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes per
+#     row); committing the refreshed file each PR makes git history the
+#     perf trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,10 +21,17 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+# --- sanitizer leg: solver-path suites under ASan/UBSan ---------------------
+cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS" -L "lp|mip|core")
+
 # --- bench smoke: Release build of every bench_* target + one tiny run ------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DMERLIN_BUILD_BENCHES=ON -DMERLIN_BUILD_TESTS=OFF
 cmake --build build-release -j "$JOBS"
-MERLIN_BENCH_TINY=1 ./build-release/bench/bench_fattree_table
+MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_solver.json" \
+    ./build-release/bench/bench_fattree_table
+test -s BENCH_solver.json
 
 echo "verify.sh: OK"
