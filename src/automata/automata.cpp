@@ -1,10 +1,13 @@
 #include "automata/automata.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <numeric>
 #include <tuple>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "util/error.h"
 
@@ -165,6 +168,36 @@ struct Builder {
     }
 };
 
+// FNV-1a over a sorted-unique state set. Subset-construction and product
+// interning key on these sets; hashing makes each lookup O(set size)
+// instead of the O(log n) ordered-map comparisons of the original.
+struct State_set_hash {
+    std::size_t operator()(const std::vector<int>& v) const noexcept {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const int x : v) {
+            h ^= static_cast<std::uint32_t>(x);
+            h *= 1099511628211ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+struct State_pair_hash {
+    std::size_t operator()(const std::pair<int, int>& p) const noexcept {
+        std::uint64_t h = (static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(p.first))
+                           << 32) |
+                          static_cast<std::uint32_t>(p.second);
+        // splitmix64 finalizer
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        return static_cast<std::size_t>(h);
+    }
+};
+
 // Epsilon closure of a state set (in place, returns sorted unique states).
 std::vector<int> closure(const Nfa& nfa, std::vector<int> states) {
     std::deque<int> queue(states.begin(), states.end());
@@ -178,6 +211,111 @@ std::vector<int> closure(const Nfa& nfa, std::vector<int> states) {
         }
     }
     return {seen.begin(), seen.end()};
+}
+
+// Epsilon closures for *every* state at once, memoized through the SCC
+// condensation of the epsilon subgraph: closure(q) depends only on q's SCC,
+// and an SCC's closure is its members plus the closures of its epsilon
+// successors. One iterative Tarjan pass plus one sorted union per SCC
+// replaces the independent BFS per state (quadratic on epsilon chains).
+struct Closure_table {
+    std::vector<int> scc_of;                   // state -> SCC id
+    std::vector<std::vector<int>> per_scc;     // SCC id -> sorted closure
+
+    [[nodiscard]] const std::vector<int>& of(int q) const {
+        return per_scc[static_cast<std::size_t>(
+            scc_of[static_cast<std::size_t>(q)])];
+    }
+};
+
+Closure_table all_closures(const Nfa& nfa) {
+    const int n = nfa.state_count();
+    std::vector<std::vector<int>> eps(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+        for (const Nfa_edge& e : nfa.edges[static_cast<std::size_t>(q)])
+            if (e.symbol == kEpsilon)
+                eps[static_cast<std::size_t>(q)].push_back(e.target);
+
+    Closure_table out;
+    out.scc_of.assign(static_cast<std::size_t>(n), -1);
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> members;
+    int next_index = 0;
+
+    struct Frame {
+        int q;
+        std::size_t edge;
+    };
+    std::vector<Frame> frames;
+    for (int root = 0; root < n; ++root) {
+        if (index[static_cast<std::size_t>(root)] != -1) continue;
+        frames.push_back(Frame{root, 0});
+        index[static_cast<std::size_t>(root)] =
+            low[static_cast<std::size_t>(root)] = next_index++;
+        stack.push_back(root);
+        on_stack[static_cast<std::size_t>(root)] = true;
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const auto& succ = eps[static_cast<std::size_t>(f.q)];
+            if (f.edge < succ.size()) {
+                const int t = succ[f.edge++];
+                if (index[static_cast<std::size_t>(t)] == -1) {
+                    index[static_cast<std::size_t>(t)] =
+                        low[static_cast<std::size_t>(t)] = next_index++;
+                    stack.push_back(t);
+                    on_stack[static_cast<std::size_t>(t)] = true;
+                    frames.push_back(Frame{t, 0});
+                } else if (on_stack[static_cast<std::size_t>(t)]) {
+                    low[static_cast<std::size_t>(f.q)] =
+                        std::min(low[static_cast<std::size_t>(f.q)],
+                                 index[static_cast<std::size_t>(t)]);
+                }
+            } else {
+                const int q = f.q;
+                if (low[static_cast<std::size_t>(q)] ==
+                    index[static_cast<std::size_t>(q)]) {
+                    const int id = static_cast<int>(members.size());
+                    members.emplace_back();
+                    while (true) {
+                        const int w = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(w)] = false;
+                        out.scc_of[static_cast<std::size_t>(w)] = id;
+                        members.back().push_back(w);
+                        if (w == q) break;
+                    }
+                }
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const int parent = frames.back().q;
+                    low[static_cast<std::size_t>(parent)] =
+                        std::min(low[static_cast<std::size_t>(parent)],
+                                 low[static_cast<std::size_t>(q)]);
+                }
+            }
+        }
+    }
+
+    // Tarjan pops SCCs in reverse topological order: every SCC reachable
+    // through an epsilon edge already has its closure when we get here.
+    out.per_scc.resize(members.size());
+    for (std::size_t c = 0; c < members.size(); ++c) {
+        std::vector<int> acc = members[c];
+        for (const int q : members[c])
+            for (const int t : eps[static_cast<std::size_t>(q)]) {
+                const int tc = out.scc_of[static_cast<std::size_t>(t)];
+                if (tc == static_cast<int>(c)) continue;
+                const auto& sub = out.per_scc[static_cast<std::size_t>(tc)];
+                acc.insert(acc.end(), sub.begin(), sub.end());
+            }
+        std::sort(acc.begin(), acc.end());
+        acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+        out.per_scc[c] = std::move(acc);
+    }
+    return out;
 }
 
 }  // namespace
@@ -200,9 +338,7 @@ Nfa remove_epsilon(const Nfa& nfa) {
     // some q' in closure({q}) has (q', s, r); q accepts when its closure
     // contains an accepting state. Unreachable states are then pruned.
     const int n = nfa.state_count();
-    std::vector<std::vector<int>> closures;
-    closures.reserve(static_cast<std::size_t>(n));
-    for (int q = 0; q < n; ++q) closures.push_back(closure(nfa, {q}));
+    const Closure_table closures = all_closures(nfa);
 
     Nfa dense;
     dense.alphabet_size = nfa.alphabet_size;
@@ -212,7 +348,7 @@ Nfa remove_epsilon(const Nfa& nfa) {
     dense.labels = nfa.labels;
     for (int q = 0; q < n; ++q) {
         std::set<std::tuple<int, int, int>> out_edges;
-        for (int q2 : closures[static_cast<std::size_t>(q)]) {
+        for (int q2 : closures.of(q)) {
             if (nfa.accepting[static_cast<std::size_t>(q2)])
                 dense.accepting[static_cast<std::size_t>(q)] = true;
             for (const Nfa_edge& e : nfa.edges[static_cast<std::size_t>(q2)])
@@ -280,7 +416,10 @@ Dfa determinize(const Nfa& nfa) {
     Dfa out;
     out.alphabet_size = nfa.alphabet_size;
 
-    std::map<std::vector<int>, int> ids;
+    // State-set interning is hashed; ids are still assigned in worklist
+    // discovery order, so the resulting DFA is identical to the ordered-map
+    // implementation it replaced (the automata regression test pins this).
+    std::unordered_map<std::vector<int>, int, State_set_hash> ids;
     std::vector<std::vector<int>> worklist;
 
     auto intern = [&](std::vector<int> states) {
@@ -331,7 +470,7 @@ Dfa intersect(const Dfa& a, const Dfa& b) {
     Dfa out;
     out.alphabet_size = a.alphabet_size;
 
-    std::map<std::pair<int, int>, int> ids;
+    std::unordered_map<std::pair<int, int>, int, State_pair_hash> ids;
     std::vector<std::pair<int, int>> worklist;
     auto intern = [&](std::pair<int, int> qs) {
         const auto it = ids.find(qs);

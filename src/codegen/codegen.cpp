@@ -172,11 +172,8 @@ private:
         const core::Switch_graph& sg = comp_.switch_graph;
         for (int n = 0; n < sg.size(); ++n) {
             const topo::NodeId node = sg.nodes[static_cast<std::size_t>(n)];
-            for (std::size_t q = 0; q < tree->next[static_cast<std::size_t>(n)]
-                                            .size();
-                 ++q) {
-                const core::Sink_hop hop =
-                    tree->next[static_cast<std::size_t>(n)][q];
+            for (int q = 0; q < tree->states; ++q) {
+                const core::Sink_hop hop = tree->next_at(n, q);
                 if (hop.node < 0) continue;  // accepted or unreachable
                 if (topo_.node(node).kind == topo::Node_kind::middlebox) {
                     // Middleboxes forward via their Click configuration.
@@ -213,9 +210,7 @@ private:
         // Any accepting state reachable at the egress delivers.
         for (int q = 0; q < nfa.state_count(); ++q) {
             if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
-            if (tree->dist[static_cast<std::size_t>(tree->egress)]
-                          [static_cast<std::size_t>(q)] != 0)
-                continue;
+            if (tree->dist_at(tree->egress, q) != 0) continue;
             Flow_rule rule;
             rule.device = name(
                 comp_.switch_graph.nodes[static_cast<std::size_t>(egress)]);
@@ -249,9 +244,7 @@ private:
         rule.match = plan.statement.predicate;
         if (extra_dst_match) rule.match_dst_mac = comp_.addressing.mac(dst);
 
-        const core::Sink_hop hop =
-            tree->next[static_cast<std::size_t>(in_sym)]
-                      [static_cast<std::size_t>(*entry)];
+        const core::Sink_hop hop = tree->next_at(in_sym, *entry);
         if (hop.node < 0) {
             // Accepted immediately: ingress == egress, deliver directly.
             rule.out_port = name(dst);

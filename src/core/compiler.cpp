@@ -1,12 +1,17 @@
 #include "core/compiler.h"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
+#include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "core/logical.h"
 #include "pred/analysis.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace merlin::core {
 namespace {
@@ -62,6 +67,63 @@ void check_disjointness(const std::vector<Statement_plan>& plans) {
             check_pair(unpinned[i], unpinned[j]);
 }
 
+// Thread pool shared by the parallel front-end loops, constructed lazily on
+// the first fan-out with more than one item: trivial policies (and calls
+// that throw in preprocessing) never pay thread spawn/join.
+class Lazy_pool {
+public:
+    explicit Lazy_pool(int jobs) : jobs_(jobs) {}
+
+    [[nodiscard]] int size() const { return jobs_; }
+
+    template <typename Fn>
+    void parallel_for(int n, Fn&& fn) {
+        if (jobs_ == 1 || n <= 1) {
+            for (int i = 0; i < n; ++i) fn(i);
+            return;
+        }
+        if (!pool_) pool_.emplace(jobs_);
+        pool_->parallel_for(n, std::forward<Fn>(fn));
+    }
+
+private:
+    int jobs_;
+    std::optional<util::Thread_pool> pool_;
+};
+
+// Memoized automata construction shared by the guaranteed and best-effort
+// loops: one Thompson -> epsilon-free -> determinize -> minimize chain per
+// distinct path expression, fanned out over the pool. Exceptions are
+// captured per slot so callers can report the first failure in policy
+// order (parallel completion order is nondeterministic).
+struct Nfa_set {
+    std::vector<automata::Nfa> nfas;
+    std::vector<std::exception_ptr> errors;
+};
+
+Nfa_set build_nfa_set(const std::vector<const ir::PathPtr*>& paths,
+                      const automata::Alphabet& alphabet, Lazy_pool& pool) {
+    Nfa_set out;
+    out.nfas.resize(paths.size());
+    out.errors.resize(paths.size());
+    pool.parallel_for(static_cast<int>(paths.size()), [&](int u) {
+        const auto i = static_cast<std::size_t>(u);
+        try {
+            automata::Nfa nfa =
+                remove_epsilon(thompson(*paths[i], alphabet));
+            // Function-free expressions can be minimized (labels would be
+            // lost otherwise); `.*` collapses to one state, so its product
+            // graph is the topology itself.
+            if (nfa.labels.empty())
+                nfa = to_nfa(minimize(determinize(nfa)));
+            out.nfas[i] = std::move(nfa);
+        } catch (...) {
+            out.errors[i] = std::current_exception();
+        }
+    });
+    return out;
+}
+
 }  // namespace
 
 Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
@@ -74,7 +136,13 @@ Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
                     .class_nfas = {},
                     .trees = {},
                     .provision = {},
+                    .threads_used = 1,
                     .timing = {}};
+
+    // One pool serves both parallel front-end loops (guaranteed logical
+    // topologies, best-effort sink trees). Size 1 runs inline.
+    Lazy_pool pool(util::resolve_jobs(options.jobs));
+    out.threads_used = pool.size();
 
     // ---- Localization and rate extraction (Section 3.1).
     const auto preprocess_start = Clock::now();
@@ -120,31 +188,52 @@ Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
     // ---- Guaranteed statements: logical topologies (Section 3.2).
     const auto lp_start = Clock::now();
     const automata::Alphabet full_alphabet = make_alphabet(topo);
-    std::vector<Guaranteed_request> requests;
     std::vector<std::size_t> request_plan;  // request index -> plan index
-    for (std::size_t i = 0; i < out.plans.size(); ++i) {
-        Statement_plan& plan = out.plans[i];
-        if (!plan.guaranteed()) continue;
-        automata::Nfa nfa = remove_epsilon(
-            thompson(plan.statement.path, full_alphabet));
-        // Function-free expressions can be minimized (labels would be lost
-        // otherwise); `.*` collapses to one state, so its product graph is
-        // the topology itself.
-        if (nfa.labels.empty())
-            nfa = to_nfa(minimize(determinize(nfa)));
-        Guaranteed_request request;
+    for (std::size_t i = 0; i < out.plans.size(); ++i)
+        if (out.plans[i].guaranteed()) request_plan.push_back(i);
+
+    // Memoize automata by path text: foreach-generated all-pairs policies
+    // share a handful of distinct expressions, so the Thompson ->
+    // determinize -> minimize chain runs once per distinct expression
+    // instead of once per statement. Only build_logical stays per-endpoint.
+    std::unordered_map<std::string, std::size_t> nfa_of;  // text -> index
+    std::vector<const ir::PathPtr*> unique_paths;
+    std::vector<std::size_t> plan_nfa(request_plan.size());
+    for (std::size_t r = 0; r < request_plan.size(); ++r) {
+        const ir::Statement& s = out.plans[request_plan[r]].statement;
+        const auto [it, inserted] =
+            nfa_of.try_emplace(ir::to_string(s.path), unique_paths.size());
+        if (inserted) unique_paths.push_back(&s.path);
+        plan_nfa[r] = it->second;
+    }
+    const Nfa_set guaranteed_nfas =
+        build_nfa_set(unique_paths, full_alphabet, pool);
+    // Deterministic error propagation: rethrow for the first statement (in
+    // policy order) whose expression failed, as the sequential loop did.
+    for (std::size_t r = 0; r < request_plan.size(); ++r)
+        if (guaranteed_nfas.errors[plan_nfa[r]])
+            std::rethrow_exception(guaranteed_nfas.errors[plan_nfa[r]]);
+    const std::vector<automata::Nfa>& nfas = guaranteed_nfas.nfas;
+
+    std::vector<Guaranteed_request> requests(request_plan.size());
+    pool.parallel_for(static_cast<int>(request_plan.size()), [&](int r) {
+        const Statement_plan& plan =
+            out.plans[request_plan[static_cast<std::size_t>(r)]];
+        Guaranteed_request& request =
+            requests[static_cast<std::size_t>(r)];
         request.id = plan.statement.id;
-        request.logical =
-            build_logical(topo, nfa, plan.src_host, plan.dst_host);
         request.rate = plan.guarantee;
-        if (!request.logical.solvable()) {
-            out.diagnostic = "statement '" + plan.statement.id +
-                             "': no path satisfies its expression";
-            out.timing.lp_construction_ms = ms_since(lp_start);
-            return out;
-        }
-        requests.push_back(std::move(request));
-        request_plan.push_back(i);
+        request.logical =
+            build_logical(topo, nfas[plan_nfa[static_cast<std::size_t>(r)]],
+                          plan.src_host, plan.dst_host);
+    });
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+        if (requests[r].logical.solvable()) continue;
+        out.diagnostic = "statement '" +
+                         out.plans[request_plan[r]].statement.id +
+                         "': no path satisfies its expression";
+        out.timing.lp_construction_ms = ms_since(lp_start);
+        return out;
     }
     out.timing.lp_construction_ms = ms_since(lp_start);
 
@@ -180,23 +269,41 @@ Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
 
     // ---- Best-effort statements: shared sink trees (Section 3.3).
     const auto rateless_start = Clock::now();
+    // Pass 1 (sequential, order-defining): assign class ids by first
+    // appearance of each distinct path expression.
     std::unordered_map<std::string, int> class_of;  // path text -> class id
-    std::vector<bool> class_is_empty;               // drop classes
     for (Statement_plan& plan : out.plans) {
         if (plan.guaranteed()) continue;
-        const std::string key = ir::to_string(plan.statement.path);
-        const auto it = class_of.find(key);
-        if (it != class_of.end()) {
-            plan.path_class = it->second;
-            plan.drop =
-                class_is_empty[static_cast<std::size_t>(plan.path_class)];
-        } else {
-            automata::Nfa nfa;
+        const auto [it, inserted] = class_of.try_emplace(
+            ir::to_string(plan.statement.path),
+            static_cast<int>(out.class_nfas.size()));
+        plan.path_class = it->second;
+        if (inserted) out.class_nfas.emplace_back();
+    }
+    // Pass 2 (parallel): build each class NFA once.
+    const std::size_t class_count = out.class_nfas.size();
+    {
+        // Representative statement path per class (first in policy order).
+        std::vector<const ir::PathPtr*> class_paths(class_count, nullptr);
+        for (const Statement_plan& plan : out.plans) {
+            if (plan.guaranteed()) continue;
+            auto& slot =
+                class_paths[static_cast<std::size_t>(plan.path_class)];
+            if (slot == nullptr) slot = &plan.statement.path;
+        }
+        Nfa_set built =
+            build_nfa_set(class_paths, out.switch_graph.alphabet, pool);
+        // Deterministic diagnostics: for the first plan (in policy order)
+        // whose class failed to build, a Policy_error becomes the
+        // best-effort diagnostic (the expression mentions a host-only
+        // location) and anything else rethrows, as the sequential loop did.
+        for (const Statement_plan& plan : out.plans) {
+            if (plan.guaranteed()) continue;
+            const auto& error =
+                built.errors[static_cast<std::size_t>(plan.path_class)];
+            if (!error) continue;
             try {
-                nfa = remove_epsilon(thompson(plan.statement.path,
-                                              out.switch_graph.alphabet));
-                if (nfa.labels.empty())
-                    nfa = to_nfa(minimize(determinize(nfa)));
+                std::rethrow_exception(error);
             } catch (const Policy_error&) {
                 out.diagnostic =
                     "statement '" + plan.statement.id +
@@ -204,15 +311,29 @@ Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
                     "switches, middleboxes, and functions placed on them";
                 return out;
             }
-            plan.path_class = static_cast<int>(out.class_nfas.size());
-            plan.drop = automata::is_empty(automata::determinize(nfa));
-            class_is_empty.push_back(plan.drop);
-            out.class_nfas.push_back(std::move(nfa));
-            class_of.emplace(key, plan.path_class);
         }
+        out.class_nfas = std::move(built.nfas);
     }
-    // Egress switches needed per class.
+    // Empty-language classes drop their traffic at the edge.
+    std::vector<char> class_is_empty(class_count, 0);
+    pool.parallel_for(static_cast<int>(class_count), [&](int c) {
+        const auto cls = static_cast<std::size_t>(c);
+        class_is_empty[cls] =
+            automata::is_empty(automata::determinize(out.class_nfas[cls]))
+                ? 1
+                : 0;
+    });
+    for (Statement_plan& plan : out.plans) {
+        if (plan.guaranteed()) continue;
+        plan.drop =
+            class_is_empty[static_cast<std::size_t>(plan.path_class)] != 0;
+    }
+    // Egress switches needed per class. The all-egress set (switches with at
+    // least one attached host) is shared by every unpinned destination, so
+    // it is computed once, not re-walked per plan.
     std::set<std::pair<int, int>> needed;
+    std::vector<int> all_egress;
+    bool all_egress_ready = false;
     for (const Statement_plan& plan : out.plans) {
         if (plan.guaranteed() || plan.drop) continue;
         if (plan.dst_host) {
@@ -225,21 +346,37 @@ Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
         } else {
             // Unpinned destination (e.g. the catch-all): a tree per egress
             // switch that has at least one attached host.
-            for (topo::NodeId h : topo.hosts())
-                for (const auto& adj : topo.neighbors(h)) {
-                    const int egress =
-                        out.switch_graph
-                            .symbol_of[static_cast<std::size_t>(adj.node)];
-                    if (egress >= 0) needed.emplace(plan.path_class, egress);
-                }
+            if (!all_egress_ready) {
+                for (topo::NodeId h : topo.hosts())
+                    for (const auto& adj : topo.neighbors(h)) {
+                        const int egress =
+                            out.switch_graph.symbol_of[
+                                static_cast<std::size_t>(adj.node)];
+                        if (egress >= 0) all_egress.push_back(egress);
+                    }
+                std::sort(all_egress.begin(), all_egress.end());
+                all_egress.erase(
+                    std::unique(all_egress.begin(), all_egress.end()),
+                    all_egress.end());
+                all_egress_ready = true;
+            }
+            for (const int egress : all_egress)
+                needed.emplace(plan.path_class, egress);
         }
     }
-    for (const auto& [cls, egress] : needed)
-        out.trees.emplace(
-            std::pair{cls, egress},
-            build_sink_tree(out.switch_graph,
-                            out.class_nfas[static_cast<std::size_t>(cls)],
-                            egress));
+    // One sink tree per (class, egress), built in parallel into slots
+    // ordered by the (sorted) key set, then inserted in that same order.
+    const std::vector<std::pair<int, int>> tree_keys(needed.begin(),
+                                                     needed.end());
+    std::vector<Sink_tree> built_trees(tree_keys.size());
+    pool.parallel_for(static_cast<int>(tree_keys.size()), [&](int i) {
+        const auto [cls, egress] = tree_keys[static_cast<std::size_t>(i)];
+        built_trees[static_cast<std::size_t>(i)] = build_sink_tree(
+            out.switch_graph, out.class_nfas[static_cast<std::size_t>(cls)],
+            egress);
+    });
+    for (std::size_t i = 0; i < tree_keys.size(); ++i)
+        out.trees.emplace(tree_keys[i], std::move(built_trees[i]));
     // Reject best-effort statements whose pinned endpoints cannot be served.
     for (const Statement_plan& plan : out.plans) {
         if (plan.guaranteed() || plan.drop || !plan.dst_host ||

@@ -43,8 +43,7 @@ std::optional<int> Sink_tree::entry_state(const automata::Nfa& nfa,
     for (const automata::Nfa_edge& e :
          nfa.edges[static_cast<std::size_t>(nfa.start)]) {
         if (e.symbol != node) continue;
-        const int d = dist[static_cast<std::size_t>(node)]
-                          [static_cast<std::size_t>(e.target)];
+        const int d = dist_at(node, e.target);
         if (d < 0) continue;
         if (!best || d < best_dist) {
             best = e.target;
@@ -59,8 +58,7 @@ std::vector<int> Sink_tree::walk(int node, int state) const {
     int u = node;
     int q = state;
     while (true) {
-        const Sink_hop hop =
-            next[static_cast<std::size_t>(u)][static_cast<std::size_t>(q)];
+        const Sink_hop hop = next_at(u, q);
         if (hop.node < 0) break;
         word.push_back(hop.node);
         u = hop.node;
@@ -78,10 +76,14 @@ Sink_tree build_sink_tree(const Switch_graph& sg, const automata::Nfa& nfa,
 
     Sink_tree out;
     out.egress = egress;
-    out.next.assign(static_cast<std::size_t>(n),
-                    std::vector<Sink_hop>(static_cast<std::size_t>(states)));
-    out.dist.assign(static_cast<std::size_t>(n),
-                    std::vector<int>(static_cast<std::size_t>(states), -1));
+    out.nodes = n;
+    out.states = states;
+    out.next.assign(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(states),
+                    Sink_hop{});
+    out.dist.assign(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(states),
+                    -1);
 
     // Reverse transition index: q' -> [(q, symbol, ...)].
     std::vector<std::vector<std::pair<int, int>>> into_state(
@@ -96,15 +98,13 @@ Sink_tree build_sink_tree(const Switch_graph& sg, const automata::Nfa& nfa,
     std::deque<std::pair<int, int>> queue;
     for (int q = 0; q < states; ++q) {
         if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
-        out.dist[static_cast<std::size_t>(egress)][static_cast<std::size_t>(q)] =
-            0;
+        out.dist[out.slot(egress, q)] = 0;
         queue.emplace_back(egress, q);
     }
     while (!queue.empty()) {
         const auto [v, q2] = queue.front();
         queue.pop_front();
-        const int d =
-            out.dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(q2)];
+        const int d = out.dist[out.slot(v, q2)];
         // Forward edge (u,q) -> (v,q2) consumes v; u is v itself or one of
         // its neighbours.
         for (const auto& [q, symbol] :
@@ -112,12 +112,10 @@ Sink_tree build_sink_tree(const Switch_graph& sg, const automata::Nfa& nfa,
             if (symbol != v) continue;
             auto relax = [&](int u) {
                 if (u == v && q == q2) return;  // no-progress self-loop
-                auto& du = out.dist[static_cast<std::size_t>(u)]
-                                   [static_cast<std::size_t>(q)];
+                auto& du = out.dist[out.slot(u, q)];
                 if (du != -1) return;
                 du = d + 1;
-                out.next[static_cast<std::size_t>(u)]
-                        [static_cast<std::size_t>(q)] = Sink_hop{v, q2};
+                out.next[out.slot(u, q)] = Sink_hop{v, q2};
                 queue.emplace_back(u, q);
             };
             relax(v);

@@ -38,14 +38,31 @@ struct Switch_graph {
 struct Sink_hop {
     int node = -1;   // next node symbol (-1: none / delivered)
     int state = -1;  // NFA state after the hop
+
+    friend bool operator==(const Sink_hop&, const Sink_hop&) = default;
 };
 
 struct Sink_tree {
     int egress = -1;  // egress node symbol
-    // next[node][state]: hop toward acceptance; dist[node][state]: hops to
-    // acceptance (-1 unreachable).
-    std::vector<std::vector<Sink_hop>> next;
-    std::vector<std::vector<int>> dist;
+    int nodes = 0;    // switch-graph size
+    int states = 0;   // NFA state count
+    // Flattened (node, state) tables, row-major by node: slot(n, q) hops
+    // toward acceptance / hop count to acceptance (-1 unreachable). One
+    // contiguous allocation per tree keeps the BFS relaxation in cache.
+    std::vector<Sink_hop> next;
+    std::vector<int> dist;
+
+    [[nodiscard]] std::size_t slot(int node, int state) const {
+        return static_cast<std::size_t>(node) *
+                   static_cast<std::size_t>(states) +
+               static_cast<std::size_t>(state);
+    }
+    [[nodiscard]] const Sink_hop& next_at(int node, int state) const {
+        return next[slot(node, state)];
+    }
+    [[nodiscard]] int dist_at(int node, int state) const {
+        return dist[slot(node, state)];
+    }
 
     // State after entering the network at `node` (start-state transition
     // consuming `node`), choosing the entry with the shortest distance;

@@ -1,0 +1,138 @@
+// A small fixed-size thread pool for the compilation front-end.
+//
+// The Merlin compiler has two embarrassingly parallel loops: per-statement
+// logical-topology construction and per-(class, egress) sink-tree
+// construction. Both fan out through parallel_for(): workers pull indices
+// from a shared atomic counter and the caller writes results into slots
+// pre-sized by index, so compilation output is bit-identical regardless of
+// thread count. A pool sized 1 spawns no threads at all and runs inline —
+// the sequential path pays zero synchronization overhead.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace merlin::util {
+
+// Thread-count resolution: an explicit request (> 0) wins; otherwise the
+// MERLIN_THREADS environment variable; otherwise hardware_concurrency.
+inline int resolve_jobs(int requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("MERLIN_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0 && v <= 1024)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+class Thread_pool {
+public:
+    explicit Thread_pool(int jobs) : jobs_(std::max(jobs, 1)) {
+        // The calling thread participates in every parallel_for, so the
+        // pool needs only jobs - 1 workers.
+        workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+        for (int t = 0; t < jobs_ - 1; ++t)
+            workers_.emplace_back(
+                [this](const std::stop_token& stop) { work(stop); });
+    }
+
+    Thread_pool(const Thread_pool&) = delete;
+    Thread_pool& operator=(const Thread_pool&) = delete;
+
+    [[nodiscard]] int size() const { return jobs_; }
+
+    // Runs fn(i) for every i in [0, n), distributing indices dynamically
+    // across the pool plus the calling thread; returns when all are done.
+    // Each index runs exactly once, so writes to slot i are deterministic.
+    // The first exception thrown by any fn(i) is rethrown on the calling
+    // thread (remaining indices may then be skipped).
+    template <typename Fn>
+    void parallel_for(int n, Fn&& fn) {
+        if (n <= 0) return;
+        if (workers_.empty() || n == 1) {
+            for (int i = 0; i < n; ++i) fn(i);
+            return;
+        }
+        const auto state = std::make_shared<For_state>();
+        state->limit = n;
+        const auto body = [state, &fn] {
+            while (!state->failed.load(std::memory_order_relaxed)) {
+                const int i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= state->limit) break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    const std::scoped_lock lock(state->mutex);
+                    if (!state->failed.exchange(true))
+                        state->error = std::current_exception();
+                }
+            }
+        };
+        const int helpers =
+            std::min(static_cast<int>(workers_.size()), n - 1);
+        {
+            const std::scoped_lock lock(mutex_);
+            state->helpers_left = helpers;
+            for (int t = 0; t < helpers; ++t)
+                queue_.emplace_back([state, body] {
+                    body();
+                    const std::scoped_lock inner(state->mutex);
+                    if (--state->helpers_left == 0) state->done.notify_all();
+                });
+        }
+        ready_.notify_all();
+        body();
+        std::unique_lock lock(state->mutex);
+        state->done.wait(lock, [&] { return state->helpers_left == 0; });
+        if (state->error) std::rethrow_exception(state->error);
+    }
+
+private:
+    struct For_state {
+        std::atomic<int> next{0};
+        int limit = 0;
+        std::atomic<bool> failed{false};
+        std::mutex mutex;
+        std::condition_variable done;
+        int helpers_left = 0;
+        std::exception_ptr error;
+    };
+
+    void work(const std::stop_token& stop) {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock lock(mutex_);
+                if (!ready_.wait(lock, stop,
+                                 [this] { return !queue_.empty(); }))
+                    return;  // stop requested and nothing queued
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    const int jobs_;
+    std::mutex mutex_;
+    std::condition_variable_any ready_;  // stop_token-aware wait
+    std::deque<std::function<void()>> queue_;
+    // Last member: destroyed (stop-requested and joined) first, while the
+    // queue and mutex above are still alive.
+    std::vector<std::jthread> workers_;
+};
+
+}  // namespace merlin::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <set>
+
 #include "parser/parser.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -266,6 +269,163 @@ TEST_P(AutomataProperty, LanguageAlgebraLaws) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AutomataProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- Regression: hashed interning against the original ordered-map
+// implementation. determinize/intersect moved subset-construction and
+// product interning to unordered_map with state-set hashing; the reference
+// code below is the seed's std::map version, kept verbatim so the two can
+// be compared on a corpus.
+
+std::vector<int> reference_closure(const Nfa& nfa, std::vector<int> states) {
+    std::deque<int> queue(states.begin(), states.end());
+    std::set<int> seen(states.begin(), states.end());
+    while (!queue.empty()) {
+        const int q = queue.front();
+        queue.pop_front();
+        for (const Nfa_edge& e : nfa.edges[static_cast<std::size_t>(q)])
+            if (e.symbol == kEpsilon && seen.insert(e.target).second)
+                queue.push_back(e.target);
+    }
+    return {seen.begin(), seen.end()};
+}
+
+Dfa reference_determinize(const Nfa& nfa) {
+    Dfa out;
+    out.alphabet_size = nfa.alphabet_size;
+    std::map<std::vector<int>, int> ids;
+    std::vector<std::vector<int>> worklist;
+    auto intern = [&](std::vector<int> states) {
+        const auto it = ids.find(states);
+        if (it != ids.end()) return it->second;
+        const int id = static_cast<int>(ids.size());
+        ids.emplace(states, id);
+        out.accepting.push_back(false);
+        for (int q : states)
+            if (nfa.accepting[static_cast<std::size_t>(q)])
+                out.accepting.back() = true;
+        out.next.emplace_back(std::vector<int>(
+            static_cast<std::size_t>(nfa.alphabet_size), -1));
+        worklist.push_back(std::move(states));
+        return id;
+    };
+    out.start = intern(reference_closure(nfa, {nfa.start}));
+    for (std::size_t w = 0; w < worklist.size(); ++w) {
+        const std::vector<int> states = worklist[w];
+        const int id = ids.at(states);
+        for (int s = 0; s < nfa.alphabet_size; ++s) {
+            std::set<int> targets;
+            for (int q : states)
+                for (const Nfa_edge& e :
+                     nfa.edges[static_cast<std::size_t>(q)])
+                    if (e.symbol == s) targets.insert(e.target);
+            const int succ = intern(
+                reference_closure(nfa, {targets.begin(), targets.end()}));
+            out.next[static_cast<std::size_t>(id)]
+                    [static_cast<std::size_t>(s)] = succ;
+        }
+    }
+    return out;
+}
+
+Dfa reference_intersect(const Dfa& a, const Dfa& b) {
+    Dfa out;
+    out.alphabet_size = a.alphabet_size;
+    std::map<std::pair<int, int>, int> ids;
+    std::vector<std::pair<int, int>> worklist;
+    auto intern = [&](std::pair<int, int> qs) {
+        const auto it = ids.find(qs);
+        if (it != ids.end()) return it->second;
+        const int id = static_cast<int>(ids.size());
+        ids.emplace(qs, id);
+        out.accepting.push_back(
+            a.accepting[static_cast<std::size_t>(qs.first)] &&
+            b.accepting[static_cast<std::size_t>(qs.second)]);
+        out.next.emplace_back(
+            std::vector<int>(static_cast<std::size_t>(a.alphabet_size), -1));
+        worklist.push_back(qs);
+        return id;
+    };
+    out.start = intern({a.start, b.start});
+    for (std::size_t w = 0; w < worklist.size(); ++w) {
+        const auto [qa, qb] = worklist[w];
+        const int id = ids.at({qa, qb});
+        for (int s = 0; s < a.alphabet_size; ++s) {
+            const int ta = a.next[static_cast<std::size_t>(qa)]
+                                 [static_cast<std::size_t>(s)];
+            const int tb = b.next[static_cast<std::size_t>(qb)]
+                                 [static_cast<std::size_t>(s)];
+            out.next[static_cast<std::size_t>(id)]
+                    [static_cast<std::size_t>(s)] = intern({ta, tb});
+        }
+    }
+    return out;
+}
+
+// Structural isomorphism via BFS pairing from the starts: a bijection on
+// states that preserves start, acceptance, and every transition.
+bool isomorphic(const Dfa& a, const Dfa& b) {
+    if (a.alphabet_size != b.alphabet_size ||
+        a.state_count() != b.state_count())
+        return false;
+    std::vector<int> a_to_b(static_cast<std::size_t>(a.state_count()), -1);
+    std::vector<int> b_to_a(static_cast<std::size_t>(b.state_count()), -1);
+    std::deque<std::pair<int, int>> queue{{a.start, b.start}};
+    a_to_b[static_cast<std::size_t>(a.start)] = b.start;
+    b_to_a[static_cast<std::size_t>(b.start)] = a.start;
+    while (!queue.empty()) {
+        const auto [qa, qb] = queue.front();
+        queue.pop_front();
+        if (a.accepting[static_cast<std::size_t>(qa)] !=
+            b.accepting[static_cast<std::size_t>(qb)])
+            return false;
+        for (int s = 0; s < a.alphabet_size; ++s) {
+            const int ta = a.next[static_cast<std::size_t>(qa)]
+                                 [static_cast<std::size_t>(s)];
+            const int tb = b.next[static_cast<std::size_t>(qb)]
+                                 [static_cast<std::size_t>(s)];
+            const int mapped = a_to_b[static_cast<std::size_t>(ta)];
+            if (mapped == -1) {
+                if (b_to_a[static_cast<std::size_t>(tb)] != -1) return false;
+                a_to_b[static_cast<std::size_t>(ta)] = tb;
+                b_to_a[static_cast<std::size_t>(tb)] = ta;
+                queue.emplace_back(ta, tb);
+            } else if (mapped != tb) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TEST_F(Fig2, HashedInterningMatchesOrderedMapReference) {
+    const std::vector<const char*> corpus{
+        ".*",          ".",
+        "h1 . h2",     ".* nat .*",
+        ".* dpi .*",   "h1 .* dpi .* nat .* h2",
+        "(s1|s2)* m1", "!(.* m1 .*)",
+        "(.*)*",       "h1 (s1 s2 | s2 s1)* h2",
+        "h1 h2",       ".* m1 .* m1 .*",
+    };
+    std::vector<Dfa> dfas;
+    for (const char* regex : corpus) {
+        const Nfa nfa = thompson(parse_path(regex), alphabet_);
+        // The hashed subset construction must build the same DFA as the
+        // ordered-map reference (ids are assigned in discovery order in
+        // both, so they are isomorphic — in fact identical).
+        const Dfa hashed = determinize(nfa);
+        EXPECT_TRUE(isomorphic(hashed, reference_determinize(nfa))) << regex;
+        // The memoized-closure remove_epsilon preserves the language (the
+        // subset construction computes its own closures either way).
+        EXPECT_TRUE(equivalent(determinize(remove_epsilon(nfa)), hashed))
+            << regex;
+        dfas.push_back(hashed);
+    }
+    for (std::size_t i = 0; i < dfas.size(); ++i)
+        for (std::size_t j = i; j < dfas.size(); ++j)
+            EXPECT_TRUE(isomorphic(intersect(dfas[i], dfas[j]),
+                                   reference_intersect(dfas[i], dfas[j])))
+                << corpus[i] << " & " << corpus[j];
+}
 
 }  // namespace
 }  // namespace merlin::automata

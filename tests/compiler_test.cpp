@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_util.h"
+#include "codegen/codegen.h"
 #include "parser/parser.h"
 #include "topo/generators.h"
 #include "topo/parse.h"
@@ -306,6 +308,75 @@ TEST(Compiler, GuaranteesOnFatTreeAreCapacityRespecting) {
                   t.link(l).capacity.bps())
             << "link " << l;
     EXPECT_LE(c.provision.r_max, 1.0 + 1e-9);
+}
+
+TEST(Compiler, ParallelCompilationIsDeterministic) {
+    // Fat-tree k=4 all-pairs (the Figure-8 workload, via the shared bench
+    // generator) with 8 guaranteed classes: compiling with one worker and
+    // with eight must produce byte-identical output — plans, provisioned
+    // paths, sink trees, walks, and generated code.
+    const topo::Topology t = topo::fat_tree(4);
+    const ir::Policy p = bench::all_pairs_policy(t, 8, mb_per_sec(1));
+
+    Compile_options sequential;
+    sequential.check_disjoint = false;
+    sequential.jobs = 1;
+    Compile_options threaded = sequential;
+    threaded.jobs = 8;
+
+    const Compilation a = compile(p, t, sequential);
+    const Compilation b = compile(p, t, threaded);
+    ASSERT_TRUE(a.feasible) << a.diagnostic;
+    ASSERT_TRUE(b.feasible) << b.diagnostic;
+    EXPECT_EQ(a.threads_used, 1);
+    EXPECT_EQ(b.threads_used, 8);
+
+    // Plans: classes, drops, and provisioned paths match exactly.
+    ASSERT_EQ(a.plans.size(), b.plans.size());
+    for (std::size_t i = 0; i < a.plans.size(); ++i) {
+        EXPECT_EQ(a.plans[i].path_class, b.plans[i].path_class) << i;
+        EXPECT_EQ(a.plans[i].drop, b.plans[i].drop) << i;
+        ASSERT_EQ(a.plans[i].path.has_value(), b.plans[i].path.has_value())
+            << i;
+        if (a.plans[i].path) {
+            EXPECT_EQ(a.plans[i].path->word, b.plans[i].path->word) << i;
+            EXPECT_EQ(a.plans[i].path->nodes, b.plans[i].path->nodes) << i;
+            EXPECT_EQ(a.plans[i].path->links, b.plans[i].path->links) << i;
+            EXPECT_EQ(a.plans[i].path->placements,
+                      b.plans[i].path->placements)
+                << i;
+        }
+    }
+
+    // Sink trees: same keys, identical flattened tables, identical walks
+    // from every ingress.
+    ASSERT_EQ(a.trees.size(), b.trees.size());
+    auto ita = a.trees.begin();
+    auto itb = b.trees.begin();
+    for (; ita != a.trees.end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        const Sink_tree& ta = ita->second;
+        const Sink_tree& tb = itb->second;
+        EXPECT_EQ(ta.egress, tb.egress);
+        EXPECT_EQ(ta.nodes, tb.nodes);
+        EXPECT_EQ(ta.states, tb.states);
+        EXPECT_EQ(ta.dist, tb.dist);
+        EXPECT_EQ(ta.next, tb.next);
+        const auto& nfa = a.class_nfas[static_cast<std::size_t>(
+            ita->first.first)];
+        for (int ingress = 0; ingress < ta.nodes; ++ingress) {
+            const auto ea = ta.entry_state(nfa, ingress);
+            const auto eb = tb.entry_state(nfa, ingress);
+            ASSERT_EQ(ea.has_value(), eb.has_value());
+            if (!ea) continue;
+            EXPECT_EQ(*ea, *eb);
+            EXPECT_EQ(ta.walk(ingress, *ea), tb.walk(ingress, *eb));
+        }
+    }
+
+    // Generated code: byte-identical device configurations.
+    EXPECT_EQ(codegen::to_text(codegen::generate(a, t)),
+              codegen::to_text(codegen::generate(b, t)));
 }
 
 TEST(Compiler, FormulaOverUnknownStatementRejected) {

@@ -116,10 +116,20 @@ TEST_P(SinkTreeFatTree, AllIngressesReachAllEgresses) {
     const automata::Nfa nfa = nfa_over(sg, ".*");
     for (int egress = 0; egress < sg.size(); egress += 3) {
         const Sink_tree tree = build_sink_tree(sg, nfa, egress);
+        // Flat layout invariants: one nodes*states slab per table.
+        EXPECT_EQ(tree.nodes, sg.size());
+        EXPECT_EQ(tree.states, nfa.state_count());
+        EXPECT_EQ(tree.dist.size(),
+                  static_cast<std::size_t>(tree.nodes) *
+                      static_cast<std::size_t>(tree.states));
+        EXPECT_EQ(tree.next.size(), tree.dist.size());
         for (int ingress = 0; ingress < sg.size(); ++ingress) {
             const auto entry = tree.entry_state(nfa, ingress);
             ASSERT_TRUE(entry.has_value()) << "ingress " << ingress;
             const auto word = tree.walk(ingress, *entry);
+            // Walk length equals the recorded hop count to acceptance.
+            EXPECT_EQ(static_cast<int>(word.size()),
+                      tree.dist_at(ingress, *entry));
             if (ingress == egress) {
                 EXPECT_TRUE(word.empty());
             } else {

@@ -9,7 +9,11 @@
 //                               or campus:<subnets>
 //   --heuristic wsp|mmr|mmres   path-selection heuristic (default wsp)
 //   --solver mip|greedy|auto    provisioning solver (default auto)
+//   --jobs <n>                  front-end worker threads (default: the
+//                               MERLIN_THREADS env var, then all cores)
 //   --programs                  also print per-host interpreter programs
+//   --stats                     solver work counters and the timing
+//                               breakdown (Table 7 columns)
 //   --quiet                     only print the summary line
 //
 // Exit status: 0 on success, 1 on infeasible policy, 2 on usage/parse
@@ -44,7 +48,7 @@ int usage() {
         << "usage: merlinc <topology-file> <policy-file>\n"
            "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
-           "       [--programs] [--stats] [--quiet]\n"
+           "       [--jobs <n>] [--programs] [--stats] [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
            "campus:<subnets>\n";
     return 2;
@@ -113,6 +117,22 @@ int main(int argc, char** argv) {
                 options.solver = core::Solver::auto_select;
             else
                 return usage();
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            // Whole-string parse, bounded like MERLIN_THREADS (stoi alone
+            // would accept "8x", and an absurd count would abort in thread
+            // creation rather than exit with usage).
+            const std::string text = argv[++i];
+            std::size_t consumed = 0;
+            int value = 0;
+            try {
+                value = std::stoi(text, &consumed);
+            } catch (const std::logic_error&) {
+                consumed = 0;
+            }
+            if (consumed != text.size() || text.empty() || value < 1 ||
+                value > 1024)
+                return usage();
+            options.jobs = value;
         } else if (arg == "--programs") {
             print_programs = true;
         } else if (arg == "--stats") {
@@ -161,6 +181,13 @@ int main(int argc, char** argv) {
                       << " factorizations=" << pr.lp_factorizations
                       << " warm_started_nodes=" << pr.warm_started_nodes
                       << '\n';
+            // The paper's Table-7 breakdown, plus the pre-processor pass.
+            const core::Compilation::Timing& t = compiled.timing;
+            std::cout << "timing: preprocess=" << t.preprocess_ms
+                      << "ms lp_construction=" << t.lp_construction_ms
+                      << "ms lp_solve=" << t.lp_solve_ms
+                      << "ms rateless=" << t.rateless_ms
+                      << "ms threads=" << compiled.threads_used << '\n';
         }
         std::cout << "compiled " << policy.statements.size()
                   << " statements: " << config.flow_rules.size()

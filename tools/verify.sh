@@ -6,11 +6,15 @@
 # Then:
 #   - an ASan/UBSan leg over the solver-path suites (lp, mip, core), the
 #     layers the provisioning MIP exercises hardest;
+#   - a ThreadSanitizer leg over the compiler/sinktree/automata suites
+#     (MERLIN_THREADS forces a multi-threaded front-end), race-checking the
+#     parallel compilation fan-out on every run;
 #   - a Release build of every bench_* target with one tiny bench config as
-#     a smoke check, refreshing the tracked solver perf datapoint
-#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes per
-#     row); committing the refreshed file each PR makes git history the
-#     perf trajectory.
+#     a smoke check, refreshing the tracked perf datapoints
+#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes) and
+#     BENCH_compile.json (front-end timing breakdown per class count);
+#     committing the refreshed files each PR makes git history the perf
+#     trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +30,14 @@ cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L "lp|mip|core")
 
+# --- TSan leg: the parallel compilation front-end under ThreadSanitizer ----
+cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" \
+      --target compiler_test sinktree_test automata_test
+(cd build-tsan && MERLIN_THREADS=4 \
+    ctest --output-on-failure -j "$JOBS" \
+          -R "compiler_test|sinktree_test|automata_test")
+
 # --- bench smoke: Release build of every bench_* target + one tiny run ------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DMERLIN_BUILD_BENCHES=ON -DMERLIN_BUILD_TESTS=OFF
@@ -33,5 +45,8 @@ cmake --build build-release -j "$JOBS"
 MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_solver.json" \
     ./build-release/bench/bench_fattree_table
 test -s BENCH_solver.json
+MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_compile.json" \
+    ./build-release/bench/bench_scaling
+test -s BENCH_compile.json
 
 echo "verify.sh: OK"
