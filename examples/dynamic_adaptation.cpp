@@ -1,44 +1,168 @@
-// Dynamic bandwidth adaptation with negotiators (Section 4.3, Figure 10).
+// Dynamic bandwidth adaptation through the incremental engine (Section 4.3,
+// Figure 10).
 //
-// Two tenants share a 500Mbps pool under an AIMD negotiator: allocations
-// ramp additively and back off multiplicatively when the pool saturates
-// (the classic sawtooth). Then four hosts under a max-min fair-share
-// negotiator declare changing demands; the allocation tracks them while the
-// total never exceeds the pool.
+// A persistent core::Engine holds the compiled policy for a dumbbell
+// network; every adaptation tick becomes a bandwidth-only engine delta (the
+// paper's "changes to bandwidth allocations do not require recompilation"),
+// and the re-provisioned allocations are pushed into the flow-level
+// simulator, which plays the role of the hardware testbed.
+//
+//   (a) AIMD: two tenants share the 600Mbps middle link; caps ramp
+//       additively and back off multiplicatively (the classic sawtooth).
+//   (b) Max-min fair share: a negotiator drives the engine; tenants declare
+//       changing demands and redistribute() re-divides the pool.
 //
 //   $ ./example_dynamic_adaptation
 #include <cstdio>
 #include <vector>
 
+#include "core/engine.h"
 #include "negotiator/negotiator.h"
+#include "netsim/sim.h"
+#include "topo/topology.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace merlin;
+
+// Dumbbell: two hosts per side, shared 600Mbps middle link.
+topo::Topology dumbbell() {
+    topo::Topology t;
+    const auto s1 = t.add_switch("s1");
+    const auto s2 = t.add_switch("s2");
+    t.add_link(s1, s2, mbps(600));
+    for (int i = 1; i <= 2; ++i)
+        t.add_link(t.add_host(indexed("h", i)), s1, gbps(1));
+    for (int i = 3; i <= 4; ++i)
+        t.add_link(t.add_host(indexed("h", i)), s2, gbps(1));
+    return t;
+}
+
+// Two tenant statements, h1->h3 and h2->h4, sharing one aggregate cap.
+ir::Policy tenant_policy(const topo::Topology& t, Bandwidth pool) {
+    const core::Addressing addressing(t);
+    ir::Policy p;
+    ir::Statement t1{"t1",
+                     addressing.pair_predicate(t.require("h1"),
+                                               t.require("h3")),
+                     ir::path_any_star()};
+    ir::Statement t2{"t2",
+                     addressing.pair_predicate(t.require("h2"),
+                                               t.require("h4")),
+                     ir::path_any_star()};
+    p.statements.push_back(t1);
+    p.statements.push_back(t2);
+    ir::Term shared;
+    shared.ids.push_back("t1");
+    shared.ids.push_back("t2");
+    p.formula = ir::formula_max(std::move(shared), pool);
+    return p;
+}
+
+// Pushes the engine's current allocations into a simulator tick: one flow
+// per planned statement, capped at its allocation, with unlimited demand —
+// the network enforces the caps, exactly what Merlin's generated tc/queue
+// configuration does.
+std::vector<Bandwidth> simulate_tick(const core::Engine& engine) {
+    netsim::Simulator sim(engine.topology());
+    std::vector<netsim::FlowId> flows;
+    for (const core::Statement_plan& plan : engine.current().plans) {
+        if (!plan.src_host || !plan.dst_host) continue;
+        netsim::Flow_spec spec;
+        spec.name = plan.statement.id;
+        spec.src = *plan.src_host;
+        spec.dst = *plan.dst_host;
+        if (plan.path) spec.route = plan.path->nodes;
+        spec.guarantee = plan.guarantee;
+        spec.cap = plan.cap;
+        flows.push_back(sim.add_flow(std::move(spec)));
+    }
+    sim.step(1.0);
+    std::vector<Bandwidth> rates;
+    rates.reserve(flows.size());
+    for (const netsim::FlowId id : flows) rates.push_back(sim.rate(id));
+    return rates;
+}
+
+void aimd_run(core::Engine& engine) {
+    const negotiator::Aimd aimd(mbps(600), mbps(25), 0.5);
+    std::vector<Bandwidth> caps{mbps(10), mbps(60)};
+
+    std::printf("%6s %10s %10s %12s\n", "t(s)", "cap t1", "cap t2",
+                "engine work");
+    for (int tick = 0; tick <= 70; ++tick) {
+        caps = aimd.step(caps, {true, true});
+        // Cap-only deltas: the engine updates allocations without touching
+        // automata, logical topologies, sink trees, or the LP encoding.
+        const auto u1 = engine.set_bandwidth("t1", {}, caps[0]);
+        const auto u2 = engine.set_bandwidth("t2", {}, caps[1]);
+        const std::vector<Bandwidth> rates = simulate_tick(engine);
+        if (tick % 4 == 0)
+            std::printf("%6d %9.0fM %9.0fM  %lld solves\n", tick,
+                        rates[0].mbps(), rates[1].mbps(),
+                        u1.work.solves + u2.work.solves);
+    }
+}
+
+void mmfs_run(core::Engine& engine, const ir::Policy& delegated) {
+    // The negotiator holds the ORIGINAL aggregate policy: its single
+    // max(t1 + t2, pool) term is what makes cross-tenant re-division a
+    // valid refinement (Section 4.1). The engine works on the localized
+    // per-statement allocations the negotiator pushes into it.
+    negotiator::Negotiator root("root", delegated,
+                                core::make_alphabet(engine.topology()));
+    root.drive(&engine);
+
+    std::printf("%6s %10s %10s\n", "t(s)", "t1", "t2");
+    for (int t = 0; t <= 30; t += 3) {
+        // t1's demand ramps, t2's demand steps down at t=15 and ends at 25.
+        const Bandwidth d1 = mbps(static_cast<std::uint64_t>(40 + 15 * t));
+        const Bandwidth d2 = t < 15 ? mbps(400)
+                             : t < 25 ? mbps(150)
+                                      : Bandwidth{};
+        const auto verdict = root.redistribute({{"t1", d1}, {"t2", d2}});
+        if (!verdict.valid) {
+            std::printf("redistribute rejected: %s\n",
+                        verdict.reason.c_str());
+            return;
+        }
+        const std::vector<Bandwidth> rates = simulate_tick(engine);
+        std::printf("%6d %9.0fM %9.0fM\n", t, rates[0].mbps(),
+                    rates[1].mbps());
+    }
+}
+
+}  // namespace
 
 int main() {
     using namespace merlin;
 
-    std::printf("== AIMD (two tenants, 500Mbps pool) ==\n");
-    std::printf("%5s %10s %10s\n", "t(s)", "tenant1", "tenant2");
-    const negotiator::Aimd aimd(mbps(500), mbps(20), 0.5);
-    std::vector<Bandwidth> rates{mbps(10), mbps(50)};
-    for (int t = 0; t <= 60; ++t) {
-        rates = aimd.step(rates, {true, true});
-        if (t % 4 == 0)
-            std::printf("%5d %9.0fM %9.0fM\n", t, rates[0].mbps(),
-                        rates[1].mbps());
+    const topo::Topology t = dumbbell();
+    const ir::Policy policy = tenant_policy(t, mbps(600));
+    core::Engine engine(policy, t);
+    if (!engine.current().feasible) {
+        std::printf("initial policy infeasible: %s\n",
+                    engine.current().diagnostic.c_str());
+        return 1;
     }
+    const core::Engine_stats base = engine.totals();
 
-    std::printf("\n== Max-min fair share (four hosts, 1Gbps pool) ==\n");
-    std::printf("%5s %9s %9s %9s %9s\n", "t(s)", "h1", "h2", "h3", "h4");
-    for (int t = 0; t <= 30; t += 5) {
-        // Demands shift over time: h1 ramps up, h3 finishes at t=20.
-        const std::vector<Bandwidth> demands{
-            mbps(static_cast<std::uint64_t>(50 + 30 * t)),
-            mbps(200),
-            t < 20 ? mbps(600) : Bandwidth{},
-            mbps(450),
-        };
-        const auto alloc = negotiator::max_min_fair(gbps(1), demands);
-        std::printf("%5d %8.0fM %8.0fM %8.0fM %8.0fM\n", t, alloc[0].mbps(),
-                    alloc[1].mbps(), alloc[2].mbps(), alloc[3].mbps());
-    }
+    std::printf(
+        "Figure 10(a) — AIMD adaptation (two tenants, 600Mbps pool)\n");
+    aimd_run(engine);
+
+    std::printf("\nFigure 10(b) — max-min fair sharing via negotiator\n");
+    mmfs_run(engine, policy);
+
+    const core::Engine_stats work = engine.totals().since(base);
+    std::printf(
+        "\nengine: %lld bandwidth updates, %lld automata builds and %lld LP "
+        "re-encodings after the\ninitial compile — the paper's "
+        "no-recompilation adaptation, as counters\n",
+        work.incremental_updates, work.automata_built, work.lp_encodings);
+    std::printf(
+        "paper: (a) sawtooth between ~150 and ~600 Mbps; (b) allocations "
+        "track demand changes while\nsumming to the pool\n");
     return 0;
 }

@@ -21,6 +21,9 @@ namespace merlin::core {
 
 class Addressing {
 public:
+    // A vacant addressing (no hosts); lets Compilation default-construct so
+    // the engine can assemble one stage by stage before publishing.
+    Addressing() = default;
     explicit Addressing(const topo::Topology& topo);
 
     // Address of a host node; throws Topology_error for non-hosts.

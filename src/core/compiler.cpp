@@ -1,415 +1,16 @@
 #include "core/compiler.h"
 
-#include <algorithm>
-#include <chrono>
-#include <exception>
-#include <optional>
-#include <set>
-#include <unordered_map>
-#include <utility>
-
-#include "core/logical.h"
-#include "pred/analysis.h"
-#include "util/error.h"
-#include "util/thread_pool.h"
+#include "core/engine.h"
 
 namespace merlin::core {
-namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-}
-
-// Key used to bucket statements for the disjointness pre-check: statements
-// pinning different (src, dst) endpoint pairs are disjoint by construction.
-std::string endpoint_key(const Addressing::Endpoints& ep) {
-    std::string key;
-    key += ep.src ? std::to_string(*ep.src) : "?";
-    key += '/';
-    key += ep.dst ? std::to_string(*ep.dst) : "?";
-    return key;
-}
-
-void check_disjointness(const std::vector<Statement_plan>& plans) {
-    // Bucket by endpoint pair; unpinned statements ("?" keys) must be
-    // checked against everything, so they share one bucket with all others
-    // only if such statements exist (rare in practice).
-    std::unordered_map<std::string, std::vector<std::size_t>> buckets;
-    std::vector<std::size_t> unpinned;
-    for (std::size_t i = 0; i < plans.size(); ++i) {
-        Addressing::Endpoints ep{plans[i].src_host, plans[i].dst_host};
-        if (!ep.src && !ep.dst)
-            unpinned.push_back(i);
-        else
-            buckets[endpoint_key(ep)].push_back(i);
-    }
-
-    pred::Analyzer analyzer;
-    auto check_pair = [&](std::size_t a, std::size_t b) {
-        if (!analyzer.disjoint(plans[a].statement.predicate,
-                               plans[b].statement.predicate))
-            throw Policy_error("statements '" + plans[a].statement.id +
-                               "' and '" + plans[b].statement.id +
-                               "' have overlapping predicates");
-    };
-    for (const auto& [key, bucket] : buckets) {
-        for (std::size_t i = 0; i < bucket.size(); ++i)
-            for (std::size_t j = i + 1; j < bucket.size(); ++j)
-                check_pair(bucket[i], bucket[j]);
-        for (std::size_t u : unpinned)
-            for (std::size_t i : bucket) check_pair(u, i);
-    }
-    for (std::size_t i = 0; i < unpinned.size(); ++i)
-        for (std::size_t j = i + 1; j < unpinned.size(); ++j)
-            check_pair(unpinned[i], unpinned[j]);
-}
-
-// Thread pool shared by the parallel front-end loops, constructed lazily on
-// the first fan-out with more than one item: trivial policies (and calls
-// that throw in preprocessing) never pay thread spawn/join.
-class Lazy_pool {
-public:
-    explicit Lazy_pool(int jobs) : jobs_(jobs) {}
-
-    [[nodiscard]] int size() const { return jobs_; }
-
-    template <typename Fn>
-    void parallel_for(int n, Fn&& fn) {
-        if (jobs_ == 1 || n <= 1) {
-            for (int i = 0; i < n; ++i) fn(i);
-            return;
-        }
-        if (!pool_) pool_.emplace(jobs_);
-        pool_->parallel_for(n, std::forward<Fn>(fn));
-    }
-
-private:
-    int jobs_;
-    std::optional<util::Thread_pool> pool_;
-};
-
-// Memoized automata construction shared by the guaranteed and best-effort
-// loops: one Thompson -> epsilon-free -> determinize -> minimize chain per
-// distinct path expression, fanned out over the pool. Exceptions are
-// captured per slot so callers can report the first failure in policy
-// order (parallel completion order is nondeterministic).
-struct Nfa_set {
-    std::vector<automata::Nfa> nfas;
-    std::vector<std::exception_ptr> errors;
-};
-
-Nfa_set build_nfa_set(const std::vector<const ir::PathPtr*>& paths,
-                      const automata::Alphabet& alphabet, Lazy_pool& pool) {
-    Nfa_set out;
-    out.nfas.resize(paths.size());
-    out.errors.resize(paths.size());
-    pool.parallel_for(static_cast<int>(paths.size()), [&](int u) {
-        const auto i = static_cast<std::size_t>(u);
-        try {
-            automata::Nfa nfa =
-                remove_epsilon(thompson(*paths[i], alphabet));
-            // Function-free expressions can be minimized (labels would be
-            // lost otherwise); `.*` collapses to one state, so its product
-            // graph is the topology itself.
-            if (nfa.labels.empty())
-                nfa = to_nfa(minimize(determinize(nfa)));
-            out.nfas[i] = std::move(nfa);
-        } catch (...) {
-            out.errors[i] = std::current_exception();
-        }
-    });
-    return out;
-}
-
-}  // namespace
-
+// One-shot compilation is a degenerate engine run: build the persistent
+// engine (which owns all front-end and solver state) and move its published
+// compilation out. Callers that keep re-provisioning should hold a
+// core::Engine instead and apply deltas.
 Compilation compile(const ir::Policy& policy, const topo::Topology& topo,
                     const Compile_options& options) {
-    Compilation out{.feasible = false,
-                    .diagnostic = {},
-                    .plans = {},
-                    .addressing = Addressing(topo),
-                    .switch_graph = make_switch_graph(topo),
-                    .class_nfas = {},
-                    .trees = {},
-                    .provision = {},
-                    .threads_used = 1,
-                    .timing = {}};
-
-    // One pool serves both parallel front-end loops (guaranteed logical
-    // topologies, best-effort sink trees). Size 1 runs inline.
-    Lazy_pool pool(util::resolve_jobs(options.jobs));
-    out.threads_used = pool.size();
-
-    // ---- Localization and rate extraction (Section 3.1).
-    const auto preprocess_start = Clock::now();
-    const ir::FormulaPtr localized =
-        presburger::localize(policy.formula, options.split);
-    const presburger::Rate_table rates = presburger::requirements(localized);
-    for (const auto& [id, _] : rates.guarantees)
-        if (!ir::find_statement(policy, id))
-            throw Policy_error("formula references unknown statement '" + id +
-                               "'");
-    for (const auto& [id, _] : rates.caps)
-        if (!ir::find_statement(policy, id))
-            throw Policy_error("formula references unknown statement '" + id +
-                               "'");
-
-    // ---- Per-statement plans with endpoints.
-    for (const ir::Statement& s : policy.statements) {
-        Statement_plan plan;
-        plan.statement = s;
-        plan.guarantee = rates.guarantee_of(s.id);
-        if (rates.has_cap(s.id)) plan.cap = rates.caps.at(s.id);
-        const auto ep = out.addressing.endpoints(s.predicate);
-        plan.src_host = ep.src;
-        plan.dst_host = ep.dst;
-        out.plans.push_back(std::move(plan));
-    }
-
-    // ---- Pre-processor requirements (Section 2.1).
-    if (options.check_disjoint) check_disjointness(out.plans);
-    if (options.add_default_statement) {
-        // Totality: route everything not matched elsewhere as plain
-        // best-effort traffic along `.*` paths.
-        ir::PredPtr rest = ir::pred_true();
-        for (const ir::Statement& s : policy.statements)
-            rest = ir::pred_and(rest, ir::pred_not(s.predicate));
-        Statement_plan plan;
-        plan.statement =
-            ir::Statement{"__default", rest, ir::path_any_star()};
-        out.plans.push_back(std::move(plan));
-    }
-    out.timing.preprocess_ms = ms_since(preprocess_start);
-
-    // ---- Guaranteed statements: logical topologies (Section 3.2).
-    const auto lp_start = Clock::now();
-    const automata::Alphabet full_alphabet = make_alphabet(topo);
-    std::vector<std::size_t> request_plan;  // request index -> plan index
-    for (std::size_t i = 0; i < out.plans.size(); ++i)
-        if (out.plans[i].guaranteed()) request_plan.push_back(i);
-
-    // Memoize automata by path text: foreach-generated all-pairs policies
-    // share a handful of distinct expressions, so the Thompson ->
-    // determinize -> minimize chain runs once per distinct expression
-    // instead of once per statement. Only build_logical stays per-endpoint.
-    std::unordered_map<std::string, std::size_t> nfa_of;  // text -> index
-    std::vector<const ir::PathPtr*> unique_paths;
-    std::vector<std::size_t> plan_nfa(request_plan.size());
-    for (std::size_t r = 0; r < request_plan.size(); ++r) {
-        const ir::Statement& s = out.plans[request_plan[r]].statement;
-        const auto [it, inserted] =
-            nfa_of.try_emplace(ir::to_string(s.path), unique_paths.size());
-        if (inserted) unique_paths.push_back(&s.path);
-        plan_nfa[r] = it->second;
-    }
-    const Nfa_set guaranteed_nfas =
-        build_nfa_set(unique_paths, full_alphabet, pool);
-    // Deterministic error propagation: rethrow for the first statement (in
-    // policy order) whose expression failed, as the sequential loop did.
-    for (std::size_t r = 0; r < request_plan.size(); ++r)
-        if (guaranteed_nfas.errors[plan_nfa[r]])
-            std::rethrow_exception(guaranteed_nfas.errors[plan_nfa[r]]);
-    const std::vector<automata::Nfa>& nfas = guaranteed_nfas.nfas;
-
-    std::vector<Guaranteed_request> requests(request_plan.size());
-    pool.parallel_for(static_cast<int>(request_plan.size()), [&](int r) {
-        const Statement_plan& plan =
-            out.plans[request_plan[static_cast<std::size_t>(r)]];
-        Guaranteed_request& request =
-            requests[static_cast<std::size_t>(r)];
-        request.id = plan.statement.id;
-        request.rate = plan.guarantee;
-        request.logical =
-            build_logical(topo, nfas[plan_nfa[static_cast<std::size_t>(r)]],
-                          plan.src_host, plan.dst_host);
-    });
-    for (std::size_t r = 0; r < requests.size(); ++r) {
-        if (requests[r].logical.solvable()) continue;
-        out.diagnostic = "statement '" +
-                         out.plans[request_plan[r]].statement.id +
-                         "': no path satisfies its expression";
-        out.timing.lp_construction_ms = ms_since(lp_start);
-        return out;
-    }
-    out.timing.lp_construction_ms = ms_since(lp_start);
-
-    const auto solve_start = Clock::now();
-    if (!requests.empty()) {
-        const bool try_mip =
-            options.solver == Solver::mip ||
-            (options.solver == Solver::auto_select &&
-             static_cast<int>(requests.size()) <= options.auto_mip_limit);
-        if (try_mip)
-            out.provision =
-                provision(topo, requests, options.heuristic, options.mip);
-        // Greedy runs when selected, when auto-selected past the MIP size
-        // limit, or as the fallback for a truncated (unproven) MIP failure.
-        if (options.solver == Solver::greedy ||
-            (options.solver == Solver::auto_select &&
-             !out.provision.feasible && !out.provision.proven_infeasible))
-            out.provision = provision_greedy(topo, requests, options.heuristic);
-        if (!out.provision.feasible) {
-            out.diagnostic =
-                out.provision.proven_infeasible
-                    ? "bandwidth guarantees are not satisfiable on this "
-                      "topology"
-                    : "provisioning failed (guarantees may be too tight for "
-                      "the selected solver)";
-            out.timing.lp_solve_ms = ms_since(solve_start);
-            return out;
-        }
-        for (std::size_t r = 0; r < out.provision.paths.size(); ++r)
-            out.plans[request_plan[r]].path = out.provision.paths[r];
-    }
-    out.timing.lp_solve_ms = ms_since(solve_start);
-
-    // ---- Best-effort statements: shared sink trees (Section 3.3).
-    const auto rateless_start = Clock::now();
-    // Pass 1 (sequential, order-defining): assign class ids by first
-    // appearance of each distinct path expression.
-    std::unordered_map<std::string, int> class_of;  // path text -> class id
-    for (Statement_plan& plan : out.plans) {
-        if (plan.guaranteed()) continue;
-        const auto [it, inserted] = class_of.try_emplace(
-            ir::to_string(plan.statement.path),
-            static_cast<int>(out.class_nfas.size()));
-        plan.path_class = it->second;
-        if (inserted) out.class_nfas.emplace_back();
-    }
-    // Pass 2 (parallel): build each class NFA once.
-    const std::size_t class_count = out.class_nfas.size();
-    {
-        // Representative statement path per class (first in policy order).
-        std::vector<const ir::PathPtr*> class_paths(class_count, nullptr);
-        for (const Statement_plan& plan : out.plans) {
-            if (plan.guaranteed()) continue;
-            auto& slot =
-                class_paths[static_cast<std::size_t>(plan.path_class)];
-            if (slot == nullptr) slot = &plan.statement.path;
-        }
-        Nfa_set built =
-            build_nfa_set(class_paths, out.switch_graph.alphabet, pool);
-        // Deterministic diagnostics: for the first plan (in policy order)
-        // whose class failed to build, a Policy_error becomes the
-        // best-effort diagnostic (the expression mentions a host-only
-        // location) and anything else rethrows, as the sequential loop did.
-        for (const Statement_plan& plan : out.plans) {
-            if (plan.guaranteed()) continue;
-            const auto& error =
-                built.errors[static_cast<std::size_t>(plan.path_class)];
-            if (!error) continue;
-            try {
-                std::rethrow_exception(error);
-            } catch (const Policy_error&) {
-                out.diagnostic =
-                    "statement '" + plan.statement.id +
-                    "': best-effort path expressions may only mention "
-                    "switches, middleboxes, and functions placed on them";
-                return out;
-            }
-        }
-        out.class_nfas = std::move(built.nfas);
-    }
-    // Empty-language classes drop their traffic at the edge.
-    std::vector<char> class_is_empty(class_count, 0);
-    pool.parallel_for(static_cast<int>(class_count), [&](int c) {
-        const auto cls = static_cast<std::size_t>(c);
-        class_is_empty[cls] =
-            automata::is_empty(automata::determinize(out.class_nfas[cls]))
-                ? 1
-                : 0;
-    });
-    for (Statement_plan& plan : out.plans) {
-        if (plan.guaranteed()) continue;
-        plan.drop =
-            class_is_empty[static_cast<std::size_t>(plan.path_class)] != 0;
-    }
-    // Egress switches needed per class. The all-egress set (switches with at
-    // least one attached host) is shared by every unpinned destination, so
-    // it is computed once, not re-walked per plan.
-    std::set<std::pair<int, int>> needed;
-    std::vector<int> all_egress;
-    bool all_egress_ready = false;
-    for (const Statement_plan& plan : out.plans) {
-        if (plan.guaranteed() || plan.drop) continue;
-        if (plan.dst_host) {
-            for (const auto& adj : topo.neighbors(*plan.dst_host)) {
-                const int egress =
-                    out.switch_graph
-                        .symbol_of[static_cast<std::size_t>(adj.node)];
-                if (egress >= 0) needed.emplace(plan.path_class, egress);
-            }
-        } else {
-            // Unpinned destination (e.g. the catch-all): a tree per egress
-            // switch that has at least one attached host.
-            if (!all_egress_ready) {
-                for (topo::NodeId h : topo.hosts())
-                    for (const auto& adj : topo.neighbors(h)) {
-                        const int egress =
-                            out.switch_graph.symbol_of[
-                                static_cast<std::size_t>(adj.node)];
-                        if (egress >= 0) all_egress.push_back(egress);
-                    }
-                std::sort(all_egress.begin(), all_egress.end());
-                all_egress.erase(
-                    std::unique(all_egress.begin(), all_egress.end()),
-                    all_egress.end());
-                all_egress_ready = true;
-            }
-            for (const int egress : all_egress)
-                needed.emplace(plan.path_class, egress);
-        }
-    }
-    // One sink tree per (class, egress), built in parallel into slots
-    // ordered by the (sorted) key set, then inserted in that same order.
-    const std::vector<std::pair<int, int>> tree_keys(needed.begin(),
-                                                     needed.end());
-    std::vector<Sink_tree> built_trees(tree_keys.size());
-    pool.parallel_for(static_cast<int>(tree_keys.size()), [&](int i) {
-        const auto [cls, egress] = tree_keys[static_cast<std::size_t>(i)];
-        built_trees[static_cast<std::size_t>(i)] = build_sink_tree(
-            out.switch_graph, out.class_nfas[static_cast<std::size_t>(cls)],
-            egress);
-    });
-    for (std::size_t i = 0; i < tree_keys.size(); ++i)
-        out.trees.emplace(tree_keys[i], std::move(built_trees[i]));
-    // Reject best-effort statements whose pinned endpoints cannot be served.
-    for (const Statement_plan& plan : out.plans) {
-        if (plan.guaranteed() || plan.drop || !plan.dst_host ||
-            !plan.src_host)
-            continue;
-        const auto& nfa =
-            out.class_nfas[static_cast<std::size_t>(plan.path_class)];
-        bool served = false;
-        for (const auto& in : topo.neighbors(*plan.src_host)) {
-            const int ingress =
-                out.switch_graph.symbol_of[static_cast<std::size_t>(in.node)];
-            if (ingress < 0) continue;
-            for (const auto& adj : topo.neighbors(*plan.dst_host)) {
-                const int egress =
-                    out.switch_graph
-                        .symbol_of[static_cast<std::size_t>(adj.node)];
-                if (egress < 0) continue;
-                const Sink_tree* tree = out.tree_for(plan.path_class, egress);
-                if (tree && tree->entry_state(nfa, ingress)) served = true;
-            }
-        }
-        if (!served) {
-            out.diagnostic = "statement '" + plan.statement.id +
-                             "': no switch-level path satisfies its "
-                             "expression between its endpoints";
-            out.timing.rateless_ms = ms_since(rateless_start);
-            return out;
-        }
-    }
-    out.timing.rateless_ms = ms_since(rateless_start);
-
-    out.feasible = true;
-    return out;
+    return Engine(policy, topo, options).take();
 }
 
 }  // namespace merlin::core

@@ -1,0 +1,225 @@
+// The persistent incremental provisioning engine (Section 4's dynamic
+// adaptation, systemized).
+//
+// core::compile() answers one policy; Engine keeps answering as the policy
+// and the network change. It owns the cross-call state a batch compile
+// throws away:
+//
+//   * interned NFA caches keyed by the path expression's text, one over the
+//     full location alphabet (guaranteed statements) and one over the
+//     switch alphabet (best-effort classes, with cached emptiness),
+//   * built sink trees keyed by (path text, egress switch),
+//   * the encoded provisioning MIP (the "LP skeleton") with the index maps
+//     needed to patch it in place,
+//   * the last optimal branch & bound basis.
+//
+// Delta operations patch only what a change touches:
+//
+//   * set_bandwidth on a statement that stays guaranteed patches the
+//     constraint-(2) coefficients and objective costs of the live encoding
+//     and warm-starts branch & bound from the previous basis — no automata
+//     work, no logical topologies, no re-encoding, no sink-tree work
+//     (the paper's "changes to bandwidth allocations do not require
+//     recompilation", Section 4.3); cap-only changes run no solver at all;
+//   * fail_link / restore_link flip the bounds of the binaries crossing
+//     that link (the encoding's shape is link-state independent) and
+//     rebuild only the sink trees, again warm-starting the solver;
+//   * add_statement / remove_statement and guarantee promotions/demotions
+//     change the encoding's shape, so they fall back to re-encoding the
+//     skeleton — but still reuse every cached automaton and sink tree.
+//
+// After every delta the published Compilation is identical to what a
+// from-scratch compile() of the current policy and topology would produce
+// (solver work counters aside) — the equivalence the engine_test suite
+// pins down.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.h"
+#include "lp/simplex.h"
+#include "pred/analysis.h"
+
+namespace merlin::core {
+
+// Cumulative work counters. A bandwidth-only delta must leave
+// automata_built, logical_builds, trees_built and lp_encodings untouched —
+// the engine_test suite asserts exactly that.
+struct Engine_stats {
+    long long automata_built = 0;      // NFA chains constructed (cache misses)
+    long long automata_cache_hits = 0; // NFA lookups served from the interns
+    long long logical_builds = 0;      // logical topologies constructed
+    long long trees_built = 0;         // sink trees constructed (cache misses)
+    long long tree_cache_hits = 0;     // sink trees served from the cache
+    long long lp_encodings = 0;        // full MIP skeleton (re)encodes
+    long long lp_patches = 0;          // in-place coefficient/cost/bound edits
+    long long solves = 0;              // provisioning solver runs
+    long long warm_started_solves = 0; // solves seeded by the previous basis
+    long long incremental_updates = 0; // delta operations applied
+
+    // Counter-wise difference (this - earlier); used to attribute work to a
+    // single update.
+    [[nodiscard]] Engine_stats since(const Engine_stats& earlier) const;
+};
+
+// Outcome of one delta operation.
+struct Update_result {
+    bool feasible = false;     // the published compilation's feasibility
+    std::string diagnostic;    // from the published compilation
+    const char* kind = "";     // which delta ran ("set_bandwidth", ...)
+    double ms = 0;             // wall-clock of the update
+    bool solver_run = false;   // a provisioning solve happened
+    bool warm_started = false; // ... and it reused the previous basis
+    Engine_stats work;         // work performed by this update alone
+
+    explicit operator bool() const { return feasible; }
+};
+
+class Engine {
+public:
+    // Builds the engine and compiles the initial policy (throws exactly
+    // where compile() would). The topology is copied; link failures are
+    // applied to the engine's copy.
+    Engine(const ir::Policy& policy, const topo::Topology& topo,
+           Compile_options options = {});
+
+    // ---- delta operations --------------------------------------------------
+    // All return the re-provisioned outcome. Argument errors (duplicate or
+    // unknown ids, guarantee > cap, unknown link) throw Policy_error /
+    // Topology_error and leave the engine untouched.
+
+    // Appends a statement (optionally guaranteed / capped) to the policy.
+    Update_result add_statement(const ir::Statement& statement,
+                                Bandwidth guarantee = {},
+                                std::optional<Bandwidth> cap = std::nullopt);
+    Update_result remove_statement(const std::string& id);
+
+    // Re-divides bandwidth: sets the statement's guarantee and cap. A
+    // guarantee change between two positive rates is the paper's
+    // no-recompilation fast path; 0 -> positive (and back) moves the
+    // statement between the best-effort and guaranteed worlds and falls
+    // back to a skeleton re-encode.
+    Update_result set_bandwidth(const std::string& id, Bandwidth guarantee,
+                                std::optional<Bandwidth> cap = std::nullopt);
+
+    Update_result fail_link(topo::LinkId link);
+    Update_result restore_link(topo::LinkId link);
+    // Convenience: resolve the link by endpoint names.
+    Update_result fail_link(const std::string& a, const std::string& b);
+    Update_result restore_link(const std::string& a, const std::string& b);
+
+    // Full rebuild through the caches (the fallback path, callable
+    // explicitly; also what stale deltas would degrade to).
+    Update_result recompile();
+
+    // ---- state -------------------------------------------------------------
+    [[nodiscard]] const Compilation& current() const { return current_; }
+    [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+    [[nodiscard]] const Compile_options& options() const { return options_; }
+    // The current policy: statements in order plus the localized bandwidth
+    // formula (a conjunction of per-statement min/max terms). compile() of
+    // this against topology() reproduces current() from scratch.
+    [[nodiscard]] ir::Policy policy() const;
+    [[nodiscard]] const Engine_stats& totals() const { return totals_; }
+    [[nodiscard]] bool has_statement(const std::string& id) const;
+    [[nodiscard]] Bandwidth guarantee_of(const std::string& id) const;
+    [[nodiscard]] std::optional<Bandwidth> cap_of(const std::string& id) const;
+
+    // Moves the built compilation out (the one-shot compile() wrapper).
+    [[nodiscard]] Compilation take() && { return std::move(current_); }
+
+private:
+    struct Entry {
+        ir::Statement stmt;
+        std::string path_text;  // ir::to_string(stmt.path), the intern key
+        Bandwidth guarantee;
+        std::optional<Bandwidth> cap;
+        std::optional<topo::NodeId> src_host;
+        std::optional<topo::NodeId> dst_host;
+
+        [[nodiscard]] bool guaranteed() const { return guarantee.bps() > 0; }
+    };
+
+    // Interned best-effort automaton: the NFA over the switch alphabet plus
+    // its cached language emptiness. A path expression that mentions a
+    // host-only location cannot be compiled for best-effort traffic; the
+    // failure is cached too (it becomes a diagnostic, mirroring compile()).
+    struct Switch_nfa {
+        automata::Nfa nfa;
+        bool empty = false;
+        bool host_error = false;
+    };
+
+    // ---- construction / rebuild helpers
+    void preprocess(const ir::Policy& policy);
+    void rebuild_requests();
+    void check_disjoint_all() const;
+    void check_disjoint_against(const Entry& fresh) const;
+
+    // Ensures the full-alphabet NFA for every guaranteed entry is interned;
+    // rethrows construction errors for the first guaranteed entry in policy
+    // order (compile() parity).
+    void ensure_guaranteed_nfas();
+    // Builds the logical topology + request for one entry (NFA must be
+    // interned already).
+    [[nodiscard]] Guaranteed_request make_request(const Entry& entry);
+
+    // Runs the solver over requests_, honouring Compile_options::solver
+    // selection and the greedy fallback. `try_warm` seeds branch & bound
+    // from the previous basis when the skeleton is live. Returns whether
+    // the solve warm-started.
+    bool solve_provisioning(bool try_warm);
+
+    // Rebuilds current_ from scratch (through the caches), mirroring
+    // compile()'s staging and early returns exactly.
+    void publish();
+    // In-place fast publish for a bandwidth-only delta on entry `index`:
+    // only rates, paths and the provisioning result change. Falls back to
+    // publish() when feasibility flipped.
+    void publish_bandwidth(std::size_t index);
+
+    [[nodiscard]] std::size_t entry_index(const std::string& id) const;
+    [[nodiscard]] std::size_t request_of_entry(std::size_t index) const;
+    [[nodiscard]] bool mip_selected() const;
+
+    Update_result finish_update(const char* kind,
+                                std::chrono::steady_clock::time_point start,
+                                const Engine_stats& before, bool solver_run,
+                                bool warm_started);
+    Update_result set_link_state(topo::LinkId link, bool up, const char* kind);
+
+    // ---- persistent state
+    topo::Topology topo_;
+    Compile_options options_;
+    Addressing addressing_;
+    Switch_graph switch_graph_;
+    automata::Alphabet full_alphabet_;
+    int jobs_ = 1;
+    mutable pred::Analyzer analyzer_;
+
+    std::vector<Entry> entries_;  // policy order
+
+    // Guaranteed world.
+    std::vector<Guaranteed_request> requests_;   // guaranteed entries, in order
+    std::vector<std::size_t> request_entry_;     // request -> entry index
+    Mip_encoding skeleton_;
+    bool skeleton_valid_ = false;                // matches requests_' shape
+    lp::Basis basis_;                            // last incumbent basis
+    Provision_result provision_;                 // last solve outcome
+
+    // Interns.
+    std::unordered_map<std::string, automata::Nfa> full_nfas_;
+    std::unordered_map<std::string, Switch_nfa> switch_nfas_;
+    std::map<std::pair<std::string, int>, Sink_tree> tree_cache_;
+
+    Compilation current_;
+    Compilation::Timing timing_;
+    Engine_stats totals_;
+};
+
+}  // namespace merlin::core

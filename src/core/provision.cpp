@@ -83,37 +83,77 @@ void fill_maxima(const topo::Topology& topo, Provision_result& out) {
 
 }  // namespace
 
-Provision_result provision(const topo::Topology& topo,
-                           const std::vector<Guaranteed_request>& requests,
-                           Heuristic heuristic, const mip::Options& options) {
-    Provision_result out;
-    for (const Guaranteed_request& r : requests)
-        if (!r.logical.solvable()) return out;  // no path can exist
+namespace {
 
-    mip::Problem problem;
+// Tie-break/short-path epsilon relative to the main objective scale, plus a
+// deterministic per-edge jitter. The jitter makes the LP relaxation's
+// optimal vertex unique, which keeps it integral on the highly symmetric
+// equal-cost multipath instances (fat trees) that otherwise stall branch &
+// bound. Its shape is constrained from both sides:
+//
+//   * the quantum must clear the simplex optimality tolerance (1e-7) by a
+//     healthy margin — if two edge subsets can differ by less than the
+//     tolerance, a warm-started re-solve may legitimately stop on a
+//     different "optimal" vertex than a cold solve, and the engine's
+//     incremental updates would drift from a from-scratch compile;
+//   * the total magnitude must stay far below kEpsilonCost — perturbing
+//     the relaxation at the epsilon-cost scale measurably degrades branch
+//     & bound on capacity-tight instances (a 1e-3 max was a 60x slowdown
+//     on the fat-tree capacity regression test).
+//
+// Hence a 1e-6 quantum over 64 steps: max 6.3e-5, ten times the tolerance
+// per step.
+constexpr double kEpsilonCost = 1e-3;
+constexpr double kJitterQuantum = 1e-6;
 
-    // Edge binaries, per request.
-    std::vector<std::vector<int>> edge_vars(requests.size());
-    // Tie-break/short-path epsilon relative to the main objective scale,
-    // plus a deterministic per-edge jitter. The jitter makes the LP
-    // relaxation's optimal vertex unique, which keeps it integral on the
-    // highly symmetric equal-cost multipath instances (fat trees) that
-    // otherwise stall branch & bound.
-    constexpr double kEpsilonCost = 1e-3;
-    constexpr double kJitter = 1e-6;
-    std::uint64_t jitter_state = 0x9e3779b97f4a7c15ULL;
-    auto jitter = [&jitter_state] {
-        jitter_state ^= jitter_state << 13;
-        jitter_state ^= jitter_state >> 7;
-        jitter_state ^= jitter_state << 17;
-        return kJitter * static_cast<double>(jitter_state % 1024) / 1024.0;
-    };
+struct Jitter_stream {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+
+    double next() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return kJitterQuantum * static_cast<double>(state % 64);
+    }
+};
+
+}  // namespace
+
+Mip_encoding encode_provisioning(const topo::Topology& topo,
+                                 const std::vector<Guaranteed_request>& requests,
+                                 Heuristic heuristic) {
+    Mip_encoding out;
+    out.heuristic = heuristic;
+    mip::Problem& problem = out.problem;
+
+    // Edge binaries, per request. The jitter stream is drawn in a fixed
+    // order (all binary costs, then all weighted-shortest-path costs), so
+    // any two encodes of the same request list are bit-identical — the
+    // invariant that lets the engine patch rates into a live encoding.
+    out.edge_vars.resize(requests.size());
+    out.cost_jitter.resize(requests.size());
+    Jitter_stream jitter;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const auto& logical = requests[i].logical;
-        edge_vars[i].reserve(
+        out.edge_vars[i].reserve(
             static_cast<std::size_t>(logical.graph.edge_count()));
         for (int e = 0; e < logical.graph.edge_count(); ++e)
-            edge_vars[i].push_back(problem.add_binary(kEpsilonCost + jitter()));
+            out.edge_vars[i].push_back(
+                problem.add_binary(kEpsilonCost + jitter.next()));
+    }
+
+    // Links currently down carry no traffic: their edges exist (so the
+    // encoding's shape is independent of link state and bound patches can
+    // flip state in place) but are pinned to zero.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto& logical = requests[i].logical;
+        for (int e = 0; e < logical.graph.edge_count(); ++e) {
+            const topo::LinkId link =
+                logical.edges[static_cast<std::size_t>(e)].link;
+            if (link != topo::kNoLink && !topo.link_up(link))
+                problem.set_bounds(
+                    out.edge_vars[i][static_cast<std::size_t>(e)], 0.0, 0.0);
+        }
     }
 
     // (1) Flow conservation per request vertex.
@@ -122,11 +162,11 @@ Provision_result provision(const topo::Topology& topo,
         for (graph::Vertex v = 0; v < logical.graph.vertex_count(); ++v) {
             std::vector<std::pair<int, double>> coeffs;
             for (graph::Edge e : logical.graph.out_edges(v))
-                coeffs.emplace_back(edge_vars[i][static_cast<std::size_t>(e)],
-                                    1.0);
+                coeffs.emplace_back(
+                    out.edge_vars[i][static_cast<std::size_t>(e)], 1.0);
             for (graph::Edge e : logical.graph.in_edges(v))
-                coeffs.emplace_back(edge_vars[i][static_cast<std::size_t>(e)],
-                                    -1.0);
+                coeffs.emplace_back(
+                    out.edge_vars[i][static_cast<std::size_t>(e)], -1.0);
             const double rhs =
                 v == logical.source ? 1.0 : (v == logical.sink ? -1.0 : 0.0);
             problem.add_constraint(lp::Sense::equal, rhs, std::move(coeffs));
@@ -134,14 +174,13 @@ Provision_result provision(const topo::Topology& topo,
     }
 
     // (2) r_uv bookkeeping per physical link, plus (3)/(4) maxima.
-    const int r_max_var = problem.add_continuous(0.0, 0.0, 1.0);
-    const int big_r_max_var =
+    out.r_max_var = problem.add_continuous(0.0, 0.0, 1.0);
+    out.big_r_max_var =
         problem.add_continuous(0.0, 0.0, lp::kInfinity);  // in Mbps
-    std::vector<int> r_vars(static_cast<std::size_t>(topo.link_count()));
+    out.link_row.assign(static_cast<std::size_t>(topo.link_count()), -1);
     for (topo::LinkId link = 0; link < topo.link_count(); ++link) {
         // (5) is the upper bound 1 here.
         const int r_uv = problem.add_continuous(0.0, 0.0, 1.0);
-        r_vars[static_cast<std::size_t>(link)] = r_uv;
         const double capacity_mbps = to_mbps(topo.link(link).capacity);
         expects(capacity_mbps > 0, "links must have positive capacity");
 
@@ -154,15 +193,18 @@ Provision_result provision(const topo::Topology& topo,
             for (int e = 0; e < logical.graph.edge_count(); ++e)
                 if (logical.edges[static_cast<std::size_t>(e)].link == link)
                     coeffs.emplace_back(
-                        edge_vars[i][static_cast<std::size_t>(e)], -rate);
+                        out.edge_vars[i][static_cast<std::size_t>(e)], -rate);
         }
+        out.link_row[static_cast<std::size_t>(link)] =
+            problem.relaxation().constraint_count();
         problem.add_constraint(lp::Sense::equal, 0.0, std::move(coeffs));
 
         // (3) r_max >= r_uv   and   (4) R_max >= r_uv * c_uv.
         problem.add_constraint(lp::Sense::less_equal, 0.0,
-                               {{r_uv, 1.0}, {r_max_var, -1.0}});
-        problem.add_constraint(lp::Sense::less_equal, 0.0,
-                               {{r_uv, capacity_mbps}, {big_r_max_var, -1.0}});
+                               {{r_uv, 1.0}, {out.r_max_var, -1.0}});
+        problem.add_constraint(
+            lp::Sense::less_equal, 0.0,
+            {{r_uv, capacity_mbps}, {out.big_r_max_var, -1.0}});
     }
 
     // Objective.
@@ -171,30 +213,68 @@ Provision_result provision(const topo::Topology& topo,
             for (std::size_t i = 0; i < requests.size(); ++i) {
                 const double weight = std::max(to_mbps(requests[i].rate), 1.0);
                 const auto& logical = requests[i].logical;
+                out.cost_jitter[i].assign(
+                    static_cast<std::size_t>(logical.graph.edge_count()), 0.0);
                 for (int e = 0; e < logical.graph.edge_count(); ++e)
                     if (logical.edges[static_cast<std::size_t>(e)].link !=
-                        topo::kNoLink)
+                        topo::kNoLink) {
+                        const double draw = jitter.next();
+                        out.cost_jitter[i][static_cast<std::size_t>(e)] = draw;
                         problem.set_cost(
-                            edge_vars[i][static_cast<std::size_t>(e)],
-                            weight + kEpsilonCost + jitter());
+                            out.edge_vars[i][static_cast<std::size_t>(e)],
+                            weight + kEpsilonCost + draw);
+                    }
             }
             break;
         case Heuristic::min_max_ratio:
-            problem.set_cost(r_max_var, 1000.0);
+            problem.set_cost(out.r_max_var, 1000.0);
             break;
         case Heuristic::min_max_reserved:
-            problem.set_cost(big_r_max_var, 1.0);
+            problem.set_cost(out.big_r_max_var, 1.0);
             break;
     }
+    return out;
+}
 
-    const mip::Solution solution = mip::solve(problem, options);
+void patch_request_rate(Mip_encoding& encoding,
+                        const std::vector<Guaranteed_request>& requests,
+                        std::size_t r) {
+    const Guaranteed_request& request = requests[r];
+    const auto& logical = request.logical;
+    const double rate = to_mbps(request.rate);
+    expects(rate > 0, "rate patches require a positive rate");
+    const double weight = std::max(rate, 1.0);
+    for (int e = 0; e < logical.graph.edge_count(); ++e) {
+        const topo::LinkId link =
+            logical.edges[static_cast<std::size_t>(e)].link;
+        if (link == topo::kNoLink) continue;
+        const int var = encoding.edge_vars[r][static_cast<std::size_t>(e)];
+        encoding.problem.set_coefficient(
+            encoding.link_row[static_cast<std::size_t>(link)], var, -rate);
+        if (encoding.heuristic == Heuristic::weighted_shortest_path)
+            encoding.problem.set_cost(
+                var, weight + kEpsilonCost +
+                         encoding.cost_jitter[r][static_cast<std::size_t>(e)]);
+    }
+}
+
+Provision_result solve_encoding(const topo::Topology& topo,
+                                const std::vector<Guaranteed_request>& requests,
+                                const Mip_encoding& encoding,
+                                const mip::Options& options,
+                                const lp::Basis* root_warm,
+                                lp::Basis* basis_out) {
+    Provision_result out;
+    mip::Solution solution =
+        mip::solve(encoding.problem, options, root_warm);
     out.solver = "mip";
-    out.variables = problem.variable_count();
-    out.constraints = problem.relaxation().constraint_count();
+    out.variables = encoding.problem.variable_count();
+    out.constraints = encoding.problem.relaxation().constraint_count();
     out.mip_nodes = solution.nodes_explored;
     out.simplex_iterations = solution.simplex_iterations;
     out.lp_factorizations = solution.lp_factorizations;
     out.warm_started_nodes = solution.warm_started_nodes;
+    if (basis_out != nullptr) *basis_out = std::move(solution.basis);
     if (!solution.usable()) {
         out.proven_infeasible = solution.status == mip::Status::infeasible;
         return out;
@@ -209,12 +289,24 @@ Provision_result provision(const topo::Topology& topo,
         for (int e = 0; e < logical.graph.edge_count(); ++e)
             used[static_cast<std::size_t>(e)] =
                 solution.x[static_cast<std::size_t>(
-                    edge_vars[i][static_cast<std::size_t>(e)])] > 0.5;
+                    encoding.edge_vars[i][static_cast<std::size_t>(e)])] > 0.5;
         out.paths.push_back(extract_path(logical, std::move(used),
                                          requests[i].id, requests[i].rate));
     }
     fill_maxima(topo, out);
     return out;
+}
+
+Provision_result provision(const topo::Topology& topo,
+                           const std::vector<Guaranteed_request>& requests,
+                           Heuristic heuristic, const mip::Options& options) {
+    Provision_result out;
+    for (const Guaranteed_request& r : requests)
+        if (!r.logical.solvable()) return out;  // no path can exist
+
+    const Mip_encoding encoding =
+        encode_provisioning(topo, requests, heuristic);
+    return solve_encoding(topo, requests, encoding, options);
 }
 
 Provision_result provision_greedy(
@@ -231,7 +323,8 @@ Provision_result provision_greedy(
     std::vector<std::uint64_t> used_bps(
         static_cast<std::size_t>(topo.link_count()), 0);
     for (topo::LinkId l = 0; l < topo.link_count(); ++l)
-        residual[static_cast<std::size_t>(l)] = topo.link(l).capacity.bps();
+        residual[static_cast<std::size_t>(l)] =
+            topo.link_up(l) ? topo.link(l).capacity.bps() : 0;
 
     // Largest guarantees first (first-fit decreasing).
     std::vector<std::size_t> order(requests.size());
@@ -253,6 +346,7 @@ Provision_result provision_greedy(
             const Logical_edge& info =
                 logical.edges[static_cast<std::size_t>(e)];
             if (info.link == topo::kNoLink) return 1e-6;
+            if (!topo.link_up(info.link)) return -1;  // failed link
             const auto l = static_cast<std::size_t>(info.link);
             if (residual[l] < rate) return -1;  // blocked
             const double cap =

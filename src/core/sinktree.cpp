@@ -22,6 +22,7 @@ Switch_graph make_switch_graph(const topo::Topology& topo) {
     for (int s = 0; s < out.size(); ++s) {
         for (const auto& adj :
              topo.neighbors(out.nodes[static_cast<std::size_t>(s)])) {
+            if (!topo.link_up(adj.link)) continue;  // failed link
             const int t = out.symbol_of[static_cast<std::size_t>(adj.node)];
             if (t >= 0) out.adjacent[static_cast<std::size_t>(s)].push_back(t);
         }

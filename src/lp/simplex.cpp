@@ -43,6 +43,28 @@ void Problem::set_bounds(int variable, double lower, double upper) {
     upper_[static_cast<std::size_t>(variable)] = upper;
 }
 
+void Problem::set_coefficient(int row, int variable, double coefficient) {
+    expects(row >= 0 && row < constraint_count(), "unknown constraint row");
+    expects(variable >= 0 && variable < variable_count(),
+            "unknown variable");
+    auto& column = columns_[static_cast<std::size_t>(variable)];
+    const auto entry =
+        std::find_if(column.begin(), column.end(),
+                     [row](const RowEntry& e) { return e.row == row; });
+    auto& row_list = rows_[static_cast<std::size_t>(row)];
+    const auto cell = std::find_if(
+        row_list.begin(), row_list.end(),
+        [variable](const auto& c) { return c.first == variable; });
+    if (entry == column.end()) {
+        column.push_back(RowEntry{row, coefficient});
+        row_list.emplace_back(variable, coefficient);
+        return;
+    }
+    entry->coef = coefficient;
+    expects(cell != row_list.end(), "row/column stores out of sync");
+    cell->second = coefficient;
+}
+
 double Problem::objective_value(const std::vector<double>& x) const {
     double out = 0;
     for (std::size_t j = 0; j < cost_.size(); ++j) out += cost_[j] * x[j];

@@ -96,6 +96,12 @@ public:
 
     void set_cost(int variable, double cost);
     void set_bounds(int variable, double lower, double upper);
+    // Overwrites one constraint-matrix entry (inserting it if absent). The
+    // incremental provisioning engine patches bandwidth coefficients into an
+    // existing encoding instead of rebuilding it; an exported Basis remains a
+    // usable warm-start candidate (the warm path refactorizes from current
+    // problem data and falls back to a cold start if the basis went stale).
+    void set_coefficient(int row, int variable, double coefficient);
 
     [[nodiscard]] int variable_count() const {
         return static_cast<int>(cost_.size());

@@ -26,6 +26,14 @@ void Problem::set_cost(int variable, double cost) {
     lp_.set_cost(variable, cost);
 }
 
+void Problem::set_bounds(int variable, double lower, double upper) {
+    lp_.set_bounds(variable, lower, upper);
+}
+
+void Problem::set_coefficient(int row, int variable, double coefficient) {
+    lp_.set_coefficient(row, variable, coefficient);
+}
+
 namespace {
 
 struct Node {
@@ -45,7 +53,8 @@ struct NodeOrder {
 
 }  // namespace
 
-Solution solve(const Problem& problem, const Options& options) {
+Solution solve(const Problem& problem, const Options& options,
+               const lp::Basis* root_warm) {
     Solution incumbent;
     incumbent.status = Status::infeasible;
     double incumbent_obj = lp::kInfinity;
@@ -53,7 +62,13 @@ Solution solve(const Problem& problem, const Options& options) {
     std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
                         NodeOrder>
         open;
-    open.push(std::make_shared<Node>(Node{{}, -lp::kInfinity, nullptr}));
+    // A caller-provided basis (from a previous solve of this problem before
+    // bound/coefficient patches) seeds the root exactly like a parent basis
+    // seeds a child node; the LP layer falls back to a cold start if stale.
+    std::shared_ptr<const lp::Basis> root_basis;
+    if (options.warm_start && root_warm != nullptr && !root_warm->empty())
+        root_basis = std::make_shared<const lp::Basis>(*root_warm);
+    open.push(std::make_shared<Node>(Node{{}, -lp::kInfinity, root_basis}));
 
     // One shared relaxation for the whole tree: each node patches the
     // bounds of its fixed binaries in, solves (warm-started from the
@@ -117,6 +132,7 @@ Solution solve(const Problem& problem, const Options& options) {
             incumbent.status = Status::optimal;
             incumbent.objective = lp_solution.objective;
             incumbent.x = lp_solution.x;
+            incumbent.basis = std::move(lp_solution.basis);
             // Snap binaries exactly.
             for (int var : problem.binaries_) {
                 auto& v = incumbent.x[static_cast<std::size_t>(var)];

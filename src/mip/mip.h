@@ -50,6 +50,11 @@ struct Solution {
     long long simplex_iterations = 0;
     int lp_factorizations = 0;
     int warm_started_nodes = 0;
+    // LP basis at the incumbent (empty when no usable solution, or when the
+    // incumbent's LP could not export one). Feed it back as `root_warm` on a
+    // re-solve after bound/coefficient patches: the provisioning engine's
+    // bandwidth deltas restart branch & bound from here.
+    lp::Basis basis;
 
     [[nodiscard]] bool optimal() const { return status == Status::optimal; }
     // True when `x` holds a usable integral solution.
@@ -68,6 +73,12 @@ public:
     void add_constraint(lp::Sense sense, double rhs,
                         std::vector<std::pair<int, double>> coefficients);
     void set_cost(int variable, double cost);
+    // In-place patches for an already-encoded problem (the incremental
+    // engine's delta path): bound changes (e.g. fixing the binaries of a
+    // failed link to zero) and constraint-coefficient changes (bandwidth
+    // re-allocations). Both keep exported bases usable as warm starts.
+    void set_bounds(int variable, double lower, double upper);
+    void set_coefficient(int row, int variable, double coefficient);
 
     [[nodiscard]] int variable_count() const { return lp_.variable_count(); }
     [[nodiscard]] int binary_count() const {
@@ -76,13 +87,17 @@ public:
     [[nodiscard]] const lp::Problem& relaxation() const { return lp_; }
 
 private:
-    friend Solution solve(const Problem&, const Options&);
+    friend Solution solve(const Problem&, const Options&, const lp::Basis*);
 
     lp::Problem lp_;
     std::vector<int> binaries_;
 };
 
+// `root_warm`, when non-null, warm-starts the root relaxation (and, through
+// basis inheritance, the whole tree) from a basis exported by a previous
+// solve of a structurally identical problem.
 [[nodiscard]] Solution solve(const Problem& problem,
-                             const Options& options = {});
+                             const Options& options = {},
+                             const lp::Basis* root_warm = nullptr);
 
 }  // namespace merlin::mip

@@ -1,6 +1,7 @@
 #include "negotiator/negotiator.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 #include <set>
 
@@ -76,9 +77,72 @@ Negotiator* Negotiator::child(const std::string& name) {
 }
 
 Verdict Negotiator::propose(const ir::Policy& refined) {
-    const Verdict verdict = verify_refinement(envelope_, refined, alphabet_);
-    if (verdict.valid) active_ = refined;
+    Verdict verdict = verify_refinement(envelope_, refined, alphabet_);
+    if (verdict.valid) {
+        const ir::Policy previous = std::move(active_);
+        active_ = refined;
+        sync_engine(previous, verdict);
+    }
     return verdict;
+}
+
+void Negotiator::sync_engine(const ir::Policy& previous, Verdict& verdict) {
+    if (engine_ == nullptr) return;
+    // Localize with the engine's configured split so the pushed
+    // per-statement rates match what a from-scratch compile of the same
+    // policy would derive.
+    const auto rates = presburger::requirements(
+        presburger::localize(active_.formula, engine_->options().split));
+    // Engine argument errors (e.g. a refined predicate overlapping an
+    // engine statement outside this delegation) must not escape mid-sync
+    // with half the deltas applied: surface them as diagnostics instead.
+    const auto apply = [&](const std::string& id, auto&& delta) {
+        try {
+            const core::Update_result update = delta();
+            if (!update.feasible && !update.diagnostic.empty())
+                verdict.diagnostics.push_back("engine: statement '" + id +
+                                              "': " + update.diagnostic);
+        } catch (const Error& e) {
+            verdict.diagnostics.push_back("engine: statement '" + id +
+                                          "': " + e.what());
+        }
+    };
+    // Statements this negotiator previously held that the refinement
+    // dropped or renamed (a valid refinement may re-partition ids,
+    // Section 4.1) are retired first, so their replacements' predicates
+    // don't collide with stale ancestors. Statements the negotiator never
+    // held — outside its delegation — are untouched.
+    for (const ir::Statement& s : previous.statements) {
+        if (ir::find_statement(active_, s.id) != nullptr) continue;
+        if (!engine_->has_statement(s.id)) continue;
+        apply(s.id, [&] { return engine_->remove_statement(s.id); });
+    }
+    const ir::Policy provisioned = engine_->policy();
+    for (const ir::Statement& s : active_.statements) {
+        const Bandwidth guarantee = rates.guarantee_of(s.id);
+        const auto cap_it = rates.caps.find(s.id);
+        const std::optional<Bandwidth> cap =
+            cap_it == rates.caps.end() ? std::nullopt
+                                       : std::optional(cap_it->second);
+        if (!engine_->has_statement(s.id)) {
+            apply(s.id,
+                  [&] { return engine_->add_statement(s, guarantee, cap); });
+        } else if (const ir::Statement* held =
+                       ir::find_statement(provisioned, s.id);
+                   held != nullptr && !ir::equal(*held, s)) {
+            // Predicate or path refined: replace the statement (a
+            // structural delta; the engine reuses its caches).
+            apply(s.id, [&] { return engine_->remove_statement(s.id); });
+            apply(s.id,
+                  [&] { return engine_->add_statement(s, guarantee, cap); });
+        } else if (engine_->guarantee_of(s.id) != guarantee ||
+                   engine_->cap_of(s.id) != cap) {
+            // Bandwidth-only: the engine's no-recompilation fast path.
+            apply(s.id, [&] {
+                return engine_->set_bandwidth(s.id, guarantee, cap);
+            });
+        }
+    }
 }
 
 Verdict Negotiator::redistribute(
@@ -94,7 +158,23 @@ Verdict Negotiator::redistribute(
         ids.push_back(s.id);
         pool += it->second;
     }
-    if (ids.empty()) return {false, "active policy has no caps to re-divide"};
+    // Demands naming no capped statement used to be dropped silently; they
+    // almost always mean a typo or a stale tenant view, so surface them.
+    std::vector<std::string> ignored;
+    for (const auto& [id, _] : demands) {
+        if (std::find(ids.begin(), ids.end(), id) != ids.end()) continue;
+        if (ir::find_statement(active_, id) == nullptr)
+            ignored.push_back("demand for unknown statement '" + id +
+                              "' ignored");
+        else
+            ignored.push_back("demand for uncapped statement '" + id +
+                              "' ignored (no allocation to re-divide)");
+    }
+    if (ids.empty()) {
+        Verdict verdict{false, "active policy has no caps to re-divide"};
+        verdict.diagnostics = std::move(ignored);
+        return verdict;
+    }
 
     std::vector<Bandwidth> demand_list;
     demand_list.reserve(ids.size());
@@ -121,7 +201,11 @@ Verdict Negotiator::redistribute(
         formula = formula ? ir::formula_and(formula, leaf) : leaf;
     }
     updated.formula = formula;
-    return propose(updated);
+    Verdict verdict = propose(updated);
+    verdict.diagnostics.insert(verdict.diagnostics.begin(),
+                               std::make_move_iterator(ignored.begin()),
+                               std::make_move_iterator(ignored.end()));
+    return verdict;
 }
 
 std::vector<Bandwidth> Aimd::step(std::vector<Bandwidth> rates,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "automata/automata.h"
+#include "core/engine.h"
 #include "ir/ast.h"
 #include "negotiator/verify.h"
 #include "util/units.h"
@@ -59,8 +60,20 @@ public:
     }
     [[nodiscard]] Negotiator* child(const std::string& name);
 
+    // Attaches a provisioning engine (non-owning): every adopted refinement
+    // is pushed into it as delta operations. Bandwidth-only re-divisions
+    // (the redistribute() path) become engine set_bandwidth deltas — the
+    // paper's "changes to bandwidth allocations do not require
+    // recompilation" — while structural refinements replace the affected
+    // statements. Statements outside this negotiator's delegation are never
+    // touched. Pass nullptr to detach.
+    void drive(core::Engine* engine) { engine_ = engine; }
+    [[nodiscard]] core::Engine* engine() const { return engine_; }
+
     // A tenant proposes a refinement of this negotiator's envelope; adopted
-    // only when verification succeeds.
+    // only when verification succeeds (and, when an engine is attached,
+    // pushed into it — re-provisioning problems are appended to the
+    // verdict's diagnostics).
     Verdict propose(const ir::Policy& refined);
 
     // Bandwidth re-allocation (Section 4.3): re-divides the active policy's
@@ -68,15 +81,22 @@ public:
     // total unchanged, and adopts the result through the verified propose()
     // path — so "changes to bandwidth allocations" need no recompilation but
     // still cannot violate the envelope. Statements without a cap are
-    // untouched; unknown ids in `demands` are ignored.
+    // untouched; demand ids that name no capped statement are reported in
+    // the verdict's diagnostics.
     Verdict redistribute(const std::map<std::string, Bandwidth>& demands);
 
 private:
+    // Pushes the adopted policy into the attached engine as deltas:
+    // statements dropped since `previous` are retired, changed ones
+    // replaced, bandwidth-only changes become set_bandwidth fast paths.
+    void sync_engine(const ir::Policy& previous, Verdict& verdict);
+
     std::string name_;
     ir::Policy envelope_;
     ir::Policy active_;
     automata::Alphabet alphabet_;
     std::vector<std::unique_ptr<Negotiator>> children_;
+    core::Engine* engine_ = nullptr;
 };
 
 // ---------------------------------------------------------------- adaptation

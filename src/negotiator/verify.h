@@ -20,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "automata/automata.h"
 #include "ir/ast.h"
@@ -29,6 +30,10 @@ namespace merlin::negotiator {
 struct Verdict {
     bool valid = false;
     std::string reason;  // first violation found, empty when valid
+    // Non-fatal findings: inputs that were accepted but deserve the
+    // caller's attention (e.g. redistribute() demands naming statements the
+    // active policy does not cap). Never affects `valid`.
+    std::vector<std::string> diagnostics;
 
     explicit operator bool() const { return valid; }
 };

@@ -127,6 +127,7 @@ FlowId Simulator::add_flow(Flow_spec spec) {
             queue.pop_front();
             if (v == spec.dst) break;
             for (const auto& adj : topo_.neighbors(v)) {
+                if (!topo_.link_up(adj.link)) continue;  // failed link
                 // Hosts do not forward transit traffic.
                 if (adj.node != spec.dst &&
                     topo_.node(adj.node).kind == topo::Node_kind::host)

@@ -58,6 +58,12 @@ void Topology::allow_function(const std::string& fn, const std::string& at) {
     allow_function(fn, require(at));
 }
 
+void Topology::set_link_state(LinkId id, bool up) {
+    if (id < 0 || id >= link_count())
+        throw Topology_error("set_link_state on unknown link");
+    links_[static_cast<std::size_t>(id)].up = up;
+}
+
 std::optional<NodeId> Topology::find(const std::string& name) const {
     const auto it = by_name_.find(name);
     if (it == by_name_.end()) return std::nullopt;

@@ -30,6 +30,11 @@ struct Link {
     NodeId a = kNoNode;
     NodeId b = kNoNode;
     Bandwidth capacity;
+    // Administrative / failure state. A down link keeps its id (plans and
+    // caches stay addressable) but carries no traffic: provisioning fixes
+    // its decision variables to zero, sink trees and simulator routes skip
+    // it. Toggled by core::Engine::fail_link / restore_link.
+    bool up = true;
 };
 
 using LinkId = std::int32_t;
@@ -51,6 +56,13 @@ public:
     // Registers that packet-processing function `fn` can be placed at `at`.
     void allow_function(const std::string& fn, NodeId at);
     void allow_function(const std::string& fn, const std::string& at);
+
+    // Marks a link down (failed) or back up. Throws Topology_error on an
+    // unknown link id.
+    void set_link_state(LinkId id, bool up);
+    [[nodiscard]] bool link_up(LinkId id) const {
+        return links_[static_cast<std::size_t>(id)].up;
+    }
 
     // --- queries ----------------------------------------------------------
     [[nodiscard]] int node_count() const {

@@ -1,0 +1,517 @@
+// The incremental provisioning engine (core::Engine).
+//
+// The load-bearing property: after ANY sequence of delta operations, the
+// engine's published Compilation is identical to a from-scratch
+// core::compile() of the engine's current policy against its current
+// topology — plans, provisioned paths, sink trees, class automata,
+// allocations, diagnostics. On top of that, the deltas must be *cheap* in
+// the right way: a bandwidth-only change performs zero automata builds,
+// zero logical-topology builds, zero sink-tree builds and zero LP
+// re-encodings (asserted via the engine's work counters), and warm-starts
+// branch & bound from the previous basis on MIP-solved configurations.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "core/engine.h"
+#include "negotiator/negotiator.h"
+#include "topo/generators.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace merlin;
+using core::Compilation;
+using core::Engine;
+using core::Update_result;
+
+// ---------------------------------------------------------------- comparator
+
+void expect_nfa_equal(const automata::Nfa& a, const automata::Nfa& b) {
+    ASSERT_EQ(a.alphabet_size, b.alphabet_size);
+    ASSERT_EQ(a.start, b.start);
+    ASSERT_EQ(a.accepting, b.accepting);
+    ASSERT_EQ(a.labels, b.labels);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t s = 0; s < a.edges.size(); ++s) {
+        ASSERT_EQ(a.edges[s].size(), b.edges[s].size()) << "state " << s;
+        for (std::size_t e = 0; e < a.edges[s].size(); ++e) {
+            EXPECT_EQ(a.edges[s][e].symbol, b.edges[s][e].symbol);
+            EXPECT_EQ(a.edges[s][e].target, b.edges[s][e].target);
+            EXPECT_EQ(a.edges[s][e].label, b.edges[s][e].label);
+        }
+    }
+}
+
+void expect_path_equal(const core::Provisioned_path& a,
+                       const core::Provisioned_path& b) {
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.word, b.word);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.links, b.links);
+    EXPECT_EQ(a.placements, b.placements);
+    EXPECT_EQ(a.rate, b.rate);
+}
+
+// Engine state vs a from-scratch compile. Solver *work* counters
+// (nodes/iterations) legitimately differ between a warm and a cold solve;
+// everything observable about the provisioning outcome must not.
+void expect_equivalent(const Compilation& engine, const Compilation& fresh) {
+    ASSERT_EQ(engine.feasible, fresh.feasible);
+    EXPECT_EQ(engine.diagnostic, fresh.diagnostic);
+    ASSERT_EQ(engine.plans.size(), fresh.plans.size());
+    for (std::size_t i = 0; i < engine.plans.size(); ++i) {
+        const core::Statement_plan& a = engine.plans[i];
+        const core::Statement_plan& b = fresh.plans[i];
+        EXPECT_TRUE(ir::equal(a.statement, b.statement))
+            << "plan " << i << ": " << a.statement.id << " vs "
+            << b.statement.id;
+        EXPECT_EQ(a.guarantee, b.guarantee);
+        EXPECT_EQ(a.cap, b.cap);
+        EXPECT_EQ(a.src_host, b.src_host);
+        EXPECT_EQ(a.dst_host, b.dst_host);
+        EXPECT_EQ(a.path_class, b.path_class);
+        EXPECT_EQ(a.drop, b.drop);
+        ASSERT_EQ(a.path.has_value(), b.path.has_value()) << a.statement.id;
+        if (a.path) expect_path_equal(*a.path, *b.path);
+    }
+    ASSERT_EQ(engine.class_nfas.size(), fresh.class_nfas.size());
+    for (std::size_t c = 0; c < engine.class_nfas.size(); ++c)
+        expect_nfa_equal(engine.class_nfas[c], fresh.class_nfas[c]);
+    ASSERT_EQ(engine.trees.size(), fresh.trees.size());
+    for (auto ea = engine.trees.begin(), eb = fresh.trees.begin();
+         ea != engine.trees.end(); ++ea, ++eb) {
+        EXPECT_EQ(ea->first, eb->first);
+        EXPECT_EQ(ea->second.egress, eb->second.egress);
+        EXPECT_EQ(ea->second.nodes, eb->second.nodes);
+        EXPECT_EQ(ea->second.states, eb->second.states);
+        EXPECT_EQ(ea->second.next, eb->second.next);
+        EXPECT_EQ(ea->second.dist, eb->second.dist);
+    }
+    EXPECT_EQ(engine.provision.feasible, fresh.provision.feasible);
+    EXPECT_STREQ(engine.provision.solver, fresh.provision.solver);
+    EXPECT_EQ(engine.provision.variables, fresh.provision.variables);
+    EXPECT_EQ(engine.provision.constraints, fresh.provision.constraints);
+    ASSERT_EQ(engine.provision.paths.size(), fresh.provision.paths.size());
+    for (std::size_t i = 0; i < engine.provision.paths.size(); ++i)
+        expect_path_equal(engine.provision.paths[i],
+                          fresh.provision.paths[i]);
+    EXPECT_DOUBLE_EQ(engine.provision.r_max, fresh.provision.r_max);
+    EXPECT_EQ(engine.provision.big_r_max, fresh.provision.big_r_max);
+}
+
+void expect_matches_fresh_compile(const Engine& engine,
+                                  const core::Compile_options& options) {
+    const Compilation fresh =
+        core::compile(engine.policy(), engine.topology(), options);
+    expect_equivalent(engine.current(), fresh);
+}
+
+// -------------------------------------------------------------------- setups
+
+// Two disjoint switch paths between the hosts: failing one of them must
+// re-route, failing both must go infeasible.
+topo::Topology diamond() {
+    topo::Topology t;
+    const auto s1 = t.add_switch("s1");
+    const auto s2 = t.add_switch("s2");
+    const auto s3 = t.add_switch("s3");
+    const auto s4 = t.add_switch("s4");
+    t.add_link(s1, s2, mbps(500));
+    t.add_link(s2, s4, mbps(500));
+    t.add_link(s1, s3, mbps(400));
+    t.add_link(s3, s4, mbps(400));
+    const auto h1 = t.add_host("h1");
+    const auto h2 = t.add_host("h2");
+    t.add_link(h1, s1, gbps(1));
+    t.add_link(h2, s4, gbps(1));
+    return t;
+}
+
+ir::Policy diamond_policy(const topo::Topology& t, Bandwidth rate) {
+    const core::Addressing addressing(t);
+    ir::Policy p;
+    ir::Statement g;
+    g.id = "g";
+    g.predicate = addressing.pair_predicate(t.require("h1"), t.require("h2"));
+    g.path = ir::path_any_star();
+    p.statements.push_back(g);
+    ir::Statement b;
+    b.id = "b";
+    b.predicate = addressing.pair_predicate(t.require("h2"), t.require("h1"));
+    b.path = ir::path_any_star();
+    p.statements.push_back(b);
+    ir::Term term;
+    term.ids.push_back("g");
+    p.formula = ir::formula_min(std::move(term), rate);
+    return p;
+}
+
+core::Compile_options mip_options() {
+    core::Compile_options o;
+    o.solver = core::Solver::mip;
+    o.jobs = 1;
+    return o;
+}
+
+// ---------------------------------------------------------------------- tests
+
+TEST(Engine, InitialBuildMatchesOneShotCompile) {
+    const topo::Topology t = topo::fat_tree(2);
+    const ir::Policy p = bench::all_pairs_policy(t, 1, mb_per_sec(5));
+    const Engine engine(p, t, {});
+    const Compilation fresh = core::compile(p, t, {});
+    expect_equivalent(engine.current(), fresh);
+    EXPECT_TRUE(engine.current().feasible);
+}
+
+TEST(Engine, BandwidthDeltaDoesZeroRebuildWorkAndWarmStarts) {
+    const topo::Topology t = topo::fat_tree(4);
+    const ir::Policy p = bench::all_pairs_policy(t, 6, mb_per_sec(1));
+    const core::Compile_options options = mip_options();
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+    ASSERT_STREQ(engine.current().provision.solver, "mip");
+
+    const Update_result update =
+        engine.set_bandwidth("t0", mb_per_sec(3));
+    EXPECT_TRUE(update.feasible);
+    EXPECT_TRUE(update.solver_run);
+    // The paper's no-recompilation claim, as counters: no automata, no
+    // logical topologies, no sink trees, no re-encoding — only an in-place
+    // coefficient patch and a warm-started re-solve.
+    EXPECT_EQ(update.work.automata_built, 0);
+    EXPECT_EQ(update.work.logical_builds, 0);
+    EXPECT_EQ(update.work.trees_built, 0);
+    EXPECT_EQ(update.work.lp_encodings, 0);
+    EXPECT_EQ(update.work.lp_patches, 1);
+    EXPECT_EQ(update.work.solves, 1);
+    EXPECT_TRUE(update.warm_started);
+    EXPECT_GT(engine.current().provision.warm_started_nodes, 0);
+
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, GreedyBandwidthDeltaAlsoDoesZeroRebuildWork) {
+    const topo::Topology t = topo::fat_tree(4);
+    // More guaranteed classes than auto_mip_limit: the greedy provisioner
+    // serves them (the Table-7 k>=6 configuration, scaled down).
+    core::Compile_options options = bench::scalability_options();
+    options.jobs = 1;
+    const ir::Policy p = bench::all_pairs_policy(
+        t, options.auto_mip_limit + 8, mb_per_sec(1));
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+    ASSERT_STREQ(engine.current().provision.solver, "greedy");
+
+    const Update_result update =
+        engine.set_bandwidth("t0", mb_per_sec(4));
+    EXPECT_TRUE(update.feasible);
+    EXPECT_EQ(update.work.automata_built, 0);
+    EXPECT_EQ(update.work.logical_builds, 0);
+    EXPECT_EQ(update.work.trees_built, 0);
+    EXPECT_EQ(update.work.lp_encodings, 0);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, CapOnlyDeltaRunsNoSolver) {
+    const topo::Topology t = topo::fat_tree(2);
+    const ir::Policy p = bench::all_pairs_policy(t, 1, mb_per_sec(5));
+    const core::Compile_options options;
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    const Update_result update =
+        engine.set_bandwidth("t0", mb_per_sec(5), mb_per_sec(80));
+    EXPECT_TRUE(update.feasible);
+    EXPECT_FALSE(update.solver_run);
+    EXPECT_EQ(update.work.solves, 0);
+    EXPECT_EQ(update.work.lp_encodings, 0);
+    EXPECT_EQ(engine.cap_of("t0"), std::optional(mb_per_sec(80)));
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, DeltaSequenceStaysEquivalentToBatchCompile) {
+    const topo::Topology t = topo::fat_tree(4);
+    core::Compile_options options = bench::scalability_options();
+    options.jobs = 1;
+    const ir::Policy p = bench::all_pairs_policy(t, 4, mb_per_sec(1));
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    const core::Addressing addressing(t);
+    const auto hosts = t.hosts();
+
+    // Rate change.
+    ASSERT_TRUE(engine.set_bandwidth("t0", mb_per_sec(2)).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // New guaranteed statement.
+    ir::Statement fresh;
+    fresh.id = "extra";
+    fresh.predicate = ir::pred_and(
+        addressing.pair_predicate(hosts[0], hosts[3]),
+        ir::pred_test("tcp.dst", 22));
+    fresh.path = ir::path_any_star();
+    ASSERT_TRUE(engine.add_statement(fresh, mb_per_sec(2)).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // New best-effort statement with a cap.
+    ir::Statement besteffort;
+    besteffort.id = "web";
+    besteffort.predicate = ir::pred_and(
+        addressing.pair_predicate(hosts[1], hosts[2]),
+        ir::pred_test("tcp.dst", 80));
+    besteffort.path = ir::path_any_star();
+    ASSERT_TRUE(engine.add_statement(besteffort, {}, mb_per_sec(50)).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // Promotion (best-effort -> guaranteed) and demotion back.
+    ASSERT_TRUE(engine.set_bandwidth("web", mb_per_sec(3), mb_per_sec(50)).feasible);
+    expect_matches_fresh_compile(engine, options);
+    ASSERT_TRUE(engine.set_bandwidth("web", {}, mb_per_sec(50)).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // Link failure and repair (pick a switch-switch link: fat trees are
+    // redundant above the edge, so the policy stays feasible).
+    topo::LinkId core_link = topo::kNoLink;
+    for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+        const topo::Link& link = t.link(l);
+        if (t.node(link.a).kind != topo::Node_kind::host &&
+            t.node(link.b).kind != topo::Node_kind::host) {
+            core_link = l;
+            break;
+        }
+    }
+    ASSERT_NE(core_link, topo::kNoLink);
+    ASSERT_TRUE(engine.fail_link(core_link).feasible);
+    expect_matches_fresh_compile(engine, options);
+    ASSERT_TRUE(engine.restore_link(core_link).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // Removal.
+    ASSERT_TRUE(engine.remove_statement("extra").feasible);
+    ASSERT_TRUE(engine.remove_statement("web").feasible);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, FailLinkReroutesWithBoundPatchesOnly) {
+    const topo::Topology t = diamond();
+    const core::Compile_options options = mip_options();
+    Engine engine(diamond_policy(t, mbps(100)), t, options);
+    ASSERT_TRUE(engine.current().feasible);
+    const auto& first = engine.current().plans[0].path;
+    ASSERT_TRUE(first.has_value());
+
+    // Fail a link on the provisioned path; the engine must route around it
+    // without re-encoding (bound patches only).
+    ASSERT_FALSE(first->links.empty());
+    const topo::LinkId failed = first->links[1];  // a switch-switch hop
+    const Update_result update = engine.fail_link(failed);
+    EXPECT_TRUE(update.feasible);
+    EXPECT_EQ(update.work.lp_encodings, 0);
+    EXPECT_GT(update.work.lp_patches, 0);
+    const auto& rerouted = engine.current().plans[0].path;
+    ASSERT_TRUE(rerouted.has_value());
+    for (const topo::LinkId l : rerouted->links) EXPECT_NE(l, failed);
+    expect_matches_fresh_compile(engine, options);
+
+    const Update_result restored = engine.restore_link(failed);
+    EXPECT_TRUE(restored.feasible);
+    EXPECT_EQ(restored.work.lp_encodings, 0);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, InfeasibleAfterFailureRecoversOnRestore) {
+    const topo::Topology t = diamond();
+    const core::Compile_options options = mip_options();
+    Engine engine(diamond_policy(t, mbps(100)), t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    const auto cut1 = t.link_between(t.require("s1"), t.require("s2"));
+    const auto cut2 = t.link_between(t.require("s1"), t.require("s3"));
+    ASSERT_TRUE(cut1 && cut2);
+    ASSERT_TRUE(engine.fail_link(*cut1).feasible);
+    const Update_result update = engine.fail_link(*cut2);
+    EXPECT_FALSE(update.feasible);
+    EXPECT_FALSE(update.diagnostic.empty());
+    expect_matches_fresh_compile(engine, options);
+
+    ASSERT_TRUE(engine.restore_link(*cut1).feasible);
+    const Update_result recovered = engine.restore_link(*cut2);
+    EXPECT_TRUE(recovered.feasible);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, BestEffortDeltasReuseSinkTreeCache) {
+    const topo::Topology t = topo::fat_tree(2);
+    const ir::Policy p = bench::all_pairs_policy(t, 0, {});
+    // The refined ssh statement overlaps the all-pairs predicates by
+    // design, so compile without the disjointness pre-check.
+    core::Compile_options options;
+    options.check_disjoint = false;
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    // Same `.*` path class as the whole policy: every needed tree is
+    // already interned.
+    const core::Addressing addressing(t);
+    ir::Statement extra;
+    extra.id = "ssh";
+    extra.predicate = ir::pred_and(
+        addressing.pair_predicate(t.hosts()[0], t.hosts()[1]),
+        ir::pred_test("tcp.dst", 22));
+    extra.path = ir::path_any_star();
+    const Update_result update = engine.add_statement(extra);
+    EXPECT_TRUE(update.feasible);
+    EXPECT_EQ(update.work.trees_built, 0);
+    EXPECT_GT(update.work.tree_cache_hits, 0);
+    EXPECT_EQ(update.work.automata_built, 0);
+    EXPECT_FALSE(update.solver_run);
+    expect_matches_fresh_compile(engine, options);
+
+    ASSERT_TRUE(engine.remove_statement("ssh").feasible);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, ArgumentErrorsLeaveStateUntouched) {
+    const topo::Topology t = topo::fat_tree(2);
+    const ir::Policy p = bench::all_pairs_policy(t, 1, mb_per_sec(5));
+    const core::Compile_options options;
+    Engine engine(p, t, options);
+    const core::Engine_stats before = engine.totals();
+
+    ir::Statement dup;
+    dup.id = "t0";
+    dup.predicate = ir::pred_true();
+    dup.path = ir::path_any_star();
+    EXPECT_THROW((void)engine.add_statement(dup), Policy_error);
+    EXPECT_THROW((void)engine.remove_statement("nope"), Policy_error);
+    EXPECT_THROW((void)engine.set_bandwidth("nope", mbps(1)), Policy_error);
+    EXPECT_THROW(
+        (void)engine.set_bandwidth("t0", mbps(10), mbps(5)), Policy_error);
+    EXPECT_THROW((void)engine.fail_link(topo::LinkId{9999}), Topology_error);
+    EXPECT_THROW((void)engine.fail_link("h1", "h2"), Topology_error);
+
+    EXPECT_EQ(engine.totals().incremental_updates,
+              before.incremental_updates);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, NegotiatorRedistributeIsBandwidthOnlyFastPath) {
+    const topo::Topology t = diamond();
+    const core::Addressing addressing(t);
+    ir::Policy p;
+    for (int i = 0; i < 2; ++i) {
+        ir::Statement s;
+        s.id = i == 0 ? "a" : "b";
+        s.predicate = ir::pred_and(
+            addressing.pair_predicate(t.require("h1"), t.require("h2")),
+            ir::pred_test("tcp.dst", i == 0 ? 80 : 443));
+        s.path = ir::path_any_star();
+        p.statements.push_back(s);
+    }
+    // One aggregate cap over both statements: re-division across them is
+    // exactly what the delegation envelope permits (Section 4.1).
+    ir::Term pool;
+    pool.ids.push_back("a");
+    pool.ids.push_back("b");
+    p.formula = ir::formula_max(std::move(pool), mbps(200));
+    const core::Compile_options options;
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+    const core::Engine_stats before = engine.totals();
+
+    negotiator::Negotiator root("root", p, core::make_alphabet(t));
+    root.drive(&engine);
+    const negotiator::Verdict verdict =
+        root.redistribute({{"a", mbps(150)}, {"b", mbps(20)}});
+    ASSERT_TRUE(verdict.valid) << verdict.reason;
+
+    // Caps re-divided max-min fairly (pool 200: b's demand of 20 is
+    // satisfied, a gets its 150, and the 30 left over is split evenly) and
+    // pushed into the engine as cap-only deltas: zero automata, zero
+    // encodes, zero solves.
+    EXPECT_EQ(engine.cap_of("a"), std::optional(mbps(165)));
+    EXPECT_EQ(engine.cap_of("b"), std::optional(mbps(35)));
+    const core::Engine_stats work = engine.totals().since(before);
+    EXPECT_EQ(work.automata_built, 0);
+    EXPECT_EQ(work.logical_builds, 0);
+    EXPECT_EQ(work.trees_built, 0);
+    EXPECT_EQ(work.lp_encodings, 0);
+    EXPECT_EQ(work.solves, 0);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, NegotiatorPartitionRefinementReplacesStatements) {
+    // A valid refinement may re-partition statement ids (Section 4.1):
+    // statement a splits into a1/a2. The drive-sync must retire the old
+    // statement before installing the partitions, or the disjointness
+    // pre-check would reject a1 against its own stale ancestor.
+    const topo::Topology t = diamond();
+    const core::Addressing addressing(t);
+    const ir::PredPtr pair =
+        addressing.pair_predicate(t.require("h1"), t.require("h2"));
+    ir::Policy p;
+    p.statements.push_back(
+        ir::Statement{"a", pair, ir::path_any_star()});
+    ir::Term term;
+    term.ids.push_back("a");
+    p.formula = ir::formula_max(std::move(term), mbps(100));
+
+    const core::Compile_options options;
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    negotiator::Negotiator root("root", p, core::make_alphabet(t));
+    root.drive(&engine);
+    ir::Policy refined;
+    const ir::PredPtr web = ir::pred_test("tcp.dst", 80);
+    refined.statements.push_back(ir::Statement{
+        "a1", ir::pred_and(pair, web), ir::path_any_star()});
+    refined.statements.push_back(ir::Statement{
+        "a2", ir::pred_and(pair, ir::pred_not(web)), ir::path_any_star()});
+    ir::Term t1;
+    t1.ids.push_back("a1");
+    ir::Term t2;
+    t2.ids.push_back("a2");
+    refined.formula = ir::formula_and(ir::formula_max(std::move(t1), mbps(60)),
+                                      ir::formula_max(std::move(t2), mbps(40)));
+    const negotiator::Verdict verdict = root.propose(refined);
+    ASSERT_TRUE(verdict.valid) << verdict.reason;
+    EXPECT_TRUE(verdict.diagnostics.empty())
+        << verdict.diagnostics.front();
+
+    EXPECT_FALSE(engine.has_statement("a"));
+    EXPECT_EQ(engine.cap_of("a1"), std::optional(mbps(60)));
+    EXPECT_EQ(engine.cap_of("a2"), std::optional(mbps(40)));
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, PromotionFailureRestoresCapToo) {
+    // A promotion that throws (the path cannot be compiled over the full
+    // location alphabet) must leave the statement exactly as it was —
+    // including the cap written alongside the attempted guarantee.
+    const topo::Topology t = diamond();
+    core::Compile_options options;
+    options.check_disjoint = false;
+    Engine engine(diamond_policy(t, mbps(50)), t, options);
+
+    ir::Statement bad;
+    bad.id = "bad";
+    bad.predicate = ir::pred_test("tcp.dst", 99);
+    bad.path = ir::path_symbol("no-such-location");
+    (void)engine.add_statement(bad, {}, mbps(40));
+    ASSERT_EQ(engine.cap_of("bad"), std::optional(mbps(40)));
+
+    EXPECT_THROW((void)engine.set_bandwidth("bad", mbps(10)), Policy_error);
+    EXPECT_EQ(engine.guarantee_of("bad"), Bandwidth{});
+    EXPECT_EQ(engine.cap_of("bad"), std::optional(mbps(40)));
+    expect_matches_fresh_compile(engine, options);
+}
+
+}  // namespace

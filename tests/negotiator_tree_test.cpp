@@ -105,6 +105,49 @@ TEST(NegotiatorTree, RedistributeWithoutCapsFails) {
 )"), alphabet());
     const Verdict v = node.redistribute({{"a", mb_per_sec(10)}});
     EXPECT_FALSE(v.valid);
+    // Regression: the demand names a real statement, but one with no cap —
+    // that used to be swallowed silently.
+    ASSERT_EQ(v.diagnostics.size(), 1u);
+    EXPECT_NE(v.diagnostics[0].find("uncapped statement 'a'"),
+              std::string::npos)
+        << v.diagnostics[0];
+}
+
+TEST(NegotiatorTree, RedistributeSurfacesUnknownAndUncappedDemands) {
+    // Regression: demands for ids the active policy does not cap were
+    // silently ignored; they now land in the verdict's diagnostics while
+    // the re-division itself still succeeds over the capped statements.
+    Negotiator node("tenant", parse_policy(R"(
+[ a : tcp.dst = 80 -> .* ;
+  b : tcp.dst = 22 -> .* ;
+  c : tcp.dst = 443 -> .* ],
+max(a + b, 100MB/s) and min(c, 5MB/s)
+)"), alphabet());
+
+    const Verdict v = node.redistribute({{"a", mb_per_sec(70)},
+                                         {"b", mb_per_sec(30)},
+                                         {"c", mb_per_sec(10)},
+                                         {"ghost", mb_per_sec(10)}});
+    ASSERT_TRUE(v.valid) << v.reason;
+    const auto rates = presburger::requirements(
+        presburger::localize(node.active().formula));
+    EXPECT_EQ(rates.caps.at("a"), mb_per_sec(70));
+    EXPECT_EQ(rates.caps.at("b"), mb_per_sec(30));
+
+    ASSERT_EQ(v.diagnostics.size(), 2u);
+    // Diagnostics follow the demand map's (sorted) order: c before ghost.
+    EXPECT_NE(v.diagnostics[0].find("uncapped statement 'c'"),
+              std::string::npos)
+        << v.diagnostics[0];
+    EXPECT_NE(v.diagnostics[1].find("unknown statement 'ghost'"),
+              std::string::npos)
+        << v.diagnostics[1];
+
+    // A fully known demand set produces no diagnostics.
+    const Verdict clean = node.redistribute(
+        {{"a", mb_per_sec(20)}, {"b", mb_per_sec(80)}});
+    ASSERT_TRUE(clean.valid) << clean.reason;
+    EXPECT_TRUE(clean.diagnostics.empty());
 }
 
 TEST(NegotiatorTree, ScopedDelegationDropsForeignStatements) {

@@ -1,0 +1,128 @@
+// util::Thread_pool — the fan-out machinery under the parallel compilation
+// front-end and the engine's cache-fill paths.
+//
+// The pool's contract: fn(i) runs exactly once for every i in [0, n),
+// writes to slot i are deterministic regardless of thread count or
+// scheduling, a pool of size 1 (and any n <= 1) runs inline on the calling
+// thread, and the first exception is rethrown on the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using merlin::util::Thread_pool;
+using merlin::util::resolve_jobs;
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+    EXPECT_EQ(Thread_pool(0).size(), 1);
+    EXPECT_EQ(Thread_pool(-3).size(), 1);
+    EXPECT_EQ(Thread_pool(4).size(), 4);
+}
+
+TEST(ThreadPool, InlinePathRunsOnCallingThread) {
+    // jobs = 1: no workers are spawned, everything runs on the caller —
+    // the sequential compile path pays zero synchronization.
+    Thread_pool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(8);
+    pool.parallel_for(8, [&](int i) {
+        ran[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+    });
+    for (const auto& id : ran) EXPECT_EQ(id, caller);
+
+    // n = 1 runs inline even on a multi-thread pool.
+    Thread_pool wide(4);
+    std::thread::id one;
+    wide.parallel_for(1, [&](int) { one = std::this_thread::get_id(); });
+    EXPECT_EQ(one, caller);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoOp) {
+    Thread_pool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](int) { ++calls; });
+    pool.parallel_for(-5, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+    Thread_pool pool(8);
+    constexpr int kN = 10'000;
+    std::vector<std::atomic<int>> runs(kN);
+    pool.parallel_for(kN, [&](int i) {
+        runs[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < kN; ++i)
+        ASSERT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, OversubscribedFanOutCompletes) {
+    // Far more threads than cores and far more items than threads: the
+    // shared-counter work distribution must still cover everything.
+    Thread_pool pool(16);
+    constexpr int kN = 50'000;
+    std::atomic<long long> sum{0};
+    pool.parallel_for(kN, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, SlotAssignmentIsDeterministicUnderContention) {
+    // Compilation results land in index-pre-sized slots: whatever the
+    // interleaving, slot i holds f(i), so output is bit-identical across
+    // runs and across pool sizes.
+    auto run = [](Thread_pool& pool, int n) {
+        std::vector<long long> slots(static_cast<std::size_t>(n), -1);
+        pool.parallel_for(n, [&](int i) {
+            slots[static_cast<std::size_t>(i)] =
+                static_cast<long long>(i) * i + 17;
+        });
+        return slots;
+    };
+    Thread_pool sequential(1);
+    const std::vector<long long> expected = run(sequential, 5'000);
+    for (int jobs : {2, 5, 16}) {
+        Thread_pool pool(jobs);
+        for (int repeat = 0; repeat < 3; ++repeat)
+            ASSERT_EQ(run(pool, 5'000), expected)
+                << "jobs=" << jobs << " repeat=" << repeat;
+    }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+    Thread_pool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(1'000,
+                          [&](int i) {
+                              if (i == 137)
+                                  throw std::runtime_error("slot 137");
+                          }),
+        std::runtime_error);
+    // The pool survives a failed fan-out and keeps working.
+    std::atomic<int> after{0};
+    pool.parallel_for(64, [&](int) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPool, ResolveJobsPrecedence) {
+    // An explicit request wins over everything.
+    EXPECT_EQ(resolve_jobs(3), 3);
+    // MERLIN_THREADS is consulted only when no explicit request is made.
+    ::setenv("MERLIN_THREADS", "7", 1);
+    EXPECT_EQ(resolve_jobs(0), 7);
+    EXPECT_EQ(resolve_jobs(2), 2);
+    ::setenv("MERLIN_THREADS", "not-a-number", 1);
+    EXPECT_GE(resolve_jobs(0), 1);  // falls through to hardware_concurrency
+    ::setenv("MERLIN_THREADS", "0", 1);
+    EXPECT_GE(resolve_jobs(0), 1);
+    ::unsetenv("MERLIN_THREADS");
+    EXPECT_GE(resolve_jobs(0), 1);
+}
+
+}  // namespace

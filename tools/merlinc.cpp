@@ -14,10 +14,20 @@
 //   --programs                  also print per-host interpreter programs
 //   --stats                     solver work counters and the timing
 //                               breakdown (Table 7 columns)
+//   --updates <file>            after compiling, replay a delta script
+//                               against the incremental engine, printing
+//                               per-update timing and cache statistics
 //   --quiet                     only print the summary line
 //
-// Exit status: 0 on success, 1 on infeasible policy, 2 on usage/parse
-// errors.
+// Update script grammar (one command per line, '#' comments):
+//   bandwidth <id> <guarantee-mbps> [<cap-mbps>]   re-divide bandwidth
+//   add <id> : <predicate> -> <path>               append a statement
+//   remove <id>                                    remove a statement
+//   fail <node-a> <node-b>                         fail the a--b link
+//   restore <node-a> <node-b>                      bring it back
+//
+// Exit status: 0 on success, 1 on infeasible policy (or a final infeasible
+// engine state after --updates), 2 on usage/parse errors.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +36,7 @@
 
 #include "codegen/codegen.h"
 #include "core/compiler.h"
+#include "core/engine.h"
 #include "interp/interp.h"
 #include "parser/parser.h"
 #include "topo/generators.h"
@@ -48,7 +59,8 @@ int usage() {
         << "usage: merlinc <topology-file> <policy-file>\n"
            "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
-           "       [--jobs <n>] [--programs] [--stats] [--quiet]\n"
+           "       [--jobs <n>] [--updates <file>] [--programs] [--stats]\n"
+           "       [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
            "campus:<subnets>\n";
     return 2;
@@ -82,6 +94,91 @@ merlin::topo::Topology generate_topology(const std::string& spec) {
     throw Error("unknown topology spec: " + spec);
 }
 
+// Whitespace-tokenizes one update-script line.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string token;
+    while (in >> token) out.push_back(std::move(token));
+    return out;
+}
+
+std::uint64_t parse_mbps(const std::string& text) {
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+        value = std::stoull(text, &consumed);
+    } catch (const std::logic_error&) {
+        consumed = 0;
+    }
+    if (consumed != text.size() || text.empty())
+        throw merlin::Error("malformed rate (whole Mbps expected): " + text);
+    return value;
+}
+
+// Replays the delta script against the engine, printing one line per
+// update plus an engine-totals summary. Returns the number of updates.
+int replay_updates(merlin::core::Engine& engine, const std::string& script) {
+    using namespace merlin;
+    int count = 0;
+    std::istringstream in(script);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        const std::vector<std::string> args = tokenize(line);
+        if (args.empty()) continue;
+        ++count;
+        core::Update_result update;
+        const std::string& command = args[0];
+        if (command == "bandwidth" &&
+            (args.size() == 3 || args.size() == 4)) {
+            std::optional<Bandwidth> cap;
+            if (args.size() == 4) cap = mbps(parse_mbps(args[3]));
+            update =
+                engine.set_bandwidth(args[1], mbps(parse_mbps(args[2])), cap);
+        } else if (command == "add" && args.size() >= 2) {
+            const std::string text = line.substr(line.find("add") + 3);
+            const ir::Policy parsed =
+                parser::parse_policy("[" + text + "]");
+            if (parsed.statements.size() != 1)
+                throw Error("add expects one statement: " + line);
+            update = engine.add_statement(parsed.statements[0]);
+        } else if (command == "remove" && args.size() == 2) {
+            update = engine.remove_statement(args[1]);
+        } else if (command == "fail" && args.size() == 3) {
+            update = engine.fail_link(args[1], args[2]);
+        } else if (command == "restore" && args.size() == 3) {
+            update = engine.restore_link(args[1], args[2]);
+        } else {
+            throw Error("malformed update command: " + line);
+        }
+        const core::Engine_stats& w = update.work;
+        std::cout << "update " << count << ": " << update.kind;
+        for (std::size_t i = 1; i < args.size(); ++i)
+            std::cout << ' ' << args[i];
+        std::cout << " -> " << (update.feasible ? "ok" : "INFEASIBLE")
+                  << " in " << update.ms << " ms (nfa " << w.automata_built
+                  << "+" << w.automata_cache_hits << " cached, logical "
+                  << w.logical_builds << ", trees " << w.trees_built << "+"
+                  << w.tree_cache_hits << " cached, lp " << w.lp_encodings
+                  << " enc/" << w.lp_patches << " patch, solves "
+                  << w.solves << (update.warm_started ? " warm" : "") << ")";
+        if (!update.feasible) std::cout << " — " << update.diagnostic;
+        std::cout << '\n';
+    }
+    const core::Engine_stats& t = engine.totals();
+    std::cout << "engine totals: updates=" << t.incremental_updates
+              << " automata=" << t.automata_built << " built/"
+              << t.automata_cache_hits << " hits logical="
+              << t.logical_builds << " trees=" << t.trees_built << " built/"
+              << t.tree_cache_hits << " hits lp=" << t.lp_encodings
+              << " encodings/" << t.lp_patches << " patches solves="
+              << t.solves << " (" << t.warm_started_solves
+              << " warm-started)\n";
+    return count;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +187,7 @@ int main(int argc, char** argv) {
     core::Compile_options options;
     std::vector<std::string> positional;
     std::string generate_spec;
+    std::string updates_file;
     bool print_programs = false;
     bool print_stats = false;
     bool quiet = false;
@@ -97,6 +195,8 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--generate" && i + 1 < argc) {
             generate_spec = argv[++i];
+        } else if (arg == "--updates" && i + 1 < argc) {
+            updates_file = argv[++i];
         } else if (arg == "--heuristic" && i + 1 < argc) {
             const std::string h = argv[++i];
             if (h == "wsp")
@@ -155,50 +255,72 @@ int main(int argc, char** argv) {
                 : generate_topology(generate_spec);
         const ir::Policy policy =
             parser::parse_policy(read_file(positional.back()));
-        const core::Compilation compiled =
-            core::compile(policy, network, options);
-        if (!compiled.feasible) {
-            std::cerr << "infeasible: " << compiled.diagnostic << '\n';
-            return 1;
+        // The one-shot path and the --updates path share the engine: a
+        // plain compile is just an engine built and read once.
+        core::Engine engine(policy, network, options);
+
+        const auto print_compiled = [&](const core::Compilation& compiled) {
+            const codegen::Configuration config =
+                codegen::generate(compiled, engine.topology());
+            if (!quiet) std::cout << codegen::to_text(config);
+            if (print_programs) {
+                for (const auto& [host, program] :
+                     codegen::host_programs(compiled, engine.topology())) {
+                    std::cout << "# host program: " << host << '\n'
+                              << interp::to_text(program);
+                }
+            }
+            if (print_stats) {
+                const core::Provision_result& pr = compiled.provision;
+                std::cout << "solver stats: solver=" << pr.solver
+                          << " vars=" << pr.variables
+                          << " constraints=" << pr.constraints
+                          << " nodes=" << pr.mip_nodes
+                          << " simplex_iterations=" << pr.simplex_iterations
+                          << " factorizations=" << pr.lp_factorizations
+                          << " warm_started_nodes=" << pr.warm_started_nodes
+                          << '\n';
+                // The paper's Table-7 breakdown, plus the pre-processor pass.
+                const core::Compilation::Timing& t = compiled.timing;
+                std::cout << "timing: preprocess=" << t.preprocess_ms
+                          << "ms lp_construction=" << t.lp_construction_ms
+                          << "ms lp_solve=" << t.lp_solve_ms
+                          << "ms rateless=" << t.rateless_ms
+                          << "ms threads=" << compiled.threads_used << '\n';
+            }
+            // User statements only (the compiler-added catch-all is not one).
+            std::size_t statements = compiled.plans.size();
+            for (const core::Statement_plan& plan : compiled.plans)
+                if (plan.statement.id == "__default") --statements;
+            std::cout << "compiled " << statements
+                      << " statements: " << config.flow_rules.size()
+                      << " flow rules, " << config.queues.size()
+                      << " queues, " << config.tc_commands.size() << " tc, "
+                      << config.iptables_rules.size() << " iptables, "
+                      << config.click_configs.size() << " click ("
+                      << compiled.timing.lp_construction_ms +
+                             compiled.timing.lp_solve_ms +
+                             compiled.timing.rateless_ms
+                      << " ms)\n";
+        };
+
+        if (!engine.current().feasible) {
+            std::cerr << "infeasible: " << engine.current().diagnostic
+                      << '\n';
+            // A delta script may repair an infeasible initial policy, so
+            // only the one-shot path gives up here.
+            if (updates_file.empty()) return 1;
+        } else {
+            print_compiled(engine.current());
         }
-        const codegen::Configuration config =
-            codegen::generate(compiled, network);
-        if (!quiet) std::cout << codegen::to_text(config);
-        if (print_programs) {
-            for (const auto& [host, program] :
-                 codegen::host_programs(compiled, network)) {
-                std::cout << "# host program: " << host << '\n'
-                          << interp::to_text(program);
+        if (!updates_file.empty()) {
+            replay_updates(engine, read_file(updates_file));
+            if (!engine.current().feasible) {
+                std::cerr << "infeasible after updates: "
+                          << engine.current().diagnostic << '\n';
+                return 1;
             }
         }
-        if (print_stats) {
-            const core::Provision_result& pr = compiled.provision;
-            std::cout << "solver stats: solver=" << pr.solver
-                      << " vars=" << pr.variables
-                      << " constraints=" << pr.constraints
-                      << " nodes=" << pr.mip_nodes
-                      << " simplex_iterations=" << pr.simplex_iterations
-                      << " factorizations=" << pr.lp_factorizations
-                      << " warm_started_nodes=" << pr.warm_started_nodes
-                      << '\n';
-            // The paper's Table-7 breakdown, plus the pre-processor pass.
-            const core::Compilation::Timing& t = compiled.timing;
-            std::cout << "timing: preprocess=" << t.preprocess_ms
-                      << "ms lp_construction=" << t.lp_construction_ms
-                      << "ms lp_solve=" << t.lp_solve_ms
-                      << "ms rateless=" << t.rateless_ms
-                      << "ms threads=" << compiled.threads_used << '\n';
-        }
-        std::cout << "compiled " << policy.statements.size()
-                  << " statements: " << config.flow_rules.size()
-                  << " flow rules, " << config.queues.size() << " queues, "
-                  << config.tc_commands.size() << " tc, "
-                  << config.iptables_rules.size() << " iptables, "
-                  << config.click_configs.size() << " click ("
-                  << compiled.timing.lp_construction_ms +
-                         compiled.timing.lp_solve_ms +
-                         compiled.timing.rateless_ms
-                  << " ms)\n";
         return 0;
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << '\n';

@@ -4,17 +4,21 @@
 #   tools/verify.sh          # tier-1: configure, build, run the full suite
 #
 # Then:
-#   - an ASan/UBSan leg over the solver-path suites (lp, mip, core), the
-#     layers the provisioning MIP exercises hardest;
-#   - a ThreadSanitizer leg over the compiler/sinktree/automata suites
-#     (MERLIN_THREADS forces a multi-threaded front-end), race-checking the
-#     parallel compilation fan-out on every run;
+#   - an ASan/UBSan leg over the solver-path and long-lived-state suites
+#     (lp, mip, core — which includes the incremental engine — plus
+#     negotiator and netsim, the layers that now hold or drive persistent
+#     engine state);
+#   - a ThreadSanitizer leg over the compiler/engine/sinktree/automata
+#     suites (MERLIN_THREADS forces a multi-threaded front-end),
+#     race-checking the parallel compilation fan-out and the engine's
+#     parallel cache fills on every run;
 #   - a Release build of every bench_* target with one tiny bench config as
 #     a smoke check, refreshing the tracked perf datapoints
-#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes) and
-#     BENCH_compile.json (front-end timing breakdown per class count);
-#     committing the refreshed files each PR makes git history the perf
-#     trajectory.
+#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes),
+#     BENCH_compile.json (front-end timing breakdown per class count) and
+#     BENCH_adaptation.json (incremental engine delta latency vs full
+#     recompile, per delta kind); committing the refreshed files each PR
+#     makes git history the perf trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,18 +29,20 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-# --- sanitizer leg: solver-path suites under ASan/UBSan ---------------------
+# --- sanitizer leg: solver paths + persistent engine state under ASan/UBSan -
 cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
-(cd build-asan && ctest --output-on-failure -j "$JOBS" -L "lp|mip|core")
+(cd build-asan && ctest --output-on-failure -j "$JOBS" \
+    -L "lp|mip|core|negotiator|netsim")
 
 # --- TSan leg: the parallel compilation front-end under ThreadSanitizer ----
 cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
-      --target compiler_test sinktree_test automata_test
+      --target compiler_test engine_test sinktree_test automata_test \
+               thread_pool_test
 (cd build-tsan && MERLIN_THREADS=4 \
     ctest --output-on-failure -j "$JOBS" \
-          -R "compiler_test|sinktree_test|automata_test")
+          -R "compiler_test|engine_test|sinktree_test|automata_test|thread_pool_test")
 
 # --- bench smoke: Release build of every bench_* target + one tiny run ------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -48,5 +54,8 @@ test -s BENCH_solver.json
 MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_compile.json" \
     ./build-release/bench/bench_scaling
 test -s BENCH_compile.json
+MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_adaptation.json" \
+    ./build-release/bench/bench_adaptation
+test -s BENCH_adaptation.json
 
 echo "verify.sh: OK"
