@@ -84,7 +84,11 @@ private:
         topo::NodeId host) const {
         std::vector<topo::NodeId> out;
         for (const auto& adj : topo_.neighbors(host))
-            if (is_switch(adj.node)) out.push_back(adj.node);
+            // A failed access link attaches nothing (mirroring the
+            // compiler's egress computation): no classification at, and no
+            // delivery over, a dead edge.
+            if (is_switch(adj.node) && topo_.link_up(adj.link))
+                out.push_back(adj.node);
         return out;
     }
 
@@ -112,8 +116,15 @@ private:
     // ----------------------------------------------------------- guaranteed
     void emit_guaranteed(const core::Statement_plan& plan) {
         const core::Provisioned_path& path = *plan.path;
-        const int tag = fresh_tag();
         const auto& nodes = path.nodes;
+        // A provisioned path may revisit a switch (an NFV detour to a
+        // waypoint reached and left over the same neighbour). One tag per
+        // whole path would make the revisited switch's two rules ambiguous,
+        // so the path is segmented: every switch with a later occurrence
+        // re-tags the packet, and each occurrence matches its own segment
+        // tag. Tagged rules outrank the tag-wildcard classify rule so a
+        // revisit of the ingress switch cannot re-classify.
+        int tag = fresh_tag();
         bool classified = false;
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             if (!is_switch(nodes[i])) continue;
@@ -124,13 +135,23 @@ private:
             }();
             Flow_rule rule;
             rule.device = name(nodes[i]);
-            rule.priority = 10;
             if (!classified) {
+                rule.priority = 10;
                 rule.match = plan.statement.predicate;
                 rule.set_tag = tag;
                 classified = true;
             } else {
+                rule.priority = 11;
                 rule.match_tag = tag;
+            }
+            const bool revisited = [&] {
+                for (std::size_t j = i + 1; j < nodes.size(); ++j)
+                    if (nodes[j] == nodes[i]) return true;
+                return false;
+            }();
+            if (revisited) {
+                tag = fresh_tag();
+                rule.set_tag = tag;
             }
             if (i + 1 < nodes.size()) {
                 rule.out_port = name(nodes[i + 1]);
@@ -154,6 +175,34 @@ private:
     }
 
     // ---------------------------------------------------------- best effort
+
+    // A sink-tree walk may *stay* at a node while advancing NFA states (the
+    // expression consumes one location several times in a row — e.g. a
+    // waypoint entered mid-`.*`, or two functions hosted at one place). An
+    // OpenFlow rule cannot forward a packet to its own switch, so each
+    // device folds the whole stay into a single action: the outcome is
+    // either acceptance (the stay ends on an accepting egress state) or the
+    // first hop that leaves the node.
+    struct Folded_hop {
+        bool accepted = false;
+        core::Sink_hop hop;  // meaningful only when !accepted
+    };
+    [[nodiscard]] static Folded_hop fold_stay(const core::Sink_tree& tree,
+                                              int node, int state) {
+        int q = state;
+        // A stay can visit each NFA state at most once (tree distances
+        // strictly decrease along next-hops); more steps means the tree
+        // violated its own invariant — fail loudly rather than loop.
+        for (int steps = 0; steps <= tree.states; ++steps) {
+            if (tree.dist_at(node, q) == 0) return {true, {}};
+            const core::Sink_hop hop = tree.next_at(node, q);
+            if (hop.node != node) return {false, hop};
+            q = hop.state;
+        }
+        expects(false, "sink-tree stay walk cycles without accepting");
+        return {};
+    }
+
     // Tags are shared per (path class, egress symbol, NFA state).
     int tree_tag(int cls, int egress, int state) {
         const auto key = std::tuple{cls, egress, state};
@@ -173,8 +222,9 @@ private:
         for (int n = 0; n < sg.size(); ++n) {
             const topo::NodeId node = sg.nodes[static_cast<std::size_t>(n)];
             for (int q = 0; q < tree->states; ++q) {
-                const core::Sink_hop hop = tree->next_at(n, q);
-                if (hop.node < 0) continue;  // accepted or unreachable
+                if (tree->dist_at(n, q) <= 0) continue;  // accepted/unreachable
+                const auto [accepted, hop] = fold_stay(*tree, n, q);
+                if (accepted) continue;  // a delivery rule serves this tag
                 if (topo_.node(node).kind == topo::Node_kind::middlebox) {
                     // Middleboxes forward via their Click configuration.
                     std::ostringstream config;
@@ -207,10 +257,11 @@ private:
         const core::Sink_tree* tree = comp_.tree_for(cls, egress);
         const auto& nfa =
             comp_.class_nfas[static_cast<std::size_t>(cls)];
-        // Any accepting state reachable at the egress delivers.
+        // Any state that reaches acceptance at the egress (directly, or by
+        // staying there while the expression finishes consuming it) delivers.
         for (int q = 0; q < nfa.state_count(); ++q) {
-            if (!nfa.accepting[static_cast<std::size_t>(q)]) continue;
-            if (tree->dist_at(tree->egress, q) != 0) continue;
+            if (tree->dist_at(tree->egress, q) < 0) continue;
+            if (!fold_stay(*tree, tree->egress, q).accepted) continue;
             Flow_rule rule;
             rule.device = name(
                 comp_.switch_graph.nodes[static_cast<std::size_t>(egress)]);
@@ -244,12 +295,15 @@ private:
         rule.match = plan.statement.predicate;
         if (extra_dst_match) rule.match_dst_mac = comp_.addressing.mac(dst);
 
-        const core::Sink_hop hop = tree->next_at(in_sym, *entry);
-        if (hop.node < 0) {
-            // Accepted immediately: ingress == egress, deliver directly.
+        const auto [accepted, hop] = fold_stay(*tree, in_sym, *entry);
+        if (accepted) {
+            // Accepted at the ingress itself: ingress == egress, deliver
+            // directly.
             rule.out_port = name(dst);
         } else {
-            rule.set_tag = tree_tag(plan.path_class, egress, *entry);
+            // The packet leaves carrying the state it will be in *after*
+            // the hop — the state the next switch's tree rules key on.
+            rule.set_tag = tree_tag(plan.path_class, egress, hop.state);
             rule.out_port = name(sg.nodes[static_cast<std::size_t>(hop.node)]);
         }
         out_.flow_rules.push_back(std::move(rule));

@@ -31,7 +31,13 @@
 // After every delta the published Compilation is identical to what a
 // from-scratch compile() of the current policy and topology would produce
 // (solver work counters aside) — the equivalence the engine_test suite
-// pins down.
+// pins down. One known boundary, found by merlin-fuzz: the objective
+// jitters are integer multiples of one quantum, so two MIP-optimal path
+// sets can tie *exactly* (symmetric detours whose jitter sums collide), and
+// a warm-started re-solve may then publish the other optimal vertex than a
+// cold compile. Both answers carry the same rates, path lengths, r_max and
+// R_max; the testgen oracle accepts exactly this proven-tie divergence and
+// nothing else.
 #pragma once
 
 #include <chrono>

@@ -176,13 +176,29 @@ Verdict Negotiator::redistribute(
         return verdict;
     }
 
+    // Guarantees are floors: a re-divided cap below the statement's
+    // standing guarantee would make its rate pair unsatisfiable (min above
+    // max), so every capped statement keeps its guarantee off the top and
+    // only the excess pool is re-divided by residual demand. The active
+    // policy is verified, so the pool (the cap sum) always covers the
+    // floors.
+    std::vector<Bandwidth> floors;
     std::vector<Bandwidth> demand_list;
+    Bandwidth floor_total;
+    floors.reserve(ids.size());
     demand_list.reserve(ids.size());
     for (const std::string& id : ids) {
+        const Bandwidth floor = rates.guarantee_of(id);
+        floors.push_back(floor);
+        floor_total += floor;
         const auto it = demands.find(id);
-        demand_list.push_back(it == demands.end() ? Bandwidth{} : it->second);
+        const Bandwidth demand =
+            it == demands.end() ? Bandwidth{} : it->second;
+        demand_list.push_back(demand - floor);  // clamps at zero
     }
-    const std::vector<Bandwidth> shares = max_min_fair(pool, demand_list);
+    std::vector<Bandwidth> shares =
+        max_min_fair(pool - floor_total, demand_list);
+    for (std::size_t i = 0; i < ids.size(); ++i) shares[i] += floors[i];
 
     // Rebuild the formula: new caps for the capped ids, all guarantees and
     // other constraints preserved.

@@ -1,0 +1,799 @@
+// The cross-layer oracles: each one checks an equivalence or discipline the
+// paper (and the PR history) promises, phrased over public layer APIs so a
+// violation pinpoints the disagreeing layers.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automata/automata.h"
+#include "codegen/codegen.h"
+#include "core/addressing.h"
+#include "core/logical.h"
+#include "core/provision.h"
+#include "netsim/sim.h"
+#include "testgen/testgen.h"
+#include "util/error.h"
+
+namespace merlin::testgen {
+
+namespace {
+
+// Small helper: build "<context>: <detail>" failure strings.
+std::optional<std::string> fail(const std::string& context,
+                                const std::string& detail) {
+    return context + ": " + detail;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- engine-vs-batch
+
+namespace {
+
+std::optional<std::string> diff_nfa(const automata::Nfa& a,
+                                    const automata::Nfa& b,
+                                    const std::string& what) {
+    if (a.alphabet_size != b.alphabet_size || a.start != b.start ||
+        a.accepting != b.accepting || a.labels != b.labels ||
+        a.edges.size() != b.edges.size())
+        return fail(what, "automaton shape differs");
+    for (std::size_t s = 0; s < a.edges.size(); ++s) {
+        if (a.edges[s].size() != b.edges[s].size())
+            return fail(what,
+                        "edge count differs at state " + std::to_string(s));
+        for (std::size_t e = 0; e < a.edges[s].size(); ++e) {
+            const automata::Nfa_edge& ea = a.edges[s][e];
+            const automata::Nfa_edge& eb = b.edges[s][e];
+            if (ea.symbol != eb.symbol || ea.target != eb.target ||
+                ea.label != eb.label)
+                return fail(what,
+                            "transition differs at state " + std::to_string(s));
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string> function_multiset(
+    const std::vector<core::Placement>& placements) {
+    std::vector<std::string> out;
+    out.reserve(placements.size());
+    for (const core::Placement& p : placements) out.push_back(p.function);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// Whether two MIP-provisioned paths are alternate optima that tie exactly
+// at jitter resolution (see the describe_difference contract): identical
+// cost signature, same endpoints, and the engine's word still satisfies the
+// statement's expression.
+bool proven_tie(const core::Provisioned_path& a,
+                const core::Provisioned_path& b, const ir::PathPtr& expression,
+                const topo::Topology& topo) {
+    if (a.id != b.id || a.rate != b.rate) return false;
+    if (a.word.size() != b.word.size() || a.links.size() != b.links.size())
+        return false;
+    if (a.word.empty()) return false;
+    if (a.word.front() != b.word.front() || a.word.back() != b.word.back())
+        return false;
+    if (function_multiset(a.placements) != function_multiset(b.placements))
+        return false;
+    try {
+        const automata::Nfa nfa = automata::remove_epsilon(
+            automata::thompson(expression, core::make_alphabet(topo)));
+        return automata::accepts(nfa, std::vector<int>(a.word.begin(),
+                                                       a.word.end()));
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+std::optional<std::string> diff_path(const core::Provisioned_path& a,
+                                     const core::Provisioned_path& b,
+                                     const std::string& what) {
+    if (a.id != b.id) return fail(what, "id " + a.id + " vs " + b.id);
+    if (a.word != b.word) return fail(what + " '" + a.id + "'", "word differs");
+    if (a.nodes != b.nodes)
+        return fail(what + " '" + a.id + "'", "node sequence differs");
+    if (a.links != b.links)
+        return fail(what + " '" + a.id + "'", "link sequence differs");
+    if (a.placements != b.placements)
+        return fail(what + " '" + a.id + "'", "placements differ");
+    if (a.rate != b.rate)
+        return fail(what + " '" + a.id + "'",
+                    "rate " + std::to_string(a.rate.bps()) + " vs " +
+                        std::to_string(b.rate.bps()));
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> describe_difference(const core::Compilation& engine,
+                                               const core::Compilation& fresh,
+                                               const topo::Topology& topo,
+                                               const core::Compile_options& options) {
+    // A branch & bound stopped by the node limit keeps whichever incumbent
+    // its exploration order reached first — warm and cold orders differ
+    // legitimately, so nothing about the published outcome is comparable.
+    const auto truncated = [&](const core::Provision_result& p) {
+        return std::string(p.solver) == "mip" &&
+               p.mip_nodes >= options.mip.max_nodes;
+    };
+    if (truncated(engine.provision) || truncated(fresh.provision))
+        return std::nullopt;
+
+    // Provisioned-path tie detection (see the header contract): ids whose
+    // engine/batch paths differ but are proven alternate optima.
+    std::set<std::string> tied_ids;
+    const bool mip_both = std::string(engine.provision.solver) == "mip" &&
+                          std::string(fresh.provision.solver) == "mip";
+    if (mip_both &&
+        engine.provision.paths.size() == fresh.provision.paths.size()) {
+        for (std::size_t i = 0; i < engine.provision.paths.size(); ++i) {
+            const core::Provisioned_path& a = engine.provision.paths[i];
+            const core::Provisioned_path& b = fresh.provision.paths[i];
+            if (!diff_path(a, b, "")) continue;  // exactly equal
+            const ir::PathPtr* expression = nullptr;
+            for (const core::Statement_plan& plan : engine.plans)
+                if (plan.statement.id == a.id)
+                    expression = &plan.statement.path;
+            if (expression != nullptr && proven_tie(a, b, *expression, topo))
+                tied_ids.insert(a.id);
+        }
+    }
+    if (engine.feasible != fresh.feasible)
+        return fail("feasibility", engine.feasible ? "engine feasible, batch not"
+                                                   : "batch feasible, engine not");
+    if (engine.diagnostic != fresh.diagnostic)
+        return fail("diagnostic",
+                    "'" + engine.diagnostic + "' vs '" + fresh.diagnostic + "'");
+    if (engine.plans.size() != fresh.plans.size())
+        return fail("plans", std::to_string(engine.plans.size()) + " vs " +
+                                 std::to_string(fresh.plans.size()));
+    for (std::size_t i = 0; i < engine.plans.size(); ++i) {
+        const core::Statement_plan& a = engine.plans[i];
+        const core::Statement_plan& b = fresh.plans[i];
+        const std::string what = "plan '" + a.statement.id + "'";
+        if (!ir::equal(a.statement, b.statement))
+            return fail(what, "statement differs (" + b.statement.id + ")");
+        if (a.guarantee != b.guarantee)
+            return fail(what, "guarantee " + std::to_string(a.guarantee.bps()) +
+                                  " vs " + std::to_string(b.guarantee.bps()));
+        if (a.cap != b.cap) return fail(what, "cap differs");
+        if (a.src_host != b.src_host || a.dst_host != b.dst_host)
+            return fail(what, "pinned endpoints differ");
+        if (a.path_class != b.path_class)
+            return fail(what, "path class " + std::to_string(a.path_class) +
+                                  " vs " + std::to_string(b.path_class));
+        if (a.drop != b.drop) return fail(what, "drop flag differs");
+        if (a.path.has_value() != b.path.has_value())
+            return fail(what, "provisioned path presence differs");
+        if (a.path && !tied_ids.contains(a.statement.id))
+            if (auto d = diff_path(*a.path, *b.path, what)) return d;
+    }
+    if (engine.class_nfas.size() != fresh.class_nfas.size())
+        return fail("class NFAs", std::to_string(engine.class_nfas.size()) +
+                                      " vs " +
+                                      std::to_string(fresh.class_nfas.size()));
+    for (std::size_t c = 0; c < engine.class_nfas.size(); ++c)
+        if (auto d = diff_nfa(engine.class_nfas[c], fresh.class_nfas[c],
+                              "class NFA " + std::to_string(c)))
+            return d;
+    if (engine.trees.size() != fresh.trees.size())
+        return fail("sink trees", std::to_string(engine.trees.size()) +
+                                      " vs " + std::to_string(fresh.trees.size()));
+    for (auto ea = engine.trees.begin(), eb = fresh.trees.begin();
+         ea != engine.trees.end(); ++ea, ++eb) {
+        const std::string what =
+            "tree (" + std::to_string(ea->first.first) + "," +
+            std::to_string(ea->first.second) + ")";
+        if (ea->first != eb->first) return fail(what, "key set differs");
+        if (ea->second.egress != eb->second.egress ||
+            ea->second.nodes != eb->second.nodes ||
+            ea->second.states != eb->second.states)
+            return fail(what, "shape differs");
+        if (ea->second.next != eb->second.next)
+            return fail(what, "next-hop table differs");
+        if (ea->second.dist != eb->second.dist)
+            return fail(what, "distance table differs");
+    }
+    const core::Provision_result& pa = engine.provision;
+    const core::Provision_result& pb = fresh.provision;
+    if (pa.feasible != pb.feasible)
+        return fail("provision", "feasibility differs");
+    if (std::string(pa.solver) != pb.solver)
+        return fail("provision", std::string("solver ") + pa.solver + " vs " +
+                                     pb.solver);
+    if (pa.variables != pb.variables || pa.constraints != pb.constraints)
+        return fail("provision", "problem dimensions differ");
+    if (pa.paths.size() != pb.paths.size())
+        return fail("provision", "path count differs");
+    for (std::size_t i = 0; i < pa.paths.size(); ++i) {
+        if (tied_ids.contains(pa.paths[i].id)) continue;
+        if (auto d = diff_path(pa.paths[i], pb.paths[i], "provisioned path"))
+            return d;
+    }
+    // r_max / R_max are derived from the chosen paths; under a proven tie
+    // the two optimal path sets may load links differently in the metric
+    // the heuristic does not optimize (check_capacity pins each solution's
+    // own maxima to its own paths).
+    if (tied_ids.empty()) {
+        if (pa.r_max != pb.r_max)
+            return fail("provision", "r_max " + std::to_string(pa.r_max) +
+                                         " vs " + std::to_string(pb.r_max));
+        if (pa.big_r_max != pb.big_r_max)
+            return fail("provision", "R_max differs");
+    }
+    return std::nullopt;
+}
+
+// ----------------------------------------------------------------- capacity
+
+std::optional<std::string> check_capacity(
+    const topo::Topology& topo, const core::Provision_result& provision) {
+    if (!provision.feasible) return std::nullopt;
+    std::vector<std::uint64_t> reserved(
+        static_cast<std::size_t>(topo.link_count()), 0);
+    for (const core::Provisioned_path& path : provision.paths) {
+        for (const topo::LinkId link : path.links) {
+            if (link < 0 || link >= topo.link_count())
+                return fail("path '" + path.id + "'", "unknown link id");
+            if (!topo.link_up(link))
+                return fail("path '" + path.id + "'",
+                            "crosses failed link " +
+                                topo.node(topo.link(link).a).name + " -- " +
+                                topo.node(topo.link(link).b).name);
+            // Per-occurrence charge: an NFV chain revisiting a link pays for
+            // every crossing (the PR-2 greedy-provisioner bug class).
+            reserved[static_cast<std::size_t>(link)] += path.rate.bps();
+        }
+        // The node sequence must be physically contiguous over the links.
+        if (path.nodes.size() != path.links.size() + 1)
+            return fail("path '" + path.id + "'",
+                        "node/link sequence lengths disagree");
+        for (std::size_t i = 0; i < path.links.size(); ++i) {
+            const topo::Link& link = topo.link(path.links[i]);
+            const topo::NodeId u = path.nodes[i];
+            const topo::NodeId v = path.nodes[i + 1];
+            if (!((link.a == u && link.b == v) || (link.b == u && link.a == v)))
+                return fail("path '" + path.id + "'",
+                            "link " + std::to_string(i) +
+                                " does not join its node-sequence neighbours");
+        }
+    }
+    double r_max = 0;
+    std::uint64_t big_r_max = 0;
+    for (topo::LinkId link = 0; link < topo.link_count(); ++link) {
+        const std::uint64_t used = reserved[static_cast<std::size_t>(link)];
+        const std::uint64_t capacity = topo.link(link).capacity.bps();
+        if (used > capacity)
+            return fail("link " + topo.node(topo.link(link).a).name + " -- " +
+                            topo.node(topo.link(link).b).name,
+                        "oversubscribed: " + std::to_string(used) + " of " +
+                            std::to_string(capacity) + " bps reserved");
+        r_max = std::max(r_max, static_cast<double>(used) /
+                                    static_cast<double>(capacity));
+        big_r_max = std::max(big_r_max, used);
+    }
+    if (provision.big_r_max.bps() != big_r_max)
+        return fail("R_max",
+                    "reported " + std::to_string(provision.big_r_max.bps()) +
+                        " bps, recomputed " + std::to_string(big_r_max));
+    if (provision.r_max != r_max)
+        return fail("r_max", "reported " + std::to_string(provision.r_max) +
+                                 ", recomputed " + std::to_string(r_max));
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------------- routes
+
+namespace {
+
+// Hosts with exactly one live access switch make tree and simulator hop
+// counts directly comparable.
+std::vector<topo::NodeId> live_access_switches(const topo::Topology& topo,
+                                               topo::NodeId host) {
+    std::vector<topo::NodeId> out;
+    for (const auto& adj : topo.neighbors(host)) {
+        if (!topo.link_up(adj.link)) continue;
+        if (topo.node(adj.node).kind == topo::Node_kind::host) continue;
+        out.push_back(adj.node);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::optional<std::string> check_routes(const core::Compilation& compilation,
+                                        const topo::Topology& topo) {
+    if (!compilation.feasible) return std::nullopt;
+    const core::Switch_graph& sg = compilation.switch_graph;
+
+    // 1. Every tree slot is internally consistent and physically realizable:
+    //    hops stay in place or cross a live link, follow a real NFA
+    //    transition, and walk downhill in distance toward acceptance.
+    for (const auto& [key, tree] : compilation.trees) {
+        const auto cls = static_cast<std::size_t>(key.first);
+        if (cls >= compilation.class_nfas.size())
+            return fail("tree", "unknown path class " + std::to_string(key.first));
+        const automata::Nfa& nfa = compilation.class_nfas[cls];
+        const std::string what =
+            "tree (" + std::to_string(key.first) + "," +
+            std::to_string(key.second) + ")";
+        if (tree.nodes != sg.size() || tree.states != nfa.state_count())
+            return fail(what, "shape disagrees with switch graph / class NFA");
+        for (int n = 0; n < tree.nodes; ++n) {
+            for (int q = 0; q < tree.states; ++q) {
+                const core::Sink_hop hop = tree.next_at(n, q);
+                const int dist = tree.dist_at(n, q);
+                if (dist < 0) {
+                    if (hop.node >= 0)
+                        return fail(what, "unreachable slot has a next hop");
+                    continue;
+                }
+                if (dist == 0) {
+                    if (n != tree.egress ||
+                        !nfa.accepting[static_cast<std::size_t>(q)])
+                        return fail(what,
+                                    "distance 0 off the accepting egress");
+                    continue;
+                }
+                if (hop.node < 0)
+                    return fail(what, "reachable slot lacks a next hop");
+                if (tree.dist_at(hop.node, hop.state) != dist - 1)
+                    return fail(what, "hop does not reduce distance by one");
+                if (hop.node != n) {
+                    const auto link =
+                        topo.link_between(sg.nodes[static_cast<std::size_t>(n)],
+                                          sg.nodes[static_cast<std::size_t>(
+                                              hop.node)]);
+                    if (!link || !topo.link_up(*link))
+                        return fail(what, "hop crosses no live physical link");
+                }
+                bool transition = false;
+                for (const automata::Nfa_edge& e :
+                     nfa.edges[static_cast<std::size_t>(q)])
+                    if (e.symbol == hop.node && e.target == hop.state)
+                        transition = true;
+                if (!transition)
+                    return fail(what, "hop follows no NFA transition");
+            }
+        }
+    }
+
+    // 2. Pinned best-effort statements against the simulator, under the
+    //    same failure set.
+    for (const core::Statement_plan& plan : compilation.plans) {
+        if (plan.guaranteed() || plan.drop || plan.path_class < 0) continue;
+        if (!plan.src_host || !plan.dst_host) continue;
+        const std::string what = "statement '" + plan.statement.id + "'";
+        const automata::Nfa& nfa =
+            compilation.class_nfas[static_cast<std::size_t>(plan.path_class)];
+
+        const std::vector<topo::NodeId> ingresses =
+            live_access_switches(topo, *plan.src_host);
+        const std::vector<topo::NodeId> egresses =
+            live_access_switches(topo, *plan.dst_host);
+        bool tree_reachable = false;
+        int tree_hops = -1;
+        for (const topo::NodeId in_node : ingresses) {
+            const int in_sym =
+                sg.symbol_of[static_cast<std::size_t>(in_node)];
+            if (in_sym < 0) continue;
+            for (const topo::NodeId out_node : egresses) {
+                const int out_sym =
+                    sg.symbol_of[static_cast<std::size_t>(out_node)];
+                if (out_sym < 0) continue;
+                const core::Sink_tree* tree =
+                    compilation.tree_for(plan.path_class, out_sym);
+                if (tree == nullptr) continue;
+                const auto entry = tree->entry_state(nfa, in_sym);
+                if (!entry) continue;
+                tree_reachable = true;
+                const int d = tree->dist_at(in_sym, *entry);
+                if (tree_hops < 0 || d < tree_hops) tree_hops = d;
+            }
+        }
+        // publish() rejects unserved pinned statements, so a feasible
+        // compilation must route every one of them.
+        if (!tree_reachable)
+            return fail(what,
+                        "pinned best-effort statement unserved in a feasible "
+                        "compilation");
+
+        bool sim_reachable = true;
+        std::size_t sim_route = 0;
+        try {
+            netsim::Simulator sim(topo);
+            netsim::Flow_spec flow;
+            flow.name = plan.statement.id;
+            flow.src = *plan.src_host;
+            flow.dst = *plan.dst_host;
+            const netsim::FlowId id = sim.add_flow(flow);
+            sim_route = sim.route(id).size();
+        } catch (const Topology_error&) {
+            sim_reachable = false;
+        }
+        if (!sim_reachable)
+            return fail(what,
+                        "sink tree routes a pair the simulator cannot reach");
+        // For unconstrained (`.*`) classes the tree BFS and the simulator
+        // BFS explore the same graph: reachability always agrees (above)
+        // and, for single-homed endpoints, so does the hop count.
+        if (ir::equal(plan.statement.path, ir::path_any_star()) &&
+            ingresses.size() == 1 && egresses.size() == 1) {
+            if (sim_route < 3)
+                return fail(what, "simulator route skips the access links");
+            const auto sim_hops = static_cast<int>(sim_route) - 3;
+            if (sim_hops != tree_hops)
+                return fail(what, "sink-tree walk takes " +
+                                      std::to_string(tree_hops) +
+                                      " switch hops, simulator BFS " +
+                                      std::to_string(sim_hops));
+        }
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------------ codegen
+
+namespace {
+
+struct Rule_tables {
+    const topo::Topology& topo;
+    std::map<std::string, std::vector<const codegen::Flow_rule*>> by_device;
+    std::map<std::string, std::vector<const codegen::Click_config*>> clicks;
+
+    explicit Rule_tables(const codegen::Configuration& config,
+                         const topo::Topology& t)
+        : topo(t) {
+        for (const codegen::Flow_rule& rule : config.flow_rules)
+            by_device[rule.device].push_back(&rule);
+        for (const codegen::Click_config& click : config.click_configs)
+            clicks[click.device].push_back(&click);
+    }
+};
+
+// Parses "SetVLANAnno(<tag>) -> ToDevice(toward <name>);" out of a
+// middlebox forwarding Click config; nullopt when the text has another shape.
+std::optional<std::pair<int, std::string>> parse_click_forward(
+    const std::string& config) {
+    const auto anno = config.find("SetVLANAnno(");
+    const auto toward = config.find("ToDevice(toward ");
+    if (anno == std::string::npos || toward == std::string::npos)
+        return std::nullopt;
+    const auto anno_end = config.find(')', anno);
+    const auto toward_end = config.find(')', toward);
+    if (anno_end == std::string::npos || toward_end == std::string::npos)
+        return std::nullopt;
+    const std::string tag_text =
+        config.substr(anno + 12, anno_end - anno - 12);
+    try {
+        return std::pair(std::stoi(tag_text),
+                         config.substr(toward + 16, toward_end - toward - 16));
+    } catch (const std::logic_error&) {
+        return std::nullopt;
+    }
+}
+
+// Follows tag-forwarding rules (and middlebox Click forwards) from `device`
+// holding `tag` until a delivery rule hands the packet to `dst_name`.
+bool trace_to_delivery(const Rule_tables& tables, const std::string& device,
+                       int tag, std::uint64_t dst_mac,
+                       const std::string& dst_name, int budget,
+                       std::set<std::pair<std::string, int>>& visited) {
+    if (budget <= 0) return false;
+    if (!visited.insert({device, tag}).second) return false;
+    const auto rules = tables.by_device.find(device);
+    if (rules != tables.by_device.end()) {
+        const codegen::Flow_rule* chosen = nullptr;
+        for (const codegen::Flow_rule* rule : rules->second) {
+            if (rule->match != nullptr || !rule->match_tag ||
+                *rule->match_tag != tag)
+                continue;
+            if (rule->match_dst_mac && *rule->match_dst_mac != dst_mac)
+                continue;
+            if (chosen == nullptr || rule->priority > chosen->priority)
+                chosen = rule;
+        }
+        if (chosen != nullptr) {
+            if (chosen->strip_tag && chosen->out_port == dst_name) return true;
+            if (chosen->out_port.empty()) return false;
+            return trace_to_delivery(tables, chosen->out_port,
+                                     chosen->set_tag.value_or(tag), dst_mac,
+                                     dst_name, budget - 1, visited);
+        }
+    }
+    // Middleboxes forward via Click: branch over every plausible forward.
+    // Known modeling gap: the emitted Click snippets carry no *input* tag
+    // match, so a middlebox on several trees is ambiguous on a real device;
+    // until codegen grows a VLAN classifier stage the oracle can only check
+    // that a correct forward exists, not that the device would pick it.
+    const auto clicks = tables.clicks.find(device);
+    if (clicks != tables.clicks.end()) {
+        for (const codegen::Click_config* click : clicks->second) {
+            const auto forward = parse_click_forward(click->config);
+            if (!forward) continue;
+            std::set<std::pair<std::string, int>> branch = visited;
+            if (trace_to_delivery(tables, forward->second, forward->first,
+                                  dst_mac, dst_name, budget - 1, branch))
+                return true;
+        }
+    }
+    return false;
+}
+
+std::optional<std::string> check_guaranteed_rules(
+    const Rule_tables& tables, const codegen::Configuration& config,
+    const core::Statement_plan& plan, const topo::Topology& topo) {
+    const std::string what = "guaranteed plan '" + plan.statement.id + "'";
+    const std::vector<topo::NodeId>& nodes = plan.path->nodes;
+    std::optional<int> tag;
+    bool first = true;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (topo.node(nodes[i]).kind != topo::Node_kind::switch_) continue;
+        const std::string device = topo.node(nodes[i]).name;
+        const auto rules = tables.by_device.find(device);
+        const codegen::Flow_rule* rule = nullptr;
+        if (rules != tables.by_device.end()) {
+            for (const codegen::Flow_rule* candidate : rules->second) {
+                const bool classify =
+                    first && candidate->match != nullptr &&
+                    ir::equal(candidate->match, plan.statement.predicate) &&
+                    candidate->set_tag.has_value();
+                const bool forward = !first && candidate->match_tag &&
+                                     tag && *candidate->match_tag == *tag;
+                if (classify || forward) {
+                    rule = candidate;
+                    break;
+                }
+            }
+        }
+        if (rule == nullptr)
+            return fail(what, first ? "no classify rule at its first switch"
+                                    : "tag chain breaks at " + device);
+        // Segment tags: every rule that re-tags (the classify rule, and any
+        // switch revisited later) moves the chase to the new tag.
+        if (rule->set_tag) tag = rule->set_tag;
+        first = false;
+        if (i + 1 < nodes.size()) {
+            const std::string next = topo.node(nodes[i + 1]).name;
+            if (rule->out_port != next)
+                return fail(what, "rule at " + device + " forwards to '" +
+                                      rule->out_port + "', plan expects '" +
+                                      next + "'");
+            if (!rule->queue)
+                return fail(what, "forwarding rule at " + device +
+                                      " reserves no queue");
+            bool queue_found = false;
+            for (const codegen::Queue_config& queue : config.queues)
+                if (queue.device == device && queue.port == next &&
+                    queue.queue_id == *rule->queue &&
+                    queue.min_rate == plan.guarantee && queue.max_rate == plan.cap)
+                    queue_found = true;
+            if (!queue_found)
+                return fail(what, "no queue on " + device + " -> " + next +
+                                      " guarantees its rate");
+        }
+    }
+    if (first)
+        return fail(what, "provisioned path visits no switch");
+    return std::nullopt;
+}
+
+std::optional<std::string> check_best_effort_rules(
+    const Rule_tables& tables, const core::Compilation& compilation,
+    const core::Statement_plan& plan, const topo::Topology& topo) {
+    if (!plan.src_host || !plan.dst_host) return std::nullopt;
+    const std::string what = "best-effort plan '" + plan.statement.id + "'";
+    const std::string dst_name = topo.node(*plan.dst_host).name;
+    const std::uint64_t dst_mac = compilation.addressing.mac(*plan.dst_host);
+    const int budget =
+        compilation.switch_graph.size() * 4 + 8;  // loop safety margin
+
+    bool delivered = false;
+    for (const auto& adj : topo.neighbors(*plan.src_host)) {
+        if (topo.node(adj.node).kind != topo::Node_kind::switch_) continue;
+        const auto rules = tables.by_device.find(topo.node(adj.node).name);
+        if (rules == tables.by_device.end()) continue;
+        for (const codegen::Flow_rule* rule : rules->second) {
+            if (rule->match == nullptr || rule->drop ||
+                !ir::equal(rule->match, plan.statement.predicate))
+                continue;
+            if (rule->out_port == dst_name) {  // ingress == egress delivery
+                delivered = true;
+                continue;
+            }
+            if (!rule->set_tag)
+                return fail(what, "ingress rule forwards without a tag");
+            std::set<std::pair<std::string, int>> visited;
+            if (trace_to_delivery(tables, rule->out_port, *rule->set_tag,
+                                  dst_mac, dst_name, budget, visited))
+                delivered = true;
+            else
+                return fail(what, "ingress rule at " + rule->device +
+                                      " never reaches " + dst_name);
+        }
+    }
+    if (!delivered)
+        return fail(what, "no ingress rule delivers to " + dst_name);
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> check_codegen(const core::Compilation& compilation,
+                                         const topo::Topology& topo) {
+    if (!compilation.feasible) return std::nullopt;
+    codegen::Configuration config;
+    try {
+        config = codegen::generate(compilation, topo);
+    } catch (const Error& e) {
+        return fail("codegen", std::string("generate threw: ") + e.what());
+    }
+    const Rule_tables tables(config, topo);
+
+    // Structural discipline: rules sit on real switches and forward to live
+    // physical neighbours.
+    for (const codegen::Flow_rule& rule : config.flow_rules) {
+        const auto device = topo.find(rule.device);
+        if (!device)
+            return fail("flow rule", "unknown device '" + rule.device + "'");
+        if (rule.out_port.empty()) continue;
+        const auto port = topo.find(rule.out_port);
+        if (!port)
+            return fail("flow rule on " + rule.device,
+                        "unknown out port '" + rule.out_port + "'");
+        const auto link = topo.link_between(*device, *port);
+        if (!link)
+            return fail("flow rule on " + rule.device,
+                        "out port '" + rule.out_port +
+                            "' is not a physical neighbour");
+        if (!topo.link_up(*link))
+            return fail("flow rule on " + rule.device,
+                        "forwards over the failed link to '" + rule.out_port +
+                            "'");
+    }
+
+    for (const core::Statement_plan& plan : compilation.plans) {
+        if (plan.drop) {
+            if (plan.src_host) {
+                const std::string host = topo.node(*plan.src_host).name;
+                const bool found = std::any_of(
+                    config.iptables_rules.begin(), config.iptables_rules.end(),
+                    [&](const codegen::Host_command& command) {
+                        return command.host == host;
+                    });
+                if (!found)
+                    return fail("drop plan '" + plan.statement.id + "'",
+                                "no iptables rule on " + host);
+            }
+        } else if (plan.guaranteed() && plan.path) {
+            if (auto d = check_guaranteed_rules(tables, config, plan, topo))
+                return d;
+        } else if (!plan.guaranteed()) {
+            if (auto d =
+                    check_best_effort_rules(tables, compilation, plan, topo))
+                return d;
+        }
+        if (plan.cap && plan.src_host) {
+            const std::string host = topo.node(*plan.src_host).name;
+            const bool found = std::any_of(
+                config.tc_commands.begin(), config.tc_commands.end(),
+                [&](const codegen::Host_command& command) {
+                    return command.host == host;
+                });
+            if (!found)
+                return fail("capped plan '" + plan.statement.id + "'",
+                            "no tc command on " + host);
+        }
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------------ solvers
+
+std::optional<std::string> check_solvers(
+    const topo::Topology& topo, const std::vector<Statement_spec>& statements,
+    const core::Compile_options& options) {
+    // Rebuild the guaranteed requests independently of the engine (the same
+    // construction compile() performs: full location alphabet, endpoint
+    // restriction from the predicate).
+    const core::Addressing addressing(topo);
+    const automata::Alphabet alphabet = core::make_alphabet(topo);
+    std::vector<core::Guaranteed_request> requests;
+    for (const Statement_spec& spec : statements) {
+        if (!spec.guaranteed()) continue;
+        core::Guaranteed_request request;
+        request.id = spec.stmt.id;
+        request.rate = spec.guarantee;
+        automata::Nfa nfa;
+        try {
+            nfa = automata::remove_epsilon(
+                automata::thompson(spec.stmt.path, alphabet));
+        } catch (const Error& e) {
+            return fail("request '" + spec.stmt.id + "'",
+                        std::string("path compiles for the engine but not "
+                                    "here: ") +
+                            e.what());
+        }
+        const core::Addressing::Endpoints endpoints =
+            addressing.endpoints(spec.stmt.predicate);
+        request.logical =
+            core::build_logical(topo, nfa, endpoints.src, endpoints.dst);
+        requests.push_back(std::move(request));
+    }
+    if (requests.empty()) return std::nullopt;
+    for (const core::Guaranteed_request& request : requests)
+        if (!request.logical.solvable())
+            return std::nullopt;  // compile reports this; engine-vs-batch owns it
+
+    const core::Provision_result greedy =
+        core::provision_greedy(topo, requests, options.heuristic);
+    const core::Provision_result exact =
+        core::provision(topo, requests, options.heuristic, options.mip);
+
+    // The greedy solver only ever *under*-approximates: a greedy witness on
+    // a MIP-proven-infeasible instance means one of the two is wrong.
+    if (greedy.feasible && exact.proven_infeasible)
+        return fail("solvers",
+                    "greedy found a witness on a MIP-proven-infeasible "
+                    "instance");
+    if (auto d = check_capacity(topo, greedy))
+        return fail("greedy solution", *d);
+    if (auto d = check_capacity(topo, exact)) return fail("MIP solution", *d);
+
+    // Warm-started re-solve of the same encoding must land on the cold
+    // optimum exactly (the engine's bandwidth fast path depends on it).
+    core::Mip_encoding encoding =
+        core::encode_provisioning(topo, requests, options.heuristic);
+    lp::Basis basis;
+    const core::Provision_result cold = core::solve_encoding(
+        topo, requests, encoding, options.mip, nullptr, &basis);
+    // A node-limit-truncated branch & bound keeps an exploration-order-
+    // dependent incumbent; warm-vs-cold equality is only a theorem for
+    // solves that ran to completion.
+    if (cold.mip_nodes >= options.mip.max_nodes) return std::nullopt;
+    if (!basis.empty()) {
+        const core::Provision_result warm = core::solve_encoding(
+            topo, requests, encoding, options.mip, &basis, nullptr);
+        if (warm.mip_nodes >= options.mip.max_nodes) return std::nullopt;
+        if (cold.feasible != warm.feasible)
+            return fail("warm-vs-cold", "feasibility differs");
+        if (cold.feasible) {
+            if (cold.paths.size() != warm.paths.size())
+                return fail("warm-vs-cold", "path count differs");
+            // Exact jitter-sum ties between optimal vertices are legal here
+            // exactly as in describe_difference: the warm solve may stop on
+            // the other optimum, so path (and hence maxima) divergence is
+            // accepted only as a proven tie.
+            bool tied = false;
+            for (std::size_t i = 0; i < cold.paths.size(); ++i) {
+                if (!diff_path(cold.paths[i], warm.paths[i], "")) continue;
+                const ir::PathPtr* expression = nullptr;
+                for (const Statement_spec& spec : statements)
+                    if (spec.stmt.id == cold.paths[i].id)
+                        expression = &spec.stmt.path;
+                if (expression == nullptr ||
+                    !proven_tie(cold.paths[i], warm.paths[i], *expression,
+                                topo))
+                    return diff_path(cold.paths[i], warm.paths[i],
+                                     "warm-vs-cold path");
+                tied = true;
+            }
+            if (!tied) {
+                if (cold.r_max != warm.r_max)
+                    return fail("warm-vs-cold",
+                                "r_max " + std::to_string(cold.r_max) +
+                                    " vs " + std::to_string(warm.r_max));
+                if (cold.big_r_max != warm.big_r_max)
+                    return fail("warm-vs-cold", "R_max differs");
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace merlin::testgen

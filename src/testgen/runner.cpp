@@ -1,0 +1,352 @@
+// The scenario runner (a real core::Engine vs the runner's independent
+// model, oracles at every step) and the shrinker (bounded ddmin over deltas
+// and statements, keeping only reductions that trip the same oracle).
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/logical.h"
+#include "negotiator/negotiator.h"
+#include "testgen/testgen.h"
+#include "util/error.h"
+
+namespace merlin::testgen {
+
+std::optional<Run_options::Inject> parse_inject(const std::string& name) {
+    if (name == "none") return Run_options::Inject::none;
+    if (name == "rate-skew") return Run_options::Inject::rate_skew;
+    if (name == "drop-restore") return Run_options::Inject::drop_restore;
+    return std::nullopt;
+}
+
+namespace {
+
+Run_result invalid(std::string detail, int step) {
+    Run_result result;
+    result.status = Run_result::Status::invalid;
+    result.detail = std::move(detail);
+    result.failing_step = step;
+    return result;
+}
+
+// Applies one delta to the engine, mirroring the runner's model vocabulary.
+// Injections mutate what reaches the engine (never the model), simulating a
+// bug on that delta path.
+void apply_to_engine(core::Engine& engine, const Delta& delta,
+                     const std::vector<Statement_spec>& model_before,
+                     Run_options::Inject inject) {
+    switch (delta.kind) {
+        case Delta_kind::set_bandwidth: {
+            Bandwidth guarantee = delta.stmt.guarantee;
+            if (inject == Run_options::Inject::rate_skew &&
+                guarantee.bps() > 0 &&
+                (!delta.stmt.cap ||
+                 delta.stmt.cap->bps() > guarantee.bps() + 1))
+                guarantee += bits_per_sec(1);
+            (void)engine.set_bandwidth(delta.stmt.stmt.id, guarantee,
+                                       delta.stmt.cap);
+            return;
+        }
+        case Delta_kind::add_statement:
+            (void)engine.add_statement(delta.stmt.stmt, delta.stmt.guarantee,
+                                       delta.stmt.cap);
+            return;
+        case Delta_kind::remove_statement:
+            (void)engine.remove_statement(delta.stmt.stmt.id);
+            return;
+        case Delta_kind::fail_link:
+            (void)engine.fail_link(delta.node_a, delta.node_b);
+            return;
+        case Delta_kind::restore_link:
+            if (inject == Run_options::Inject::drop_restore) return;
+            (void)engine.restore_link(delta.node_a, delta.node_b);
+            return;
+        case Delta_kind::redistribute: {
+            // Through the real negotiator, holding the delegation shape
+            // redistribution is meant for (Section 4.1): the capped
+            // statements share one aggregate max term (the pool), so the
+            // re-division is a refinement inside the envelope. Adoption
+            // pushes cap-only deltas into the engine.
+            ir::Policy envelope;
+            ir::FormulaPtr formula;
+            const auto conjoin = [&formula](ir::FormulaPtr leaf) {
+                formula = formula ? ir::formula_and(formula, std::move(leaf))
+                                  : std::move(leaf);
+            };
+            ir::Term pool_term;
+            Bandwidth pool;
+            for (const Statement_spec& spec : model_before) {
+                envelope.statements.push_back(spec.stmt);
+                if (spec.guaranteed()) {
+                    ir::Term term;
+                    term.ids.push_back(spec.stmt.id);
+                    conjoin(ir::formula_min(std::move(term), spec.guarantee));
+                }
+                if (spec.cap) {
+                    pool_term.ids.push_back(spec.stmt.id);
+                    pool += *spec.cap;
+                }
+            }
+            if (!pool_term.ids.empty())
+                conjoin(ir::formula_max(std::move(pool_term), pool));
+            envelope.formula = formula;
+            negotiator::Negotiator root("fuzz", envelope,
+                                        core::make_alphabet(engine.topology()));
+            root.drive(&engine);
+            // Adopt the current per-statement division as the active
+            // refinement of the pooled envelope (a no-op for the engine),
+            // then re-divide it by demand.
+            const negotiator::Verdict adopted =
+                root.propose(make_policy(model_before));
+            if (!adopted.valid)
+                throw Policy_error("per-statement refinement rejected: " +
+                                   adopted.reason);
+            std::map<std::string, Bandwidth> demands;
+            for (const auto& [id, demand] : delta.demands)
+                demands[id] = demand;
+            const negotiator::Verdict verdict = root.redistribute(demands);
+            if (!verdict.valid)
+                throw Policy_error("redistribute rejected: " + verdict.reason);
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
+    Run_result result;
+    topo::Topology reference_topo;
+    std::vector<Statement_spec> model = scenario.statements;
+    std::optional<core::Engine> engine;
+    try {
+        reference_topo = make_topology(scenario);
+        engine.emplace(initial_policy(scenario), reference_topo,
+                       scenario.options);
+    } catch (const Error& e) {
+        return invalid(std::string("scenario rejected at construction: ") +
+                           e.what(),
+                       -1);
+    }
+
+    // Runs every oracle against the engine's published state; returns false
+    // (with `result` filled in) on the first violation.
+    const auto check = [&](int step) {
+        const auto report = [&](const char* oracle, std::string detail) {
+            result.status = Run_result::Status::failed;
+            result.oracle = oracle;
+            result.detail = std::move(detail);
+            result.failing_step = step;
+            return false;
+        };
+        core::Compilation fresh;
+        try {
+            fresh = core::compile(make_policy(model), reference_topo,
+                                  scenario.options);
+        } catch (const Error& e) {
+            // The engine accepted state the batch compiler rejects: that is
+            // itself a divergence.
+            return report("engine-vs-batch",
+                          std::string("batch compile threw: ") + e.what());
+        }
+        if (auto d = describe_difference(engine->current(), fresh,
+                                         reference_topo, scenario.options))
+            return report("engine-vs-batch", *d);
+        if (auto d =
+                check_capacity(engine->topology(), engine->current().provision))
+            return report("capacity", *d);
+        if (auto d = check_routes(engine->current(), engine->topology()))
+            return report("routes", *d);
+        if (auto d = check_codegen(engine->current(), engine->topology()))
+            return report("codegen", *d);
+        return true;
+    };
+
+    if (!check(-1)) return result;
+    for (std::size_t i = 0; i < scenario.deltas.size(); ++i) {
+        const Delta& delta = scenario.deltas[i];
+        const std::vector<Statement_spec> model_before = model;
+        if (!apply_delta(model, reference_topo, delta))
+            return invalid("delta " + std::to_string(i) + " (" +
+                               std::string(to_string(delta.kind)) +
+                               ") is invalid against the model",
+                           static_cast<int>(i));
+        try {
+            apply_to_engine(*engine, delta, model_before, options.inject);
+        } catch (const Error& e) {
+            return invalid("delta " + std::to_string(i) + " (" +
+                               std::string(to_string(delta.kind)) +
+                               ") rejected by the engine: " + e.what(),
+                           static_cast<int>(i));
+        }
+        ++result.deltas_applied;
+        if (options.check_each_delta && !check(static_cast<int>(i)))
+            return result;
+    }
+    if (!options.check_each_delta &&
+        !check(static_cast<int>(scenario.deltas.size()) - 1))
+        return result;
+    if (options.solver_oracles) {
+        if (auto d = check_solvers(reference_topo, model, scenario.options)) {
+            result.status = Run_result::Status::failed;
+            result.oracle = "solvers";
+            result.detail = *d;
+            result.failing_step = static_cast<int>(scenario.deltas.size());
+            return result;
+        }
+    }
+    result.status = Run_result::Status::passed;
+    return result;
+}
+
+// ------------------------------------------------------------------ shrinker
+
+namespace {
+
+// Ids introduced by the add deltas at the given (to-be-removed) indices.
+std::set<std::string> added_ids(const Scenario& scenario,
+                                const std::set<std::size_t>& removed) {
+    std::set<std::string> ids;
+    for (const std::size_t i : removed)
+        if (scenario.deltas[i].kind == Delta_kind::add_statement)
+            ids.insert(scenario.deltas[i].stmt.stmt.id);
+    return ids;
+}
+
+bool references(const Delta& delta, const std::set<std::string>& ids) {
+    switch (delta.kind) {
+        case Delta_kind::set_bandwidth:
+        case Delta_kind::remove_statement:
+            return ids.contains(delta.stmt.stmt.id);
+        case Delta_kind::add_statement:
+        case Delta_kind::fail_link:
+        case Delta_kind::restore_link:
+            return false;
+        case Delta_kind::redistribute:
+            // Demands for vanished statements are ignored by both the model
+            // and the negotiator, so redistribute never blocks a removal;
+            // the demands themselves are pruned below.
+            return false;
+    }
+    return false;
+}
+
+// Removes the delta indices plus everything referencing an id they introduced.
+Scenario without_deltas(const Scenario& scenario,
+                        const std::set<std::size_t>& removed) {
+    const std::set<std::string> orphaned = added_ids(scenario, removed);
+    Scenario out = scenario;
+    out.deltas.clear();
+    for (std::size_t i = 0; i < scenario.deltas.size(); ++i) {
+        if (removed.contains(i)) continue;
+        Delta delta = scenario.deltas[i];
+        if (references(delta, orphaned)) continue;
+        if (delta.kind == Delta_kind::redistribute) {
+            std::erase_if(delta.demands, [&](const auto& demand) {
+                return orphaned.contains(demand.first);
+            });
+            if (delta.demands.empty()) continue;
+        }
+        out.deltas.push_back(std::move(delta));
+    }
+    return out;
+}
+
+// Removes the statement indices plus every delta referencing their ids.
+Scenario without_statements(const Scenario& scenario,
+                            const std::set<std::size_t>& removed) {
+    std::set<std::string> ids;
+    for (const std::size_t i : removed)
+        ids.insert(scenario.statements[i].stmt.id);
+    Scenario out = scenario;
+    out.statements.clear();
+    for (std::size_t i = 0; i < scenario.statements.size(); ++i)
+        if (!removed.contains(i))
+            out.statements.push_back(scenario.statements[i]);
+    out.deltas.clear();
+    for (const Delta& delta : scenario.deltas) {
+        if (references(delta, ids)) continue;
+        Delta kept = delta;
+        if (kept.kind == Delta_kind::redistribute) {
+            std::erase_if(kept.demands, [&](const auto& demand) {
+                return ids.contains(demand.first);
+            });
+            if (kept.demands.empty()) continue;
+        }
+        out.deltas.push_back(std::move(kept));
+    }
+    return out;
+}
+
+}  // namespace
+
+Scenario shrink(const Scenario& failing, const Run_options& options,
+                int runs) {
+    const Run_result baseline = run_scenario(failing, options);
+    if (!baseline.failed()) return failing;
+    const std::string oracle = baseline.oracle;
+    int budget = runs;
+    const auto reproduces = [&](const Scenario& candidate) {
+        if (budget <= 0) return false;
+        --budget;
+        const Run_result result = run_scenario(candidate, options);
+        return result.failed() && result.oracle == oracle;
+    };
+
+    Scenario best = failing;
+    // One reduction pass: chunked removal over `count` items, chunk sizes
+    // halving; `make` builds the candidate from an index set.
+    const auto reduce = [&](std::size_t (*count)(const Scenario&),
+                            Scenario (*make)(const Scenario&,
+                                             const std::set<std::size_t>&)) {
+        bool improved_any = false;
+        for (std::size_t chunk = std::max<std::size_t>(count(best) / 2, 1);
+             chunk >= 1 && budget > 0; chunk /= 2) {
+            bool improved = true;
+            while (improved && budget > 0) {
+                improved = false;
+                for (std::size_t start = 0; start < count(best) && budget > 0;
+                     start += chunk) {
+                    std::set<std::size_t> removed;
+                    for (std::size_t i = start;
+                         i < std::min(start + chunk, count(best)); ++i)
+                        removed.insert(i);
+                    if (removed.empty() || removed.size() == count(best))
+                        continue;
+                    const Scenario candidate = make(best, removed);
+                    if (reproduces(candidate)) {
+                        best = candidate;
+                        improved = true;
+                        improved_any = true;
+                        break;  // indices shifted; rescan this chunk size
+                    }
+                }
+            }
+            if (chunk == 1) break;
+        }
+        return improved_any;
+    };
+
+    bool improved = true;
+    while (improved && budget > 0) {
+        improved = false;
+        if (reduce([](const Scenario& s) { return s.deltas.size(); },
+                   without_deltas))
+            improved = true;
+        if (reduce([](const Scenario& s) { return s.statements.size(); },
+                   without_statements))
+            improved = true;
+    }
+    // A failure that needs no deltas at all may still drop the whole trace.
+    if (!best.deltas.empty()) {
+        Scenario candidate = best;
+        candidate.deltas.clear();
+        if (reproduces(candidate)) best = candidate;
+    }
+    return best;
+}
+
+}  // namespace merlin::testgen

@@ -137,6 +137,28 @@ Topology zoo_topology(int switches, Rng& rng, double extra_edge_fraction,
     return t;
 }
 
+Topology from_spec(const std::string& spec) {
+    const std::vector<std::string> parts = split(spec, ':');
+    const auto param = [&spec, &parts](std::size_t i) {
+        const auto value = parse_whole_int(parts[i]);
+        if (!value)
+            throw Topology_error("malformed generator parameter in spec: " +
+                                 spec);
+        return static_cast<int>(*value);
+    };
+    if (parts.size() == 2 && parts[0] == "fat-tree")
+        return fat_tree(param(1));
+    if (parts.size() == 4 && parts[0] == "balanced-tree")
+        return balanced_tree(param(1), param(2), param(3));
+    if (parts.size() == 2 && parts[0] == "campus") return campus(param(1));
+    if (parts.size() == 3 && parts[0] == "zoo") {
+        const int switches = param(1);
+        Rng rng(static_cast<std::uint64_t>(param(2)));
+        return zoo_topology(switches, rng);
+    }
+    throw Topology_error("unknown topology spec: " + spec);
+}
+
 std::vector<int> zoo_size_distribution(int count, Rng& rng, double mean,
                                        double sigma, int largest) {
     std::vector<int> sizes;

@@ -43,6 +43,13 @@ namespace merlin::topo {
                                     double extra_edge_fraction = 0.3,
                                     Bandwidth capacity = gbps(1));
 
+// Builds a topology from a generator spec string — the shared grammar of
+// `merlinc --generate` and `merlin-fuzz` scenarios:
+//   fat-tree:<k>   balanced-tree:<depth>:<fanout>:<hosts-per-leaf>
+//   campus:<subnets>   zoo:<switches>:<seed>
+// Throws Topology_error on unknown families or malformed parameters.
+[[nodiscard]] Topology from_spec(const std::string& spec);
+
 // Switch counts for a synthetic Topology Zoo: `count` values drawn from
 // N(mean, sigma) clipped to [4, 200], with the final entry replaced by
 // `largest` to mirror the dataset's one 754-switch outlier.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <set>
 
 #include "util/error.h"
 
@@ -119,6 +120,58 @@ std::vector<std::string> Topology::function_names() const {
     for (const auto& [name, _] : functions_) out.push_back(name);
     std::sort(out.begin(), out.end());
     return out;
+}
+
+void validate(const Topology& topo) {
+    // Links: endpoints exist, no self-loops, positive per-direction capacity,
+    // and no node pair joined twice (compare via a normalized key set).
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (LinkId id = 0; id < topo.link_count(); ++id) {
+        const Link& link = topo.link(id);
+        if (link.a < 0 || link.b < 0 || link.a >= topo.node_count() ||
+            link.b >= topo.node_count())
+            throw Topology_error("link " + std::to_string(id) +
+                                 " has a missing endpoint");
+        if (link.a == link.b)
+            throw Topology_error("self-loop link on " +
+                                 topo.node(link.a).name);
+        if (link.capacity.bps() == 0)
+            throw Topology_error("zero-capacity link " +
+                                 topo.node(link.a).name + " -- " +
+                                 topo.node(link.b).name);
+        const auto key = std::minmax(link.a, link.b);
+        if (!seen.insert({key.first, key.second}).second)
+            throw Topology_error("duplicate link " + topo.node(link.a).name +
+                                 " -- " + topo.node(link.b).name);
+    }
+    // Adjacency mirrors the link list exactly: every link appears once from
+    // each endpoint, and nothing else does.
+    std::size_t adjacency_entries = 0;
+    for (NodeId n = 0; n < topo.node_count(); ++n) {
+        for (const Topology::Adjacent& adj : topo.neighbors(n)) {
+            if (adj.link < 0 || adj.link >= topo.link_count())
+                throw Topology_error("adjacency of " + topo.node(n).name +
+                                     " names an unknown link");
+            const Link& link = topo.link(adj.link);
+            const bool matches = (link.a == n && link.b == adj.node) ||
+                                 (link.b == n && link.a == adj.node);
+            if (!matches)
+                throw Topology_error("adjacency of " + topo.node(n).name +
+                                     " disagrees with its link record");
+            ++adjacency_entries;
+        }
+    }
+    if (adjacency_entries !=
+        2 * static_cast<std::size_t>(topo.link_count()))
+        throw Topology_error("adjacency entry count disagrees with links");
+    // Function placements name existing nodes.
+    for (const std::string& fn : topo.function_names())
+        for (const NodeId at : topo.placements(fn))
+            if (at < 0 || at >= topo.node_count())
+                throw Topology_error("function '" + fn +
+                                     "' placed on an unknown node");
+    if (!topo.connected())
+        throw Topology_error("topology is not connected");
 }
 
 bool Topology::connected() const {

@@ -117,4 +117,13 @@ private:
     std::unordered_map<std::string, std::vector<NodeId>> functions_;
 };
 
+// Structural well-formedness check for generated (or hand-built) topologies:
+// every link has positive capacity and distinct, existing endpoints; no two
+// links join the same node pair; adjacency mirrors the link list; and the
+// network is connected. Throws Topology_error naming the first violation.
+// add_link() already rejects self-loops and duplicates at construction time,
+// so validate() is primarily a generator-output contract — every topology
+// generator's test suite runs its output through it.
+void validate(const Topology& topo);
+
 }  // namespace merlin::topo

@@ -1,6 +1,8 @@
 // Small string helpers shared across modules.
 #pragma once
 
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +29,22 @@ namespace merlin {
     std::string out(prefix);
     out += std::to_string(n);
     return out;
+}
+
+// Whole-string integer parse: nullopt on empty input, trailing garbage
+// ("4x"), or overflow. std::stoll alone accepts prefixes, which every
+// command-line and spec parser here must reject.
+[[nodiscard]] inline std::optional<long long> parse_whole_int(
+    const std::string& text) {
+    std::size_t consumed = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(text, &consumed);
+    } catch (const std::logic_error&) {
+        consumed = 0;
+    }
+    if (consumed != text.size() || text.empty()) return std::nullopt;
+    return value;
 }
 
 // "a" + 1, 2 -> "a1_2" (pod-style two-level names).

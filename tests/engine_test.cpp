@@ -492,6 +492,63 @@ TEST(Engine, NegotiatorPartitionRefinementReplacesStatements) {
     expect_matches_fresh_compile(engine, options);
 }
 
+// Link failure/repair equivalence beyond fat trees: the campus core (dual-
+// homed zones re-route through the second backbone) and a seeded
+// Topology-Zoo graph (irregular degree, random shortcuts). Every delta is
+// pinned against a from-scratch compile of the same degraded topology.
+TEST(Engine, FailRestoreEquivalenceOnCampus) {
+    const topo::Topology t = topo::campus(8);
+    const ir::Policy p = bench::all_pairs_policy(t, 3, mb_per_sec(2));
+    core::Compile_options options = mip_options();
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    // A zone's backbone uplink: the dual-homed zone must re-route through
+    // the other backbone switch.
+    const auto uplink = t.link_between(t.require("z0"), t.require("bbra"));
+    ASSERT_TRUE(uplink.has_value());
+    ASSERT_TRUE(engine.fail_link(*uplink).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    // The backbone interconnect on top of it.
+    const auto backbone = t.link_between(t.require("bbra"), t.require("bbrb"));
+    ASSERT_TRUE(backbone.has_value());
+    ASSERT_TRUE(engine.fail_link(*backbone).feasible);
+    expect_matches_fresh_compile(engine, options);
+
+    ASSERT_TRUE(engine.restore_link(*uplink).feasible);
+    expect_matches_fresh_compile(engine, options);
+    ASSERT_TRUE(engine.restore_link(*backbone).feasible);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, FailRestoreEquivalenceOnZoo) {
+    Rng rng(7);
+    const topo::Topology t = topo::zoo_topology(10, rng);
+    const ir::Policy p = bench::all_pairs_policy(t, 2, mb_per_sec(2));
+    core::Compile_options options = mip_options();
+    Engine engine(p, t, options);
+    ASSERT_TRUE(engine.current().feasible);
+
+    // Walk every switch-switch link: fail, pin equivalence (feasible or
+    // not — zoo graphs have cut edges, and the infeasible publish must
+    // match the batch compiler's too), restore, pin again.
+    int exercised = 0;
+    for (topo::LinkId l = 0; l < t.link_count() && exercised < 4; ++l) {
+        const topo::Link& link = t.link(l);
+        if (t.node(link.a).kind == topo::Node_kind::host ||
+            t.node(link.b).kind == topo::Node_kind::host)
+            continue;
+        ++exercised;
+        (void)engine.fail_link(l);
+        expect_matches_fresh_compile(engine, options);
+        const Update_result restored = engine.restore_link(l);
+        EXPECT_TRUE(restored.feasible);
+        expect_matches_fresh_compile(engine, options);
+    }
+    EXPECT_GT(exercised, 0);
+}
+
 TEST(Engine, PromotionFailureRestoresCapToo) {
     // A promotion that throws (the path cannot be compiled over the full
     // location alphabet) must leave the statement exactly as it was —

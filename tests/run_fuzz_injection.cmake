@@ -1,0 +1,49 @@
+# End-to-end harness validation: a deliberately injected engine bug (a
+# mutated set_bandwidth on the delta path) must be caught by the oracles,
+# shrunk, and written as a repro that replays deterministically — failing
+# with the fault injected and passing clean without it.
+#
+# Invoked as:
+#   cmake -DFUZZ=<merlin-fuzz> -DWORK=<scratch dir> -P run_fuzz_injection.cmake
+foreach(var FUZZ WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_fuzz_injection.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+set(repro "${WORK}/injected_repro.txt")
+file(REMOVE "${repro}")
+
+execute_process(
+  COMMAND "${FUZZ}" --iters 30 --seed 1 --inject-bug rate-skew
+          --out "${repro}"
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR "injected engine bug was not caught:\n${out}")
+endif()
+if(NOT EXISTS "${repro}")
+  message(FATAL_ERROR "failure was reported but no repro was written")
+endif()
+if(NOT out MATCHES "shrunk")
+  message(FATAL_ERROR "failing scenario was not shrunk:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${FUZZ}" --replay "${repro}" --inject-bug rate-skew
+  OUTPUT_VARIABLE replay_out
+  RESULT_VARIABLE replay_code)
+if(replay_code EQUAL 0)
+  message(FATAL_ERROR "repro did not reproduce under injection:\n${replay_out}")
+endif()
+
+execute_process(
+  COMMAND "${FUZZ}" --replay "${repro}"
+  OUTPUT_VARIABLE clean_out
+  RESULT_VARIABLE clean_code)
+if(NOT clean_code EQUAL 0)
+  message(FATAL_ERROR "repro fails even without the injected fault — the "
+                      "scenario itself is broken:\n${clean_out}")
+endif()
+
+message(STATUS "injected bug caught, shrunk, and replayed: ${repro}")

@@ -1,0 +1,48 @@
+# Golden-file test for `merlinc --updates` replay output.
+#
+# Runs merlinc over a generated fat tree with the smoke policy and update
+# script, normalizes the machine-dependent timings, and diffs against the
+# committed golden. Regenerate after an intentional change with:
+#
+#   MERLIN_UPDATE_GOLDEN=1 ctest -R merlinc_updates_golden
+#
+# Invoked as:
+#   cmake -DMERLINC=<bin> -DPOLICY=<mln> -DUPDATES=<upd> -DGOLDEN=<txt>
+#         -P run_updates_golden.cmake
+foreach(var MERLINC POLICY UPDATES GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_updates_golden.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${MERLINC}" --generate fat-tree:4 "${POLICY}" --quiet
+          --updates "${UPDATES}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "merlinc exited ${code}:\n${out}\n${err}")
+endif()
+
+# Wall-clock figures vary run to run; everything else in the replay output
+# (delta outcomes, cache hit/miss counters, solver work) is deterministic.
+string(REGEX REPLACE "in [0-9.e+-]+ ms" "in X ms" normalized "${out}")
+string(REGEX REPLACE "\\([0-9.e+-]+ ms\\)" "(X ms)" normalized "${normalized}")
+
+if(DEFINED ENV{MERLIN_UPDATE_GOLDEN})
+  file(WRITE "${GOLDEN}" "${normalized}")
+  message(STATUS "golden regenerated: ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR "missing golden file ${GOLDEN} "
+                      "(regenerate with MERLIN_UPDATE_GOLDEN=1)")
+endif()
+file(READ "${GOLDEN}" expected)
+if(NOT normalized STREQUAL expected)
+  message(FATAL_ERROR "replay output differs from ${GOLDEN}\n"
+                      "--- expected ---\n${expected}"
+                      "--- actual ---\n${normalized}")
+endif()

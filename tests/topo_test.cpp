@@ -57,6 +57,26 @@ TEST(Topology, FunctionPlacements) {
     EXPECT_EQ(t.function_names(), (std::vector<std::string>{"dpi", "nat"}));
 }
 
+TEST(Topology, ValidateAcceptsWellFormedAndNamesViolations) {
+    Topology good;
+    const auto s1 = good.add_switch("s1");
+    const auto s2 = good.add_switch("s2");
+    const auto h1 = good.add_host("h1");
+    good.add_link(s1, s2, mbps(100));
+    good.add_link(h1, s1, mbps(100));
+    validate(good);  // no throw
+
+    // add_link rejects self-loops/duplicates up front, so validate's extra
+    // reach is zero capacities and disconnection.
+    Topology zero_capacity = good;
+    zero_capacity.add_link(h1, s2, Bandwidth(0));
+    EXPECT_THROW(validate(zero_capacity), Topology_error);
+
+    Topology disconnected = good;
+    (void)disconnected.add_switch("island");
+    EXPECT_THROW(validate(disconnected), Topology_error);
+}
+
 TEST(Generators, FatTreeCounts) {
     // k-ary fat tree: 5k^2/4 switches, k^3/4 hosts.
     const Topology t = fat_tree(4);
@@ -65,6 +85,7 @@ TEST(Generators, FatTreeCounts) {
     EXPECT_TRUE(t.connected());
     // Each edge switch has k/2 hosts + k/2 agg links; each host one link.
     EXPECT_EQ(t.link_count(), 16 + 16 + 16);  // host + edge-agg + agg-core
+    validate(t);
 }
 
 TEST(Generators, FatTreeRejectsOdd) {
@@ -78,6 +99,7 @@ TEST(Generators, BalancedTreeCounts) {
     EXPECT_EQ(t.switches().size(), 13u);
     EXPECT_EQ(t.hosts().size(), 18u);
     EXPECT_TRUE(t.connected());
+    validate(t);
 }
 
 TEST(Generators, CampusShape) {
@@ -85,6 +107,7 @@ TEST(Generators, CampusShape) {
     EXPECT_EQ(t.switches().size(), 16u);  // Figure 4: 16-switch Stanford core.
     EXPECT_EQ(t.hosts().size(), 24u);     // 24 subnets.
     EXPECT_TRUE(t.connected());
+    validate(t);
 }
 
 TEST(Generators, ZooTopologiesAreConnected) {
@@ -94,6 +117,9 @@ TEST(Generators, ZooTopologiesAreConnected) {
         EXPECT_EQ(t.switches().size(), static_cast<std::size_t>(size));
         EXPECT_EQ(t.hosts().size(), static_cast<std::size_t>(size));
         EXPECT_TRUE(t.connected()) << "size " << size;
+        // Full structural contract: in particular, the shortcut-edge loop
+        // must never have produced a duplicate or self-loop link.
+        validate(t);
     }
 }
 

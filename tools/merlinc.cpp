@@ -6,7 +6,9 @@
 // Options:
 //   --generate <spec>           use a generated topology instead of a file:
 //                               fat-tree:<k>, balanced-tree:<d>:<f>:<h>,
-//                               or campus:<subnets>
+//                               campus:<subnets>, or zoo:<switches>:<seed>
+//                               (the grammar of topo::from_spec, shared
+//                               with merlin-fuzz)
 //   --heuristic wsp|mmr|mmres   path-selection heuristic (default wsp)
 //   --solver mip|greedy|auto    provisioning solver (default auto)
 //   --jobs <n>                  front-end worker threads (default: the
@@ -62,36 +64,8 @@ int usage() {
            "       [--jobs <n>] [--updates <file>] [--programs] [--stats]\n"
            "       [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
-           "campus:<subnets>\n";
+           "campus:<subnets>  zoo:<switches>:<seed>\n";
     return 2;
-}
-
-// Builds a topology from a generator spec like "fat-tree:4". Throws Error on
-// an unknown generator name or malformed parameters.
-merlin::topo::Topology generate_topology(const std::string& spec) {
-    using namespace merlin;
-    const std::vector<std::string> parts = split(spec, ':');
-    // Whole-string integer parse: stoi alone would accept "4x".
-    const auto param = [&spec](const std::string& text) {
-        std::size_t consumed = 0;
-        int value = 0;
-        try {
-            value = std::stoi(text, &consumed);
-        } catch (const std::logic_error&) {
-            consumed = 0;
-        }
-        if (consumed != text.size() || text.empty())
-            throw Error("malformed generator parameter in spec: " + spec);
-        return value;
-    };
-    if (parts.size() == 2 && parts[0] == "fat-tree")
-        return topo::fat_tree(param(parts[1]));
-    if (parts.size() == 4 && parts[0] == "balanced-tree")
-        return topo::balanced_tree(param(parts[1]), param(parts[2]),
-                                   param(parts[3]));
-    if (parts.size() == 2 && parts[0] == "campus")
-        return topo::campus(param(parts[1]));
-    throw Error("unknown topology spec: " + spec);
 }
 
 // Whitespace-tokenizes one update-script line.
@@ -104,16 +78,10 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 std::uint64_t parse_mbps(const std::string& text) {
-    std::size_t consumed = 0;
-    unsigned long long value = 0;
-    try {
-        value = std::stoull(text, &consumed);
-    } catch (const std::logic_error&) {
-        consumed = 0;
-    }
-    if (consumed != text.size() || text.empty())
+    const auto value = merlin::parse_whole_int(text);
+    if (!value || *value < 0)
         throw merlin::Error("malformed rate (whole Mbps expected): " + text);
-    return value;
+    return static_cast<std::uint64_t>(*value);
 }
 
 // Replays the delta script against the engine, printing one line per
@@ -218,21 +186,11 @@ int main(int argc, char** argv) {
             else
                 return usage();
         } else if (arg == "--jobs" && i + 1 < argc) {
-            // Whole-string parse, bounded like MERLIN_THREADS (stoi alone
-            // would accept "8x", and an absurd count would abort in thread
-            // creation rather than exit with usage).
-            const std::string text = argv[++i];
-            std::size_t consumed = 0;
-            int value = 0;
-            try {
-                value = std::stoi(text, &consumed);
-            } catch (const std::logic_error&) {
-                consumed = 0;
-            }
-            if (consumed != text.size() || text.empty() || value < 1 ||
-                value > 1024)
-                return usage();
-            options.jobs = value;
+            // Bounded like MERLIN_THREADS: an absurd count would abort in
+            // thread creation rather than exit with usage.
+            const auto value = merlin::parse_whole_int(argv[++i]);
+            if (!value || *value < 1 || *value > 1024) return usage();
+            options.jobs = static_cast<int>(*value);
         } else if (arg == "--programs") {
             print_programs = true;
         } else if (arg == "--stats") {
@@ -252,7 +210,7 @@ int main(int argc, char** argv) {
         const topo::Topology network =
             generate_spec.empty()
                 ? topo::parse_topology(read_file(positional[0]))
-                : generate_topology(generate_spec);
+                : topo::from_spec(generate_spec);
         const ir::Policy policy =
             parser::parse_policy(read_file(positional.back()));
         // The one-shot path and the --updates path share the engine: a

@@ -18,7 +18,11 @@
 #     BENCH_compile.json (front-end timing breakdown per class count) and
 #     BENCH_adaptation.json (incremental engine delta latency vs full
 #     recompile, per delta kind); committing the refreshed files each PR
-#     makes git history the perf trajectory.
+#     makes git history the perf trajectory;
+#   - a fixed-seed merlin-fuzz smoke leg (Release build): differential
+#     scenarios across all four topology families, every cross-layer oracle
+#     checked after every delta. On failure the shrunk repro is archived at
+#     FUZZ_repro.txt (replay with `merlin-fuzz --replay FUZZ_repro.txt`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,7 +37,7 @@ cmake --build build -j "$JOBS"
 cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-    -L "lp|mip|core|negotiator|netsim")
+    -L "lp|mip|core|negotiator|netsim|testgen")
 
 # --- TSan leg: the parallel compilation front-end under ThreadSanitizer ----
 cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
@@ -57,5 +61,14 @@ test -s BENCH_compile.json
 MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_adaptation.json" \
     ./build-release/bench/bench_adaptation
 test -s BENCH_adaptation.json
+
+# --- fuzz smoke: fixed-seed differential scenarios, cross-layer oracles -----
+FUZZ_REPRO="$PWD/FUZZ_repro.txt"
+rm -f "$FUZZ_REPRO"
+if ! ./build-release/merlin-fuzz --iters 60 --seed 1 --out "$FUZZ_REPRO"; then
+    echo "merlin-fuzz FAILED; shrunk repro archived at $FUZZ_REPRO" >&2
+    echo "replay with: ./build-release/merlin-fuzz --replay $FUZZ_REPRO" >&2
+    exit 1
+fi
 
 echo "verify.sh: OK"
