@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "codegen/diff.h"
 #include "core/engine.h"
 #include "netsim/sim.h"
 #include "topo/generators.h"
@@ -47,9 +48,22 @@ struct Result {
     long long lp_patches = 0;
     long long cache_hits = 0;
     bool warm_started = false;
+    // Delta-aware codegen: flow rules the two-phase diff touches vs the
+    // full table, and whether the diff survived both correctness checks
+    // (apply-equality, and keyed-fingerprint equality against a
+    // from-scratch batch generate).
+    long long rules_touched = 0;
+    long long table_rules = 0;
+    bool diff_ok = false;
 
     [[nodiscard]] double ratio() const {
         return full_ms > 0 ? incremental_ms / full_ms : 0;
+    }
+    [[nodiscard]] double touched_ratio() const {
+        return table_rules > 0
+                   ? static_cast<double>(rules_touched) /
+                         static_cast<double>(table_rules)
+                   : 0;
     }
 };
 
@@ -118,11 +132,13 @@ void write_json(const char* path, const std::vector<Result>& results) {
             "\"ratio\": %.3f, \"mip_nodes\": %lld, \"automata_built\": "
             "%lld, \"trees_built\": %lld, \"lp_encodings\": %lld, "
             "\"lp_patches\": %lld, \"cache_hits\": %lld, \"warm_started\": "
-            "%s}%s\n",
+            "%s, \"rules_touched\": %lld, \"table_rules\": %lld, "
+            "\"touched_ratio\": %.4f, \"diff_ok\": %s}%s\n",
             r.k, r.solver.c_str(), r.delta.c_str(), r.incremental_ms,
             r.full_ms, r.ratio(), r.mip_nodes, r.automata_built,
             r.trees_built, r.lp_encodings, r.lp_patches, r.cache_hits,
-            r.warm_started ? "true" : "false",
+            r.warm_started ? "true" : "false", r.rules_touched,
+            r.table_rules, r.touched_ratio(), r.diff_ok ? "true" : "false",
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
@@ -154,16 +170,38 @@ void run_config(int k, std::vector<Result>& results) {
         k, classes, guaranteed, engine.current().provision.solver,
         initial_ms, simulate_tick(engine));
 
+    // Delta-aware codegen rides along: one persistent Naming, seeded with
+    // the initial configuration, diffs every delta below.
+    codegen::Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
     const auto record = [&](const char* delta,
                             const core::Update_result& update) {
         Result r = measure(engine, options, delta, update);
         r.k = k;
+        codegen::Configuration before = incremental.config();
+        const codegen::Diff d =
+            incremental.update(engine.current(), engine.topology());
+        r.rules_touched = d.rules_touched();
+        r.table_rules =
+            static_cast<long long>(incremental.config().flow_rules.size());
+        codegen::Naming scratch;
+        const codegen::Configuration batch =
+            codegen::generate(engine.current(), engine.topology(), scratch);
+        r.diff_ok = codegen::equal(codegen::apply(std::move(before), d),
+                                   incremental.config()) &&
+                    codegen::keyed_text(incremental.config(),
+                                        incremental.naming()) ==
+                        codegen::keyed_text(batch, scratch);
         std::printf(
             "  %-14s %8.2f ms vs %8.2f ms full  (%5.1f%%)  nodes=%-5lld "
-            "nfa=%lld trees=%lld enc=%lld patch=%lld hits=%lld%s\n",
+            "nfa=%lld trees=%lld enc=%lld patch=%lld hits=%lld "
+            "rules=%lld/%lld%s%s\n",
             r.delta.c_str(), r.incremental_ms, r.full_ms, 100 * r.ratio(),
             r.mip_nodes, r.automata_built, r.trees_built, r.lp_encodings,
-            r.lp_patches, r.cache_hits, r.warm_started ? " [warm]" : "");
+            r.lp_patches, r.cache_hits, r.rules_touched, r.table_rules,
+            r.diff_ok ? "" : " [DIFF MISMATCH]",
+            r.warm_started ? " [warm]" : "");
         results.push_back(std::move(r));
     };
 
@@ -212,6 +250,23 @@ int main() {
     std::printf("\nset_bandwidth fast-path target (<20%% of full, zero "
                 "automata, zero re-encodes): %s\n",
                 met ? "MET" : "NOT MET");
+
+    bool diffs_ok = !results.empty();
+    std::vector<double> touched;
+    for (const Result& r : results) {
+        diffs_ok = diffs_ok && r.diff_ok;
+        if (r.delta == "set_bandwidth") touched.push_back(r.touched_ratio());
+    }
+    std::printf("two-phase diff correctness (apply-equal + batch "
+                "fingerprint, every delta kind): %s\n",
+                diffs_ok ? "MET" : "NOT MET");
+    if (!touched.empty()) {
+        std::sort(touched.begin(), touched.end());
+        const double median = touched[touched.size() / 2];
+        std::printf("set_bandwidth median rules-touched ratio: %.2f%% of "
+                    "the table (target <= 5%%): %s\n",
+                    100 * median, median <= 0.05 ? "MET" : "NOT MET");
+    }
 
     if (const char* json_path = std::getenv("MERLIN_BENCH_JSON"))
         write_json(json_path, results);

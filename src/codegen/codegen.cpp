@@ -1,5 +1,6 @@
 #include "codegen/codegen.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -47,8 +48,18 @@ std::string render_match(const ir::PredPtr& p) {
 
 class Generator {
 public:
-    Generator(const core::Compilation& c, const topo::Topology& t)
-        : comp_(c), topo_(t) {}
+    Generator(const core::Compilation& c, const topo::Topology& t, Naming& n)
+        : comp_(c), topo_(t), naming_(n) {
+        // The canonical text of each best-effort path class, used in tree
+        // tag identity keys. Stable across compiles: the engine interns
+        // classes by path expression, and to_string round-trips the parse.
+        class_text_.resize(comp_.class_nfas.size());
+        for (const core::Statement_plan& plan : comp_.plans) {
+            if (plan.path_class < 0) continue;
+            auto& text = class_text_[static_cast<std::size_t>(plan.path_class)];
+            if (text.empty()) text = ir::to_string(plan.statement.path);
+        }
+    }
 
     Configuration run() {
         for (const core::Statement_plan& plan : comp_.plans) {
@@ -71,12 +82,6 @@ private:
     }
     [[nodiscard]] bool is_switch(topo::NodeId n) const {
         return topo_.node(n).kind == topo::Node_kind::switch_;
-    }
-
-    int fresh_tag() { return next_tag_++; }
-
-    int queue_id(const std::string& device, const std::string& port) {
-        return ++queue_counter_[{device, port}];
     }
 
     // Switches adjacent to a host (its ingress/egress switches).
@@ -124,7 +129,21 @@ private:
         // re-tags the packet, and each occurrence matches its own segment
         // tag. Tagged rules outrank the tag-wildcard classify rule so a
         // revisit of the ingress switch cannot re-classify.
-        int tag = fresh_tag();
+        //
+        // Segment tags are named by statement, segment ordinal and the full
+        // node sequence: any reroute changes the key, so a new path always
+        // gets fresh tags and in-flight packets drain over the old ones.
+        std::string route;
+        for (const topo::NodeId n : nodes) {
+            route += name(n);
+            route += '/';
+        }
+        int segment = 0;
+        const auto segment_tag = [&] {
+            return naming_.tag("g|" + plan.statement.id + '|' +
+                               std::to_string(segment++) + '|' + route);
+        };
+        int tag = segment_tag();
         bool classified = false;
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             if (!is_switch(nodes[i])) continue;
@@ -136,12 +155,12 @@ private:
             Flow_rule rule;
             rule.device = name(nodes[i]);
             if (!classified) {
-                rule.priority = 10;
+                rule.priority = kClassifyPriority;
                 rule.match = plan.statement.predicate;
                 rule.set_tag = tag;
                 classified = true;
             } else {
-                rule.priority = 11;
+                rule.priority = kSegmentTagPriority;
                 rule.match_tag = tag;
             }
             const bool revisited = [&] {
@@ -150,13 +169,16 @@ private:
                 return false;
             }();
             if (revisited) {
-                tag = fresh_tag();
+                tag = segment_tag();
                 rule.set_tag = tag;
             }
             if (i + 1 < nodes.size()) {
                 rule.out_port = name(nodes[i + 1]);
-                // Guarantee enforced by a per-port queue.
-                const int q = queue_id(rule.device, rule.out_port);
+                // Guarantee enforced by a per-port queue. The queue id is
+                // the outgoing segment tag, so queue identity follows tag
+                // identity across compiles and a pure rate change diffs to
+                // a queue update with no rule churn.
+                const int q = tag;
                 rule.queue = q;
                 out_.queues.push_back(Queue_config{rule.device, rule.out_port,
                                                    q, plan.guarantee,
@@ -203,12 +225,62 @@ private:
         return {};
     }
 
-    // Tags are shared per (path class, egress symbol, NFA state).
+    // A content signature of one sink tree: every reachable (switch, state)
+    // cell with its distance and next hop, hashed FNV-1a over node *names*
+    // (indices are not stable across topology edits). Two compiles produce
+    // the same signature iff the tree forwards identically, so a tree tag
+    // survives unrelated deltas but changes — retiring the old tag — the
+    // moment a link failure or reroute alters any hop.
+    const std::string& tree_signature(int cls, int egress) {
+        const auto memo = tree_sigs_.find({cls, egress});
+        if (memo != tree_sigs_.end()) return memo->second;
+        const core::Sink_tree* tree = comp_.tree_for(cls, egress);
+        expects(tree != nullptr, "tree must exist for served statements");
+        const core::Switch_graph& sg = comp_.switch_graph;
+        std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+        const auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ULL;  // FNV prime
+        };
+        const auto mix_name = [&](int node_index) {
+            for (const char c :
+                 name(sg.nodes[static_cast<std::size_t>(node_index)]))
+                mix(static_cast<unsigned char>(c));
+            mix(0x1f);  // separator
+        };
+        for (int n = 0; n < sg.size(); ++n) {
+            for (int q = 0; q < tree->states; ++q) {
+                const int d = tree->dist_at(n, q);
+                if (d < 0) continue;
+                mix_name(n);
+                mix(static_cast<std::uint64_t>(q));
+                mix(static_cast<std::uint64_t>(d));
+                if (d > 0) {
+                    const core::Sink_hop hop = tree->next_at(n, q);
+                    mix_name(hop.node);
+                    mix(static_cast<std::uint64_t>(hop.state));
+                }
+            }
+        }
+        std::ostringstream hex;
+        hex << std::hex << h;
+        return tree_sigs_.emplace(std::pair{cls, egress}, hex.str())
+            .first->second;
+    }
+
+    // Tags are shared per (path class, egress symbol, NFA state). The
+    // identity key names the class by its path expression and the egress by
+    // its switch name, plus the tree signature: stable while forwarding is
+    // unchanged, fresh when it is not.
     int tree_tag(int cls, int egress, int state) {
         const auto key = std::tuple{cls, egress, state};
         const auto it = tree_tags_.find(key);
         if (it != tree_tags_.end()) return it->second;
-        const int tag = fresh_tag();
+        const core::Switch_graph& sg = comp_.switch_graph;
+        const int tag = naming_.tag(
+            "t|" + class_text_[static_cast<std::size_t>(cls)] + '|' +
+            name(sg.nodes[static_cast<std::size_t>(egress)]) + '|' +
+            std::to_string(state) + '|' + tree_signature(cls, egress));
         tree_tags_.emplace(key, tag);
         return tag;
     }
@@ -227,8 +299,13 @@ private:
                 if (accepted) continue;  // a delivery rule serves this tag
                 if (topo_.node(node).kind == topo::Node_kind::middlebox) {
                     // Middleboxes forward via their Click configuration.
+                    // The classifier stage keys on the incoming tag, so
+                    // middlebox forwarding is deterministic per state and a
+                    // mixed old/new table cannot misroute through one.
                     std::ostringstream config;
-                    config << "FromDevice(eth0) -> SetVLANAnno("
+                    config << "FromDevice(eth0) -> VLANClassifier("
+                           << tree_tag(cls, egress, static_cast<int>(q))
+                           << ") -> SetVLANAnno("
                            << tree_tag(cls, egress, hop.state)
                            << ") -> ToDevice(toward "
                            << name(sg.nodes[static_cast<std::size_t>(
@@ -240,7 +317,7 @@ private:
                 }
                 Flow_rule rule;
                 rule.device = name(node);
-                rule.priority = 5;
+                rule.priority = kTreeForwardPriority;
                 rule.match_tag = tree_tag(cls, egress, static_cast<int>(q));
                 if (hop.state != static_cast<int>(q))
                     rule.set_tag = tree_tag(cls, egress, hop.state);
@@ -265,7 +342,7 @@ private:
             Flow_rule rule;
             rule.device = name(
                 comp_.switch_graph.nodes[static_cast<std::size_t>(egress)]);
-            rule.priority = 8;
+            rule.priority = kDeliveryPriority;
             rule.match_tag = tree_tag(cls, egress, q);
             rule.match_dst_mac = comp_.addressing.mac(dst);
             rule.strip_tag = true;
@@ -291,7 +368,7 @@ private:
 
         Flow_rule rule;
         rule.device = name(ingress);
-        rule.priority = 10;
+        rule.priority = kClassifyPriority;
         rule.match = plan.statement.predicate;
         if (extra_dst_match) rule.match_dst_mac = comp_.addressing.mac(dst);
 
@@ -352,7 +429,7 @@ private:
         for (topo::NodeId sw : ingresses) {
             Flow_rule rule;
             rule.device = name(sw);
-            rule.priority = 12;
+            rule.priority = kDropPriority;
             rule.match = plan.statement.predicate;
             rule.drop = true;
             out_.flow_rules.push_back(std::move(rule));
@@ -367,7 +444,10 @@ private:
                                ? std::vector<topo::NodeId>{*plan.src_host}
                                : topo_.hosts();
         for (topo::NodeId h : hosts) {
-            const int klass = ++tc_class_[name(h)];
+            // tc class ids are named per (host, statement) so a statement's
+            // filter keeps its class across recompiles and the diff for an
+            // unrelated delta leaves it untouched.
+            const int klass = naming_.host_class(name(h), plan.statement.id);
             out_.tc_commands.push_back(Host_command{
                 name(h), "tc class add dev eth0 parent 1: classid 1:" +
                              std::to_string(klass) + " htb rate " + rate +
@@ -380,24 +460,152 @@ private:
 
     const core::Compilation& comp_;
     const topo::Topology& topo_;
+    Naming& naming_;
     Configuration out_;
 
-    int next_tag_ = 2;  // VLAN ids 0/1 are reserved
-    std::map<std::pair<std::string, std::string>, int> queue_counter_;
+    std::vector<std::string> class_text_;  // path class -> expression text
+    std::map<std::pair<int, int>, std::string> tree_sigs_;
     std::map<std::tuple<int, int, int>, int> tree_tags_;
     std::set<std::pair<int, int>> emitted_trees_;
     std::set<std::tuple<int, int, topo::NodeId>> emitted_delivery_;
-    std::map<std::string, int> tc_class_;
 };
 
 }  // namespace
 
+// ------------------------------------------------------------------- Naming
+
+int Naming::tag(const std::string& key) {
+    const auto it = tags_.find(key);
+    if (it != tags_.end()) {
+        it->second.used = true;
+        return it->second.id;
+    }
+    int id;
+    if (!free_tags_.empty()) {
+        id = *free_tags_.begin();
+        free_tags_.erase(free_tags_.begin());
+    } else if (next_tag_ <= kMaxVlanTag) {
+        id = next_tag_++;
+    } else {
+        throw Policy_error(
+            "VLAN tag space exhausted: " + std::to_string(tags_.size()) +
+            " live tags already occupy the usable 802.1Q range " +
+            std::to_string(kMinVlanTag) + ".." + std::to_string(kMaxVlanTag) +
+            "; cannot bind key '" + key + "'");
+    }
+    tags_.emplace(key, Binding{id, true});
+    return id;
+}
+
+int Naming::host_class(const std::string& host,
+                       const std::string& statement_id) {
+    const std::string key = host + '|' + statement_id;
+    const auto it = classes_.find(key);
+    if (it != classes_.end()) {
+        it->second.used = true;
+        return it->second.id;
+    }
+    int id;
+    std::set<int>& free = free_classes_[host];
+    if (!free.empty()) {
+        id = *free.begin();
+        free.erase(free.begin());
+    } else {
+        id = ++next_class_[host];
+    }
+    classes_.emplace(key, Binding{id, true});
+    return id;
+}
+
+void Naming::begin_generation() {
+    for (auto& [key, binding] : tags_) binding.used = false;
+    for (auto& [key, binding] : classes_) binding.used = false;
+}
+
+std::vector<int> Naming::collect_unused() {
+    std::vector<int> retired;
+    for (auto it = tags_.begin(); it != tags_.end();) {
+        if (it->second.used) {
+            ++it;
+            continue;
+        }
+        retired.push_back(it->second.id);
+        free_tags_.insert(it->second.id);
+        it = tags_.erase(it);
+    }
+    for (auto it = classes_.begin(); it != classes_.end();) {
+        if (it->second.used) {
+            ++it;
+            continue;
+        }
+        const std::string host =
+            it->first.substr(0, it->first.find('|'));
+        free_classes_[host].insert(it->second.id);
+        it = classes_.erase(it);
+    }
+    std::sort(retired.begin(), retired.end());
+    return retired;
+}
+
+std::map<std::string, int> Naming::tag_bindings() const {
+    std::map<std::string, int> out;
+    for (const auto& [key, binding] : tags_) out.emplace(key, binding.id);
+    return out;
+}
+
+std::map<std::string, int> Naming::class_bindings() const {
+    std::map<std::string, int> out;
+    for (const auto& [key, binding] : classes_) out.emplace(key, binding.id);
+    return out;
+}
+
+// ----------------------------------------------------------------- generate
+
+void validate(const Configuration& config) {
+    // device -> (lowest tag-rule priority, highest predicate-rule priority)
+    std::map<std::string, std::pair<int, int>> bands;
+    for (const Flow_rule& rule : config.flow_rules) {
+        for (const std::optional<int>& tag : {rule.match_tag, rule.set_tag}) {
+            if (tag && (*tag < kMinVlanTag || *tag > kMaxVlanTag))
+                throw Policy_error("invalid table: rule on " + rule.device +
+                                   " uses VLAN tag " + std::to_string(*tag) +
+                                   " outside " + std::to_string(kMinVlanTag) +
+                                   ".." + std::to_string(kMaxVlanTag));
+        }
+        auto& [min_tag, max_pred] =
+            bands.try_emplace(rule.device, std::pair{kSegmentTagPriority + 1,
+                                                     -1})
+                .first->second;
+        if (rule.match_tag)
+            min_tag = std::min(min_tag, rule.priority);
+        else
+            max_pred = std::max(max_pred, rule.priority);
+    }
+    for (const auto& [device, band] : bands) {
+        if (band.first <= band.second)
+            throw Policy_error(
+                "invalid table: on " + device + " a tag-matching rule at "
+                "priority " + std::to_string(band.first) +
+                " does not outrank a predicate rule at priority " +
+                std::to_string(band.second) +
+                " — a tagged packet could be re-classified");
+    }
+}
+
 Configuration generate(const core::Compilation& compilation,
-                       const topo::Topology& topo) {
+                       const topo::Topology& topo, Naming& naming) {
     if (!compilation.feasible)
         throw Policy_error("cannot generate code for infeasible policy: " +
                            compilation.diagnostic);
-    return Generator(compilation, topo).run();
+    Configuration out = Generator(compilation, topo, naming).run();
+    validate(out);
+    return out;
+}
+
+Configuration generate(const core::Compilation& compilation,
+                       const topo::Topology& topo) {
+    Naming scratch;
+    return generate(compilation, topo, scratch);
 }
 
 std::map<std::string, interp::Program> host_programs(
@@ -432,25 +640,28 @@ std::map<std::string, interp::Program> host_programs(
     return out;
 }
 
+std::string to_text(const Flow_rule& r) {
+    std::ostringstream out;
+    out << r.device << ": priority=" << r.priority;
+    if (r.match_tag) out << " vlan=" << *r.match_tag;
+    if (r.match) out << " match=[" << ir::to_string(r.match) << ']';
+    if (r.match_dst_mac) {
+        const auto f = ir::find_field("eth.dst");
+        out << " dst=" << ir::format_field_value(*f, *r.match_dst_mac);
+    }
+    out << " ->";
+    if (r.drop) out << " drop";
+    if (r.set_tag) out << " set_vlan:" << *r.set_tag;
+    if (r.strip_tag) out << " strip_vlan";
+    if (!r.out_port.empty()) out << " output:" << r.out_port;
+    if (r.queue) out << " queue:" << *r.queue;
+    return out.str();
+}
+
 std::string to_text(const Configuration& config) {
     std::ostringstream out;
     out << "# OpenFlow rules (" << config.flow_rules.size() << ")\n";
-    for (const Flow_rule& r : config.flow_rules) {
-        out << r.device << ": priority=" << r.priority;
-        if (r.match_tag) out << " vlan=" << *r.match_tag;
-        if (r.match) out << " match=[" << ir::to_string(r.match) << ']';
-        if (r.match_dst_mac) {
-            const auto f = ir::find_field("eth.dst");
-            out << " dst=" << ir::format_field_value(*f, *r.match_dst_mac);
-        }
-        out << " ->";
-        if (r.drop) out << " drop";
-        if (r.set_tag) out << " set_vlan:" << *r.set_tag;
-        if (r.strip_tag) out << " strip_vlan";
-        if (!r.out_port.empty()) out << " output:" << r.out_port;
-        if (r.queue) out << " queue:" << *r.queue;
-        out << '\n';
-    }
+    for (const Flow_rule& r : config.flow_rules) out << to_text(r) << '\n';
     out << "# Queues (" << config.queues.size() << ")\n";
     for (const Queue_config& q : config.queues) {
         out << q.device << " port:" << q.port << " queue:" << q.queue_id

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,29 @@
 #include "util/units.h"
 
 namespace merlin::codegen {
+
+// Flow-table priority bands (highest wins). The load-bearing invariant —
+// asserted by validate() whenever a table is built or a diff is applied —
+// is that every tag-matching rule strictly outranks every tag-wildcard
+// (predicate-matching) rule on the same device: once a packet carries a
+// segment or tree tag its fate is decided by the tag alone, so a path that
+// revisits its ingress switch cannot be re-classified by the ingress rule
+// it already matched, and no diff application order can reintroduce that
+// ambiguity.
+inline constexpr int kClassifyPriority = 10;     // predicate -> tag / deliver
+inline constexpr int kDropPriority = 12;         // predicate -> drop (edge)
+inline constexpr int kTreeForwardPriority = 25;  // tree tag -> forward
+inline constexpr int kDeliveryPriority = 28;     // tag + dst mac -> deliver
+inline constexpr int kSegmentTagPriority = 31;   // segment tag -> forward
+static_assert(kTreeForwardPriority > kDropPriority &&
+                  kTreeForwardPriority > kClassifyPriority &&
+                  kDeliveryPriority > kTreeForwardPriority &&
+                  kSegmentTagPriority > kDeliveryPriority,
+              "tag-matching rules must strictly outrank predicate rules");
+
+// The usable 802.1Q tag range: 0 and 1 are reserved, 4095 is the wildcard.
+inline constexpr int kMinVlanTag = 2;
+inline constexpr int kMaxVlanTag = 4094;
 
 // One OpenFlow flow-table entry.
 struct Flow_rule {
@@ -82,13 +106,76 @@ struct Configuration {
     }
 };
 
+// Stable name allocator shared by successive generate() calls.
+//
+// VLAN tags and per-host tc class ids are bound to *identity keys* —
+// strings derived from what a rule does (statement id + segment ordinal +
+// path node sequence for guaranteed segments; path expression + egress
+// switch + NFA state + tree content signature for shared sink trees; host +
+// statement id for tc classes) rather than from emission order. After a
+// delta, re-generating through the same Naming reuses every name whose
+// behaviour is unchanged, which is what makes table diffs minimal and
+// two-phase updates sound (changed forwarding behaviour ⇒ fresh tag, so
+// in-flight packets finish on the rules that classified them).
+//
+// The lifecycle is mark-and-sweep: begin_generation() clears the use
+// marks, generate() marks every binding it touches, collect_unused()
+// releases the rest into a free list and returns the retired VLAN tags.
+// Released tags are recycled lowest-first; allocation throws Policy_error
+// with a diagnostic when all 4093 usable VLAN ids (2..4094) are live at
+// once — previously the counter ran past 4094 and emitted corrupt tables.
+class Naming {
+public:
+    // The tag (or tc class id) bound to `key`, allocating on first use.
+    [[nodiscard]] int tag(const std::string& key);
+    [[nodiscard]] int host_class(const std::string& host,
+                                 const std::string& statement_id);
+
+    // Mark-and-sweep generation lifecycle.
+    void begin_generation();
+    std::vector<int> collect_unused();  // returns retired VLAN tags, sorted
+
+    // Introspection (diff fingerprints, tests, diagnostics).
+    [[nodiscard]] std::size_t live_tags() const { return tags_.size(); }
+    [[nodiscard]] int high_water() const { return next_tag_ - 1; }
+    [[nodiscard]] std::map<std::string, int> tag_bindings() const;
+    // "host|statement id" -> tc class id.
+    [[nodiscard]] std::map<std::string, int> class_bindings() const;
+
+private:
+    struct Binding {
+        int id = 0;
+        bool used = true;
+    };
+    std::map<std::string, Binding> tags_;
+    std::set<int> free_tags_;
+    int next_tag_ = kMinVlanTag;
+    std::map<std::string, Binding> classes_;  // key: "host|statement id"
+    std::map<std::string, std::set<int>> free_classes_;  // per host
+    std::map<std::string, int> next_class_;              // per host
+};
+
 // Generates all device instructions for a feasible compilation.
-// Throws Policy_error when called on an infeasible compilation.
+// Throws Policy_error when called on an infeasible compilation. The
+// Naming overload binds tags/class ids through the caller's allocator so
+// successive generations produce diff-minimal tables; the two-argument
+// form uses a scratch allocator (deterministic batch output).
 [[nodiscard]] Configuration generate(const core::Compilation& compilation,
                                      const topo::Topology& topo);
+[[nodiscard]] Configuration generate(const core::Compilation& compilation,
+                                     const topo::Topology& topo,
+                                     Naming& naming);
+
+// Checks the table invariants diff application relies on: every tag is
+// within the usable VLAN range, and on every device the lowest-priority
+// tag-matching rule still outranks the highest-priority predicate rule.
+// Throws Policy_error naming the offending device otherwise. generate()
+// and diff application both call this.
+void validate(const Configuration& config);
 
 // Human-readable dump (used by examples and for debugging).
 [[nodiscard]] std::string to_text(const Configuration& config);
+[[nodiscard]] std::string to_text(const Flow_rule& rule);
 
 // Per-host programs for the end-host interpreter backend (Section 3.4's
 // netfilter prototype): drops, rate limits (caps), and allows for the

@@ -628,7 +628,16 @@ Update_result Engine::finish_update(const char* kind,
     out.warm_started = warm_started;
     out.work = totals_.since(before);
     out.ms = ms_since(start);
+    // Every delta path funnels through here exactly once, so this is the
+    // one publication point delta-aware consumers observe.
+    ++generation_;
+    if (publish_hook_) publish_hook_(current_, topo_);
     return out;
+}
+
+void Engine::on_publish(Publish_hook hook) {
+    publish_hook_ = std::move(hook);
+    if (publish_hook_) publish_hook_(current_, topo_);
 }
 
 Update_result Engine::add_statement(const ir::Statement& statement,

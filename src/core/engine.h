@@ -41,6 +41,8 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -139,6 +141,18 @@ public:
     // Moves the built compilation out (the one-shot compile() wrapper).
     [[nodiscard]] Compilation take() && { return std::move(current_); }
 
+    // Observation point for delta-aware consumers (codegen::Incremental
+    // lives a layer above core, so the engine exposes a hook rather than
+    // owning diff state). The hook runs after every delta operation with
+    // the published compilation — feasible or not — and the engine's
+    // topology, and once immediately at registration with the already-
+    // published state, so a late subscriber starts from the live tables.
+    using Publish_hook =
+        std::function<void(const Compilation&, const topo::Topology&)>;
+    void on_publish(Publish_hook hook);
+    // Publication counter: 1 after construction, +1 per delta operation.
+    [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
 private:
     struct Entry {
         ir::Statement stmt;
@@ -226,6 +240,9 @@ private:
     Compilation current_;
     Compilation::Timing timing_;
     Engine_stats totals_;
+
+    Publish_hook publish_hook_;
+    std::uint64_t generation_ = 1;  // construction is the first publication
 };
 
 }  // namespace merlin::core

@@ -1,0 +1,145 @@
+#include "netsim/tables.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace merlin::netsim {
+
+Rule_network::Rule_network(const topo::Topology& topo) : topo_(topo) {}
+
+void Rule_network::add_rule(const std::string& device, Table_rule rule) {
+    tables_[device].push_back(std::move(rule));
+}
+
+void Rule_network::add_click_forward(const std::string& device, int match_tag,
+                                     int set_tag,
+                                     const std::string& out_port) {
+    clicks_[device].push_back(Click_forward{match_tag, set_tag, out_port});
+}
+
+void Rule_network::set_host_mac(const std::string& host, std::uint64_t mac) {
+    host_macs_[host] = mac;
+}
+
+Table_trace Rule_network::route(const std::string& ingress,
+                                Packet packet) const {
+    Table_trace trace;
+    const auto fail = [&](std::string verdict) {
+        trace.delivered = false;
+        trace.verdict = std::move(verdict);
+        return trace;
+    };
+
+    std::string device = ingress;
+    std::string prev;  // where the packet came from ("" at the ingress)
+    // Generous bound: a legal route visits no device more often than the
+    // segment structure allows; running past this is a forwarding loop.
+    for (int ttl = 4 * topo_.node_count() + 8; ttl > 0; --ttl) {
+        trace.path.push_back(device);
+        const auto node_id = topo_.find(device);
+        if (!node_id) return fail("unknown device '" + device + "'");
+        const topo::Node_kind kind = topo_.node(*node_id).kind;
+
+        if (kind == topo::Node_kind::host) {
+            const auto mac = host_macs_.find(device);
+            if (mac != host_macs_.end() && mac->second != packet.dst)
+                return fail("misdelivered to host '" + device + "'");
+            if (packet.tag != -1)
+                return fail("delivered to '" + device +
+                            "' with tag " + std::to_string(packet.tag) +
+                            " not stripped");
+            trace.delivered = true;
+            return trace;
+        }
+
+        std::string next;
+        if (kind == topo::Node_kind::middlebox) {
+            // A Click forward keyed on the incoming tag is deterministic;
+            // a function-only middlebox passes the packet through — back
+            // over its single link, or out the other of two.
+            const Click_forward* forward = nullptr;
+            if (const auto it = clicks_.find(device); it != clicks_.end())
+                for (const Click_forward& f : it->second)
+                    if (f.match_tag == packet.tag) {
+                        forward = &f;
+                        break;
+                    }
+            if (forward != nullptr) {
+                if (forward->set_tag != -1) packet.tag = forward->set_tag;
+                next = forward->out_port;
+            } else {
+                std::vector<std::string> live;
+                for (const auto& adj : topo_.neighbors(*node_id))
+                    if (topo_.link_up(adj.link))
+                        live.push_back(topo_.node(adj.node).name);
+                if (live.size() == 1) {
+                    next = live.front();
+                } else if (live.size() == 2 &&
+                           std::find(live.begin(), live.end(), prev) !=
+                               live.end()) {
+                    next = live.front() == prev ? live.back() : live.front();
+                } else {
+                    return fail("middlebox '" + device +
+                                "' has no deterministic way out for tag " +
+                                std::to_string(packet.tag));
+                }
+            }
+        } else {
+            const auto table = tables_.find(device);
+            const Table_rule* best = nullptr;
+            bool ambiguous = false;
+            if (table != tables_.end()) {
+                for (const Table_rule& rule : table->second) {
+                    const bool matches =
+                        (rule.match_class == kMatchAny ||
+                         rule.match_class == packet.traffic_class) &&
+                        (rule.match_tag == -1 ||
+                         rule.match_tag == packet.tag) &&
+                        (rule.match_dst == 0 ||
+                         rule.match_dst == packet.dst);
+                    if (!matches) continue;
+                    if (best == nullptr || rule.priority > best->priority) {
+                        best = &rule;
+                        ambiguous = false;
+                    } else if (rule.priority == best->priority &&
+                               (rule.drop != best->drop ||
+                                rule.set_tag != best->set_tag ||
+                                rule.strip_tag != best->strip_tag ||
+                                rule.out_port != best->out_port)) {
+                        ambiguous = true;
+                    }
+                }
+            }
+            if (best == nullptr)
+                return fail("no matching rule at '" + device +
+                            "' for tag " + std::to_string(packet.tag) +
+                            " (blackhole)");
+            if (ambiguous)
+                return fail("ambiguous table at '" + device +
+                            "': equal-priority rules disagree");
+            if (best->drop) return fail("dropped");
+            if (best->set_tag != -1) packet.tag = best->set_tag;
+            if (best->strip_tag) packet.tag = -1;
+            if (best->out_port.empty())
+                return fail("matching rule at '" + device +
+                            "' has no action (blackhole)");
+            next = best->out_port;
+        }
+
+        const auto next_id = topo_.find(next);
+        if (!next_id)
+            return fail("forward from '" + device + "' to unknown '" + next +
+                        "'");
+        const auto link = topo_.link_between(*node_id, *next_id);
+        if (!link || !topo_.link_up(*link))
+            return fail("forward from '" + device + "' to '" + next +
+                        "' over a " + (link ? "failed" : "nonexistent") +
+                        " link");
+        prev = device;
+        device = next;
+    }
+    return fail("forwarding loop (ttl exhausted)");
+}
+
+}  // namespace merlin::netsim

@@ -1,0 +1,89 @@
+// A per-packet rule-table router over abstract flow tables.
+//
+// The flow simulator (sim.h) answers "what rate does each flow get"; this
+// answers the orthogonal question two-phase updates hinge on: "which exact
+// hops does one packet take under *this* rule table" — including a mixed
+// table captured between update phases. netsim depends only on topo, so
+// rules are expressed abstractly: codegen predicates become opaque
+// traffic-class integers (the caller assigns them), VLAN tags and
+// destination addresses stay concrete. The testgen diff oracle converts a
+// codegen::Configuration into a Rule_network per update phase and asserts
+// every in-flight packet either completes on the old path or the new one —
+// never a blend, never a blackhole.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace merlin::netsim {
+
+// Traffic-class sentinels for Table_rule::match_class.
+inline constexpr int kMatchAny = -1;      // predicate wildcard
+inline constexpr int kMatchNothing = -2;  // predicate no packet carries
+
+// One abstract flow-table entry (the shape of codegen::Flow_rule with the
+// predicate replaced by a class id). Highest priority wins; equal-priority
+// rules that both match but act differently make the table ambiguous,
+// which route() reports as a failure.
+struct Table_rule {
+    int priority = 0;
+    int match_class = kMatchAny;       // traffic class, or a sentinel
+    int match_tag = -1;                // VLAN tag, -1 = wildcard
+    std::uint64_t match_dst = 0;       // dst mac, 0 = wildcard
+    bool drop = false;
+    int set_tag = -1;                  // -1 = leave unchanged
+    bool strip_tag = false;
+    std::string out_port;              // neighbour name; empty with drop
+};
+
+struct Packet {
+    int traffic_class = kMatchNothing;
+    std::uint64_t dst = 0;   // destination mac
+    int tag = -1;            // VLAN tag; -1 = untagged
+};
+
+struct Table_trace {
+    bool delivered = false;
+    std::string verdict;                  // why not, when !delivered
+    std::vector<std::string> path;        // device names visited, in order
+};
+
+class Rule_network {
+public:
+    explicit Rule_network(const topo::Topology& topo);
+
+    void add_rule(const std::string& device, Table_rule rule);
+    // A middlebox Click forward: packets entering `device` carrying
+    // `match_tag` leave toward `out_port` carrying `set_tag`.
+    void add_click_forward(const std::string& device, int match_tag,
+                           int set_tag, const std::string& out_port);
+    // Registering a host's mac lets route() flag misdelivery (a packet
+    // handed to a host whose address is not the packet's destination).
+    void set_host_mac(const std::string& host, std::uint64_t mac);
+
+    // Routes one packet injected at `ingress` (a switch) until it is
+    // delivered to the host with mac `packet.dst`, dropped, or fails.
+    // Failures name their cause: no matching rule (blackhole), ambiguous
+    // table, forwarding over a failed or absent link, a middlebox with no
+    // deterministic way out, or a forwarding loop (TTL exhausted).
+    // `drop` counts as non-delivery with verdict "dropped".
+    [[nodiscard]] Table_trace route(const std::string& ingress,
+                                    Packet packet) const;
+
+private:
+    const topo::Topology& topo_;
+    std::map<std::string, std::vector<Table_rule>> tables_;
+    struct Click_forward {
+        int match_tag = -1;
+        int set_tag = -1;
+        std::string out_port;
+    };
+    std::map<std::string, std::vector<Click_forward>> clicks_;
+    std::map<std::string, std::uint64_t> host_macs_;
+};
+
+}  // namespace merlin::netsim

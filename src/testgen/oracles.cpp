@@ -10,10 +10,12 @@
 
 #include "automata/automata.h"
 #include "codegen/codegen.h"
+#include "codegen/diff.h"
 #include "core/addressing.h"
 #include "core/logical.h"
 #include "core/provision.h"
 #include "netsim/sim.h"
+#include "netsim/tables.h"
 #include "testgen/testgen.h"
 #include "util/error.h"
 
@@ -456,23 +458,36 @@ struct Rule_tables {
     }
 };
 
-// Parses "SetVLANAnno(<tag>) -> ToDevice(toward <name>);" out of a
-// middlebox forwarding Click config; nullopt when the text has another shape.
-std::optional<std::pair<int, std::string>> parse_click_forward(
+// Parses "VLANClassifier(<in>) -> SetVLANAnno(<out>) -> ToDevice(toward
+// <name>);" out of a middlebox forwarding Click config; nullopt when the
+// text has another shape.
+struct Click_forward_text {
+    int in_tag = -1;
+    int out_tag = -1;
+    std::string toward;
+};
+std::optional<Click_forward_text> parse_click_forward(
     const std::string& config) {
+    const auto classify = config.find("VLANClassifier(");
     const auto anno = config.find("SetVLANAnno(");
     const auto toward = config.find("ToDevice(toward ");
-    if (anno == std::string::npos || toward == std::string::npos)
+    if (classify == std::string::npos || anno == std::string::npos ||
+        toward == std::string::npos)
         return std::nullopt;
+    const auto classify_end = config.find(')', classify);
     const auto anno_end = config.find(')', anno);
     const auto toward_end = config.find(')', toward);
-    if (anno_end == std::string::npos || toward_end == std::string::npos)
+    if (classify_end == std::string::npos || anno_end == std::string::npos ||
+        toward_end == std::string::npos)
         return std::nullopt;
-    const std::string tag_text =
-        config.substr(anno + 12, anno_end - anno - 12);
     try {
-        return std::pair(std::stoi(tag_text),
-                         config.substr(toward + 16, toward_end - toward - 16));
+        Click_forward_text out;
+        out.in_tag = std::stoi(
+            config.substr(classify + 15, classify_end - classify - 15));
+        out.out_tag =
+            std::stoi(config.substr(anno + 12, anno_end - anno - 12));
+        out.toward = config.substr(toward + 16, toward_end - toward - 16);
+        return out;
     } catch (const std::logic_error&) {
         return std::nullopt;
     }
@@ -506,20 +521,17 @@ bool trace_to_delivery(const Rule_tables& tables, const std::string& device,
                                      dst_name, budget - 1, visited);
         }
     }
-    // Middleboxes forward via Click: branch over every plausible forward.
-    // Known modeling gap: the emitted Click snippets carry no *input* tag
-    // match, so a middlebox on several trees is ambiguous on a real device;
-    // until codegen grows a VLAN classifier stage the oracle can only check
-    // that a correct forward exists, not that the device would pick it.
+    // Middleboxes forward via Click. The snippet's VLANClassifier stage
+    // keys on the *input* tag, so the device's choice is deterministic:
+    // follow exactly the forward whose classifier matches the carried tag.
     const auto clicks = tables.clicks.find(device);
     if (clicks != tables.clicks.end()) {
         for (const codegen::Click_config* click : clicks->second) {
             const auto forward = parse_click_forward(click->config);
-            if (!forward) continue;
-            std::set<std::pair<std::string, int>> branch = visited;
-            if (trace_to_delivery(tables, forward->second, forward->first,
-                                  dst_mac, dst_name, budget - 1, branch))
-                return true;
+            if (!forward || forward->in_tag != tag) continue;
+            return trace_to_delivery(tables, forward->toward,
+                                     forward->out_tag, dst_mac, dst_name,
+                                     budget - 1, visited);
         }
     }
     return false;
@@ -794,6 +806,234 @@ std::optional<std::string> check_solvers(
         }
     }
     return std::nullopt;
+}
+
+// --------------------------------------------------------------- diff oracle
+
+namespace {
+
+// Builds a netsim rule network from a configuration, abstracting every rule
+// predicate to a traffic-class id (structural predicate equality against
+// `classes`). Predicates outside the list — e.g. the compiler's catch-all —
+// match none of the modeled packets.
+netsim::Rule_network to_rule_network(
+    const codegen::Configuration& config,
+    const std::vector<std::pair<ir::PredPtr, int>>& classes,
+    const core::Addressing& addressing, const topo::Topology& topo) {
+    netsim::Rule_network net(topo);
+    for (const codegen::Flow_rule& r : config.flow_rules) {
+        netsim::Table_rule rule;
+        rule.priority = r.priority;
+        if (r.match != nullptr) {
+            rule.match_class = netsim::kMatchNothing;
+            for (const auto& [pred, id] : classes)
+                if (ir::equal(pred, r.match)) {
+                    rule.match_class = id;
+                    break;
+                }
+        }
+        rule.match_tag = r.match_tag.value_or(-1);
+        rule.match_dst = r.match_dst_mac.value_or(0);
+        rule.drop = r.drop;
+        rule.set_tag = r.set_tag.value_or(-1);
+        rule.strip_tag = r.strip_tag;
+        rule.out_port = r.out_port;
+        net.add_rule(r.device, std::move(rule));
+    }
+    for (const codegen::Click_config& c : config.click_configs)
+        if (const auto f = parse_click_forward(c.config))
+            net.add_click_forward(c.device, f->in_tag, f->out_tag, f->toward);
+    for (const topo::NodeId h : topo.hosts())
+        net.set_host_mac(topo.node(h).name, addressing.mac(h));
+    return net;
+}
+
+const core::Statement_plan* find_plan(const core::Compilation& comp,
+                                      const std::string& id) {
+    for (const core::Statement_plan& plan : comp.plans)
+        if (plan.statement.id == id) return &plan;
+    return nullptr;
+}
+
+// A guaranteed path through a multi-link middlebox with no Click forward
+// resolves by passthrough, which is only deterministic over a single link
+// (or an out-and-back the model cannot distinguish from crossing): skip
+// such statements rather than report a modeling artifact.
+bool passthrough_ambiguous(const core::Statement_plan& plan,
+                           const topo::Topology& topo) {
+    if (!plan.path) return false;
+    for (const topo::NodeId n : plan.path->nodes) {
+        if (topo.node(n).kind != topo::Node_kind::middlebox) continue;
+        int live = 0;
+        for (const auto& adj : topo.neighbors(n))
+            if (topo.link_up(adj.link)) ++live;
+        if (live > 1) return true;
+    }
+    return false;
+}
+
+// The first switch of a guaranteed plan's provisioned path (its one
+// classification point); kNoNode for best-effort plans.
+topo::NodeId classify_switch(const core::Statement_plan& plan,
+                             const topo::Topology& topo) {
+    if (!plan.path) return topo::kNoNode;
+    for (const topo::NodeId n : plan.path->nodes)
+        if (topo.node(n).kind == topo::Node_kind::switch_) return n;
+    return topo::kNoNode;
+}
+
+// Replays every stable pinned statement's packets against the four table
+// states of a two-phase update. Per-packet consistency: each injection is
+// delivered at every phase, the after-prepare route equals the pre-update
+// route, and the after-commit route equals the post-update route.
+std::optional<std::string> check_two_phase(
+    const core::Compilation& old_comp, const core::Compilation& new_comp,
+    const codegen::Configuration& old_config, const codegen::Diff& d,
+    const codegen::Configuration& new_config, const topo::Topology& topo) {
+    std::vector<std::pair<ir::PredPtr, int>> classes;
+    for (const core::Compilation* comp : {&old_comp, &new_comp}) {
+        for (const core::Statement_plan& plan : comp->plans) {
+            bool known = false;
+            for (const auto& [pred, id] : classes)
+                if (ir::equal(pred, plan.statement.predicate)) {
+                    known = true;
+                    break;
+                }
+            if (!known)
+                classes.emplace_back(plan.statement.predicate,
+                                     static_cast<int>(classes.size()));
+        }
+    }
+
+    codegen::Configuration prepared = old_config;
+    codegen::apply_prepare(prepared, d);
+    codegen::Configuration committed = prepared;
+    codegen::apply_commit(committed, d);
+
+    const core::Addressing& addressing = new_comp.addressing;
+    const netsim::Rule_network nets[4] = {
+        to_rule_network(old_config, classes, addressing, topo),
+        to_rule_network(prepared, classes, addressing, topo),
+        to_rule_network(committed, classes, addressing, topo),
+        to_rule_network(new_config, classes, addressing, topo),
+    };
+    static const char* const kPhase[4] = {"pre-update", "after prepare",
+                                          "after commit", "post-update"};
+
+    for (const core::Statement_plan& plan : new_comp.plans) {
+        if (plan.statement.id == "__default" || plan.drop) continue;
+        if (!plan.src_host || !plan.dst_host) continue;
+        const core::Statement_plan* old_plan =
+            find_plan(old_comp, plan.statement.id);
+        if (old_plan == nullptr || old_plan->drop) continue;
+        if (!ir::equal(old_plan->statement.predicate,
+                       plan.statement.predicate))
+            continue;
+        if (passthrough_ambiguous(*old_plan, topo) ||
+            passthrough_ambiguous(plan, topo))
+            continue;
+
+        // Injection points must classify in both configurations: every
+        // live edge switch for best-effort, the path's first switch for
+        // guaranteed — skipped when a reroute moved it, since the table
+        // then legitimately has no classifier at the old spot mid-update.
+        std::vector<topo::NodeId> ingresses;
+        const topo::NodeId old_ingress = classify_switch(*old_plan, topo);
+        const topo::NodeId new_ingress = classify_switch(plan, topo);
+        if (old_ingress != topo::kNoNode || new_ingress != topo::kNoNode) {
+            if (old_ingress != new_ingress) continue;
+            ingresses.push_back(new_ingress);
+        } else {
+            for (const auto& adj : topo.neighbors(*plan.src_host))
+                if (topo.node(adj.node).kind == topo::Node_kind::switch_ &&
+                    topo.link_up(adj.link))
+                    ingresses.push_back(adj.node);
+        }
+
+        netsim::Packet packet;
+        packet.dst = addressing.mac(*plan.dst_host);
+        for (const auto& [pred, id] : classes)
+            if (ir::equal(pred, plan.statement.predicate)) {
+                packet.traffic_class = id;
+                break;
+            }
+
+        const std::string what =
+            "two-phase update of '" + plan.statement.id + "'";
+        for (const topo::NodeId ingress : ingresses) {
+            const std::string start = topo.node(ingress).name;
+            netsim::Table_trace traces[4];
+            for (int phase = 0; phase < 4; ++phase) {
+                traces[phase] = nets[phase].route(start, packet);
+                if (!traces[phase].delivered)
+                    return fail(what, std::string(kPhase[phase]) +
+                                          " table blackholes its packet "
+                                          "from " + start + ": " +
+                                          traces[phase].verdict);
+            }
+            if (traces[1].path != traces[0].path)
+                return fail(what,
+                            "after prepare the packet from " + start +
+                                " leaves the pre-update path (old/new mix)");
+            if (traces[2].path != traces[3].path)
+                return fail(what,
+                            "after commit the packet from " + start +
+                                " is not yet on the post-update path "
+                                "(old/new mix)");
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> Diff_oracle::step(
+    const core::Compilation& compilation, const topo::Topology& topo,
+    bool check_transition) {
+    // Infeasible publications emit no tables; the last feasible state stays
+    // current so the next feasible delta diffs against it.
+    if (!compilation.feasible) return std::nullopt;
+
+    const codegen::Configuration before = incremental_.config();
+    codegen::Diff d;
+    try {
+        d = incremental_.update(compilation, topo);
+    } catch (const Error& e) {
+        return fail("diffs",
+                    std::string("incremental generate threw: ") + e.what());
+    }
+
+    // Replaying the diff against the previous tables must reproduce the
+    // incrementally generated tables exactly.
+    try {
+        if (!codegen::equal(codegen::apply(before, d), incremental_.config()))
+            return fail("diffs",
+                        "applying the emitted diff to the previous tables "
+                        "does not reproduce the regenerated tables");
+    } catch (const Error& e) {
+        return fail("diffs",
+                    std::string("diff application threw: ") + e.what());
+    }
+
+    // The incremental tables must match a from-scratch batch generate
+    // modulo tag/class renaming (a fresh allocator cannot reproduce
+    // persisted numbers; the Naming keys join the two namings).
+    codegen::Naming fresh;
+    const codegen::Configuration batch =
+        codegen::generate(compilation, topo, fresh);
+    if (codegen::keyed_text(incremental_.config(), incremental_.naming()) !=
+        codegen::keyed_text(batch, fresh))
+        return fail("diffs",
+                    "incremental tables diverge from a from-scratch batch "
+                    "generate (compared modulo tag renaming)");
+
+    std::optional<std::string> failure;
+    if (seeded_ && check_transition)
+        failure = check_two_phase(previous_, compilation, before, d,
+                                  incremental_.config(), topo);
+    previous_ = compilation;
+    seeded_ = true;
+    return failure;
 }
 
 }  // namespace merlin::testgen

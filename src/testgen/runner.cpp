@@ -132,6 +132,13 @@ Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
                        -1);
     }
 
+    // Delta-aware codegen state carried across the whole trace, plus
+    // whether the delta that just ran changed link state (the old tables
+    // may then legitimately blackhole, so the phase-transition replay is
+    // skipped while the diff-vs-batch equivalences still run).
+    Diff_oracle diffs;
+    bool links_changed = false;
+
     // Runs every oracle against the engine's published state; returns false
     // (with `result` filled in) on the first violation.
     const auto check = [&](int step) {
@@ -162,6 +169,9 @@ Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
             return report("routes", *d);
         if (auto d = check_codegen(engine->current(), engine->topology()))
             return report("codegen", *d);
+        if (auto d = diffs.step(engine->current(), engine->topology(),
+                                !links_changed))
+            return report("diffs", *d);
         return true;
     };
 
@@ -183,6 +193,12 @@ Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
                            static_cast<int>(i));
         }
         ++result.deltas_applied;
+        const bool link_delta = delta.kind == Delta_kind::fail_link ||
+                                delta.kind == Delta_kind::restore_link;
+        // With end-only checking the transition replay compares the first
+        // and last states, so any link delta along the way disables it.
+        links_changed = options.check_each_delta ? link_delta
+                                                 : (links_changed || link_delta);
         if (options.check_each_delta && !check(static_cast<int>(i)))
             return result;
     }

@@ -437,6 +437,46 @@ Scenario random_scenario(const Gen_options& options, std::uint64_t seed) {
             break;
         }
     }
+
+    // Long-trace mode: hundreds of add/remove cycles over a small recycled
+    // pair pool. Each cycle adds one statement, optionally retunes it, then
+    // removes it and releases its pair, so sustained churn exercises tag
+    // recycling and diff minimality rather than policy growth.
+    int lt_counter = 0;
+    for (int cycle = 0; cycle < options.long_trace_cycles; ++cycle) {
+        const auto pair = draw_pair(ctx);
+        if (!pair) break;
+        ctx.pairs.plain.insert(*pair);
+        Statement_spec spec;
+        spec.stmt.id = indexed("lt", lt_counter++);
+        spec.stmt.predicate =
+            addressing.pair_predicate(pair->first, pair->second);
+        spec.stmt.path = draw_path(ctx);
+        draw_rates(ctx, spec);
+
+        Delta add;
+        add.kind = Delta_kind::add_statement;
+        add.stmt = spec;
+        if (apply_delta(model, t, add)) scenario.deltas.push_back(add);
+
+        if (rng.chance(0.5)) {
+            Delta tune;
+            tune.kind = Delta_kind::set_bandwidth;
+            tune.stmt.stmt.id = spec.stmt.id;
+            tune.stmt.guarantee = draw_rate(ctx);
+            if (rng.chance(0.6))
+                tune.stmt.cap = tune.stmt.guarantee + draw_rate(ctx);
+            if (apply_delta(model, t, tune))
+                scenario.deltas.push_back(std::move(tune));
+        }
+
+        Delta remove;
+        remove.kind = Delta_kind::remove_statement;
+        remove.stmt.stmt.id = spec.stmt.id;
+        if (apply_delta(model, t, remove))
+            scenario.deltas.push_back(std::move(remove));
+        ctx.pairs.plain.erase(*pair);
+    }
     return scenario;
 }
 

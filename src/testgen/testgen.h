@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/diff.h"
 #include "core/compiler.h"
 #include "topo/topology.h"
 #include "util/rng.h"
@@ -135,6 +136,12 @@ struct Gen_options {
     double middlebox_fraction = 0.35;  // scenario grows 1-2 middleboxes
     Bandwidth min_rate = mbps(1);
     Bandwidth max_rate = mbps(40);
+    // Long-trace mode: after the regular delta trace, this many add/remove
+    // cycles (add one statement, optionally retune its bandwidth, remove
+    // it) run on the same engine. The workload that exposes tag-lifecycle
+    // leaks: without free-list recycling the allocator's high-water mark
+    // climbs monotonically and exhausts the 12-bit VLAN space.
+    int long_trace_cycles = 0;
 };
 
 // Draws a well-typed scenario: pairwise-disjoint predicates (distinct host
@@ -201,6 +208,31 @@ struct Gen_options {
     const topo::Topology& topo,
     const std::vector<Statement_spec>& statements,
     const core::Compile_options& options);
+
+// Stateful delta-aware codegen oracle: feeds every published compilation
+// through a persistent codegen::Incremental and checks, per delta, that
+//  * applying the emitted two-phase diff to the previous Configuration
+//    reproduces the incrementally generated tables bit-for-bit,
+//  * the incremental tables match a from-scratch batch generate modulo
+//    tag/class renaming (compared via Naming-keyed canonical text),
+//  * when the topology is unchanged, replaying pinned statements' packets
+//    through netsim rule tables at every intermediate phase (old, after
+//    prepare, after commit, after cleanup) delivers each packet along
+//    either the pure-old or pure-new path — never a blend or a blackhole.
+// Infeasible publications are skipped (the last feasible state is kept).
+class Diff_oracle {
+public:
+    // `check_transition` should be false for deltas that change link state:
+    // the old tables may legitimately blackhole under the new topology.
+    [[nodiscard]] std::optional<std::string> step(
+        const core::Compilation& compilation, const topo::Topology& topo,
+        bool check_transition);
+
+private:
+    codegen::Incremental incremental_;
+    core::Compilation previous_;
+    bool seeded_ = false;
+};
 
 // -------------------------------------------------------------------- runner
 

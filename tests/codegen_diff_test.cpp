@@ -1,0 +1,452 @@
+// Delta-aware codegen: the stable-name allocator, two-phase diffs between
+// configurations, and the per-packet consistency they guarantee.
+#include "codegen/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/addressing.h"
+#include "core/engine.h"
+#include "netsim/tables.h"
+#include "parser/parser.h"
+#include "testgen/testgen.h"
+#include "topo/generators.h"
+#include "topo/parse.h"
+#include "util/error.h"
+
+namespace merlin::codegen {
+namespace {
+
+using merlin::parser::parse_policy;
+
+topo::Topology fig2_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi s1 s2 m1
+function nat m1
+)");
+}
+
+constexpr const char* kNatPolicy = R"(
+[ z : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> .* nat .* ],
+min(z, 100MB/s)
+)";
+
+// Diffs `engine`'s published compilations through one persistent Naming
+// and asserts both correctness bars on every step: the diff reconstructs
+// the regenerated configuration, and that configuration is batch-equal
+// modulo name choice.
+Diff checked_update(Incremental& incremental, const core::Engine& engine) {
+    Configuration before = incremental.config();
+    const Diff d = incremental.update(engine.current(), engine.topology());
+    EXPECT_TRUE(equal(apply(std::move(before), d), incremental.config()));
+    Naming scratch;
+    const Configuration batch =
+        generate(engine.current(), engine.topology(), scratch);
+    EXPECT_EQ(keyed_text(incremental.config(), incremental.naming()),
+              keyed_text(batch, scratch));
+    return d;
+}
+
+// ----------------------------------------------------------------- Naming
+
+TEST(Naming, RecyclesLowestFreedTagFirst) {
+    Naming naming;
+    EXPECT_EQ(naming.tag("a"), kMinVlanTag);
+    EXPECT_EQ(naming.tag("b"), kMinVlanTag + 1);
+    EXPECT_EQ(naming.tag("c"), kMinVlanTag + 2);
+    EXPECT_EQ(naming.tag("a"), kMinVlanTag);  // stable rebind
+
+    naming.begin_generation();
+    (void)naming.tag("b");  // only b survives this generation
+    const std::vector<int> swept = naming.collect_unused();
+    EXPECT_EQ(swept, (std::vector<int>{kMinVlanTag, kMinVlanTag + 2}));
+
+    // Freed tags come back lowest-first; the high-water mark stays put.
+    EXPECT_EQ(naming.tag("d"), kMinVlanTag);
+    EXPECT_EQ(naming.tag("e"), kMinVlanTag + 2);
+    EXPECT_EQ(naming.tag("f"), kMinVlanTag + 3);
+    EXPECT_EQ(naming.high_water(), kMinVlanTag + 3);
+}
+
+TEST(Naming, ThrowsWhenVlanSpaceExhaustsAndRecoversAfterSweep) {
+    Naming naming;
+    for (int i = 0; i <= kMaxVlanTag - kMinVlanTag; ++i)
+        (void)naming.tag("k" + std::to_string(i));
+    EXPECT_EQ(naming.high_water(), kMaxVlanTag);
+    EXPECT_THROW((void)naming.tag("overflow"), Policy_error);
+
+    // Retiring all but one binding makes the space usable again, starting
+    // from the lowest freed tag.
+    naming.begin_generation();
+    (void)naming.tag("k0");
+    (void)naming.collect_unused();
+    EXPECT_EQ(naming.tag("fresh"), kMinVlanTag + 1);
+}
+
+TEST(Validate, RejectsOutOfRangeTags) {
+    Configuration config;
+    Flow_rule rule;
+    rule.device = "s1";
+    rule.priority = kSegmentTagPriority;
+    rule.match_tag = 1;  // reserved, below kMinVlanTag
+    rule.out_port = "s2";
+    config.flow_rules.push_back(rule);
+    EXPECT_THROW(validate(config), Policy_error);
+
+    config.flow_rules[0].match_tag = kMinVlanTag;
+    config.flow_rules[0].set_tag = kMaxVlanTag + 1;
+    EXPECT_THROW(validate(config), Policy_error);
+
+    config.flow_rules[0].set_tag.reset();
+    validate(config);  // in-range tag rule is fine
+}
+
+TEST(Validate, RejectsTagRuleOutrankedByPredicateRule) {
+    Configuration config;
+    Flow_rule tagged;
+    tagged.device = "s1";
+    tagged.priority = kClassifyPriority;  // inverted: tag band must win
+    tagged.match_tag = kMinVlanTag;
+    tagged.out_port = "s2";
+    Flow_rule classifier;
+    classifier.device = "s1";
+    classifier.priority = kClassifyPriority;
+    classifier.match = ir::pred_test("tcp.dst", 80);
+    classifier.out_port = "s2";
+    config.flow_rules = {tagged, classifier};
+    EXPECT_THROW(validate(config), Policy_error);
+
+    config.flow_rules[0].priority = kSegmentTagPriority;
+    validate(config);
+}
+
+// ------------------------------------------------------------------- Diff
+
+TEST(Diff, NoopRecompileDiffsEmpty) {
+    core::Engine engine(parse_policy(kNatPolicy), fig2_topology());
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
+    ASSERT_TRUE(engine.recompile());
+    const Diff d = checked_update(incremental, engine);
+    EXPECT_TRUE(d.empty()) << to_text(d);
+}
+
+TEST(Diff, BandwidthDeltaTouchesQueuesOnly) {
+    core::Engine engine(parse_policy(kNatPolicy), fig2_topology());
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
+    ASSERT_TRUE(engine.set_bandwidth("z", mb_per_sec(50)));
+    const Diff d = checked_update(incremental, engine);
+    EXPECT_EQ(d.rules_touched(), 0) << to_text(d);
+    EXPECT_FALSE(d.queue_updates.empty());
+    EXPECT_TRUE(d.queue_installs.empty());
+    EXPECT_TRUE(d.queue_removes.empty());
+    EXPECT_TRUE(d.retired_tags.empty());
+}
+
+TEST(Diff, AddThenRemoveStatementRetiresItsTags) {
+    core::Engine engine(parse_policy(kNatPolicy), fig2_topology());
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+    const std::size_t settled_live =
+        incremental.naming().live_tags();
+
+    ir::Statement extra;
+    extra.id = "y";
+    extra.predicate = parse_policy(R"(
+[ y : eth.src = 00:00:00:00:00:02 and eth.dst = 00:00:00:00:00:01 -> .* ],
+min(y, 10MB/s)
+)").statements[0].predicate;
+    extra.path = ir::path_any_star();
+    ASSERT_TRUE(engine.add_statement(extra, mb_per_sec(10)));
+    const Diff added = checked_update(incremental, engine);
+    EXPECT_GT(added.rules_touched(), 0);
+    EXPECT_FALSE(added.tag_installs.empty());
+    EXPECT_TRUE(added.retired_tags.empty());
+
+    ASSERT_TRUE(engine.remove_statement("y"));
+    const Diff removed = checked_update(incremental, engine);
+    EXPECT_FALSE(removed.tag_removes.empty());
+    EXPECT_FALSE(removed.retired_tags.empty());
+    // The round trip leaks no live tags, and a second add reuses the
+    // retired tag instead of advancing the high-water mark.
+    EXPECT_EQ(incremental.naming().live_tags(), settled_live);
+    const int high_water = incremental.naming().high_water();
+    ASSERT_TRUE(engine.add_statement(extra, mb_per_sec(10)));
+    (void)checked_update(incremental, engine);
+    EXPECT_EQ(incremental.naming().high_water(), high_water);
+}
+
+TEST(Diff, RevisitSegmentedPathStableAcrossRateChange) {
+    // The fig2 nat path revisits s1's neighbourhood (h1 -> s1 -> m1 -> s2)
+    // and is segmented around the middlebox; a pure rate change must not
+    // move either segment's tag.
+    core::Engine engine(parse_policy(kNatPolicy), fig2_topology());
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
+    ASSERT_TRUE(engine.set_bandwidth("z", mb_per_sec(25)));
+    const Diff d = checked_update(incremental, engine);
+    EXPECT_EQ(d.rules_touched(), 0) << to_text(d);
+    EXPECT_TRUE(d.click_installs.empty());
+    EXPECT_TRUE(d.click_removes.empty());
+    EXPECT_TRUE(d.retired_tags.empty());
+}
+
+TEST(Diff, FailedLinkRebuildAppliesCleanly) {
+    const topo::Topology t = topo::fat_tree(4);
+    const core::Addressing addressing(t);
+    ir::Policy policy;
+    ir::Statement s;
+    s.id = "g";
+    s.predicate =
+        addressing.pair_predicate(t.hosts()[0], t.hosts()[5]);
+    s.path = ir::path_any_star();
+    policy.statements.push_back(s);
+    core::Engine engine(policy, t);
+    ASSERT_TRUE(engine.current().feasible);
+    ASSERT_TRUE(engine.set_bandwidth("g", mb_per_sec(10)));
+
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
+    // Failing a core--aggregation link rebuilds the affected trees and
+    // segments; the diff must still reconstruct the new table exactly.
+    topo::LinkId core_link = topo::kNoLink;
+    for (topo::LinkId l = 0; l < t.link_count(); ++l)
+        if (t.node(t.link(l).a).kind != topo::Node_kind::host &&
+            t.node(t.link(l).b).kind != topo::Node_kind::host) {
+            core_link = l;
+            break;
+        }
+    ASSERT_NE(core_link, topo::kNoLink);
+    ASSERT_TRUE(engine.fail_link(core_link));
+    const Diff failed = checked_update(incremental, engine);
+    EXPECT_GT(failed.rules_touched(), 0);
+
+    ASSERT_TRUE(engine.restore_link(core_link));
+    (void)checked_update(incremental, engine);
+}
+
+TEST(Diff, TwoPhaseOracleHoldsAcrossEngineDeltas) {
+    // The full testgen oracle: apply-equality, batch fingerprint, and the
+    // four-phase netsim replay (no blackholes, no old/new path mixing).
+    // Fat-tree redundancy keeps every delta below feasible.
+    const topo::Topology t = topo::fat_tree(4);
+    const core::Addressing addressing(t);
+    ir::Policy policy;
+    ir::Statement g;
+    g.id = "g";
+    g.predicate = addressing.pair_predicate(t.hosts()[0], t.hosts()[5]);
+    g.path = ir::path_any_star();
+    policy.statements.push_back(g);
+    core::Engine engine(policy, t);
+    ASSERT_TRUE(engine.current().feasible);
+    ASSERT_TRUE(engine.set_bandwidth("g", mb_per_sec(10)));
+
+    testgen::Diff_oracle oracle;
+    const auto step = [&](bool check_transition) {
+        const auto failure = oracle.step(engine.current(),
+                                         engine.topology(), check_transition);
+        EXPECT_FALSE(failure) << *failure;
+    };
+    step(true);
+    ASSERT_TRUE(engine.set_bandwidth("g", mb_per_sec(40), mb_per_sec(80)));
+    step(true);
+    ir::Statement extra;
+    extra.id = "y";
+    extra.predicate =
+        addressing.pair_predicate(t.hosts()[2], t.hosts()[9]);
+    extra.path = ir::path_any_star();
+    ASSERT_TRUE(engine.add_statement(extra, mb_per_sec(5)));
+    step(true);
+    ASSERT_TRUE(engine.remove_statement("y"));
+    step(true);
+    ASSERT_TRUE(engine.fail_link("c0", "a0_0"));
+    step(false);  // link-state deltas reroute legitimately
+    ASSERT_TRUE(engine.restore_link("c0", "a0_0"));
+    step(false);
+}
+
+TEST(Naming, LongChurnKeepsTagHighWaterBounded) {
+    // Three hundred add/remove cycles of a guaranteed statement: with the
+    // free-list recycling tags, the high-water mark settles after the
+    // first cycle instead of climbing toward kMaxVlanTag.
+    const topo::Topology t = fig2_topology();
+    const core::Addressing addressing(t);
+    core::Engine engine(parse_policy(kNatPolicy), t);
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+
+    ir::Statement churn;
+    churn.id = "c";
+    churn.predicate =
+        addressing.pair_predicate(*t.find("h2"), *t.find("h1"));
+    churn.path = ir::path_any_star();
+    int settled = 0;
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        ASSERT_TRUE(engine.add_statement(churn, mb_per_sec(5)));
+        (void)incremental.update(engine.current(), engine.topology());
+        ASSERT_TRUE(engine.remove_statement("c"));
+        (void)incremental.update(engine.current(), engine.topology());
+        if (cycle == 0) settled = incremental.naming().high_water();
+    }
+    EXPECT_EQ(incremental.naming().high_water(), settled);
+    EXPECT_LT(settled, 64);
+}
+
+// ----------------------------------------------------------- Rule_network
+
+topo::Topology line_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+)");
+}
+
+netsim::Table_rule classify_rule(int traffic_class, int tag) {
+    netsim::Table_rule r;
+    r.priority = kClassifyPriority;
+    r.match_class = traffic_class;
+    r.set_tag = tag;
+    r.out_port = "s2";
+    return r;
+}
+
+netsim::Table_rule deliver_rule(int tag, std::uint64_t dst) {
+    netsim::Table_rule r;
+    r.priority = kDeliveryPriority;
+    r.match_class = netsim::kMatchAny;
+    r.match_tag = tag;
+    r.match_dst = dst;
+    r.strip_tag = true;
+    r.out_port = "h2";
+    return r;
+}
+
+TEST(RuleNetwork, MisorderedUpdateBlackholesCorrectOrderDoesNot) {
+    const topo::Topology t = line_topology();
+    const netsim::Packet packet{7, 0x2, -1};
+
+    // Old table: classify class 7 onto tag 2, deliver tag 2 at s2.
+    netsim::Rule_network old_net(t);
+    old_net.add_rule("s1", classify_rule(7, 2));
+    old_net.add_rule("s2", deliver_rule(2, 0x2));
+    EXPECT_TRUE(old_net.route("s1", packet).delivered);
+
+    // Correct two-phase order: prepare (tag-3 delivery installed, old
+    // classifier still live) then commit (classifier flipped, both
+    // delivery rules live). Every intermediate table delivers.
+    netsim::Rule_network prepared(t);
+    prepared.add_rule("s1", classify_rule(7, 2));
+    prepared.add_rule("s2", deliver_rule(2, 0x2));
+    prepared.add_rule("s2", deliver_rule(3, 0x2));
+    EXPECT_TRUE(prepared.route("s1", packet).delivered);
+
+    netsim::Rule_network committed(t);
+    committed.add_rule("s1", classify_rule(7, 3));
+    committed.add_rule("s2", deliver_rule(2, 0x2));
+    committed.add_rule("s2", deliver_rule(3, 0x2));
+    EXPECT_TRUE(committed.route("s1", packet).delivered);
+
+    // Misordered: the classifier flips before the tag-3 rules exist. A
+    // packet classified in this window carries a tag no rule matches.
+    netsim::Rule_network misordered(t);
+    misordered.add_rule("s1", classify_rule(7, 3));
+    misordered.add_rule("s2", deliver_rule(2, 0x2));
+    const netsim::Table_trace trace = misordered.route("s1", packet);
+    EXPECT_FALSE(trace.delivered);
+    EXPECT_NE(trace.verdict.find("blackhole"), std::string::npos)
+        << trace.verdict;
+}
+
+TEST(RuleNetwork, ReportsAmbiguityMisdeliveryAndUnstrippedTags) {
+    const topo::Topology t = line_topology();
+
+    netsim::Rule_network ambiguous(t);
+    ambiguous.add_rule("s1", classify_rule(7, 2));
+    netsim::Table_rule rival = classify_rule(7, 3);
+    ambiguous.add_rule("s1", rival);
+    EXPECT_NE(ambiguous.route("s1", {7, 0x2, -1})
+                  .verdict.find("ambiguous"),
+              std::string::npos);
+
+    netsim::Rule_network misdelivery(t);
+    misdelivery.set_host_mac("h2", 0x2);
+    netsim::Table_rule wrong = classify_rule(7, -1);
+    wrong.set_tag = -1;
+    misdelivery.add_rule("s1", wrong);
+    misdelivery.add_rule("s2", [] {
+        netsim::Table_rule r;
+        r.priority = kClassifyPriority;
+        r.out_port = "h2";
+        return r;
+    }());
+    EXPECT_NE(misdelivery.route("s1", {7, 0x9, -1})
+                  .verdict.find("misdelivered"),
+              std::string::npos);
+
+    netsim::Rule_network unstripped(t);
+    unstripped.add_rule("s1", classify_rule(7, 2));
+    unstripped.add_rule("s2", [] {
+        netsim::Table_rule r;
+        r.priority = kDeliveryPriority;
+        r.match_tag = 2;
+        r.out_port = "h2";  // forgets strip_tag
+        return r;
+    }());
+    EXPECT_NE(unstripped.route("s1", {7, 0x2, -1})
+                  .verdict.find("not stripped"),
+              std::string::npos);
+}
+
+TEST(RuleNetwork, ReportsFailedLinksAndForwardingLoops) {
+    topo::Topology t = line_topology();
+
+    netsim::Rule_network looping(t);
+    netsim::Table_rule to_s2 = classify_rule(netsim::kMatchAny, -1);
+    to_s2.set_tag = -1;
+    looping.add_rule("s1", to_s2);
+    netsim::Table_rule back;
+    back.priority = kClassifyPriority;
+    back.out_port = "s1";
+    looping.add_rule("s2", back);
+    EXPECT_NE(looping.route("s1", {7, 0x2, -1}).verdict.find("loop"),
+              std::string::npos);
+
+    const auto link =
+        t.link_between(*t.find("s1"), *t.find("s2"));
+    ASSERT_TRUE(link.has_value());
+    t.set_link_state(*link, false);
+    netsim::Rule_network failed(t);
+    failed.add_rule("s1", classify_rule(7, 2));
+    EXPECT_NE(failed.route("s1", {7, 0x2, -1}).verdict.find("failed"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace merlin::codegen

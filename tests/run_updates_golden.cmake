@@ -17,7 +17,7 @@ endforeach()
 
 execute_process(
   COMMAND "${MERLINC}" --generate fat-tree:4 "${POLICY}" --quiet
-          --updates "${UPDATES}"
+          --updates "${UPDATES}" --emit-diffs
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE code)

@@ -17,6 +17,8 @@
 //                          campus:<n>, zoo:<switches>:<seed>)
 //   --max-statements <n>   policy size knob (default 8)
 //   --max-deltas <n>       trace length knob (default 8)
+//   --long-traces <n>      append n add/tune/remove statement cycles to every
+//                          trace (tag-recycling and diff-minimality stress)
 //   --out <file>           repro path (default merlin-fuzz-repro.txt)
 //   --replay <file>        replay one repro deterministically, then exit
 //   --inject-bug <name>    deliberately corrupt a delta path to validate the
@@ -44,7 +46,8 @@ namespace {
 int usage() {
     std::cerr
         << "usage: merlin-fuzz [--iters N] [--seed S] [--topos a,b,c]\n"
-           "       [--max-statements N] [--max-deltas N] [--out FILE]\n"
+           "       [--max-statements N] [--max-deltas N] [--long-traces N]\n"
+           "       [--out FILE]\n"
            "       [--replay FILE] [--inject-bug rate-skew|drop-restore]\n"
            "       [--no-shrink] [--no-solver-oracles] [--shrink-runs N]\n"
            "       [--verbose]\n";
@@ -132,6 +135,11 @@ int main(int argc, char** argv) {
             const auto n = v ? parse_count(*v) : std::nullopt;
             if (!n) return usage();
             gen.max_deltas = static_cast<int>(*n);
+        } else if (arg == "--long-traces") {
+            const auto v = value();
+            const auto n = v ? parse_count(*v) : std::nullopt;
+            if (!n) return usage();
+            gen.long_trace_cycles = static_cast<int>(*n);
         } else if (arg == "--shrink-runs") {
             const auto v = value();
             const auto n = v ? parse_count(*v) : std::nullopt;

@@ -19,6 +19,12 @@
 //   --updates <file>            after compiling, replay a delta script
 //                               against the incremental engine, printing
 //                               per-update timing and cache statistics
+//   --emit-diffs                with --updates: print the two-phase rule
+//                               diff (prepare/commit/cleanup) each update
+//                               produces, plus a one-line size summary
+//   --diff-json <file>          with --updates: write per-update diff-size
+//                               statistics (rules touched, total operations,
+//                               table size, retired tags) as JSON
 //   --quiet                     only print the summary line
 //
 // Update script grammar (one command per line, '#' comments):
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "codegen/codegen.h"
+#include "codegen/diff.h"
 #include "core/compiler.h"
 #include "core/engine.h"
 #include "interp/interp.h"
@@ -61,8 +68,8 @@ int usage() {
         << "usage: merlinc <topology-file> <policy-file>\n"
            "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
-           "       [--jobs <n>] [--updates <file>] [--programs] [--stats]\n"
-           "       [--quiet]\n"
+           "       [--jobs <n>] [--updates <file>] [--emit-diffs]\n"
+           "       [--diff-json <file>] [--programs] [--stats] [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
            "campus:<subnets>  zoo:<switches>:<seed>\n";
     return 2;
@@ -84,9 +91,44 @@ std::uint64_t parse_mbps(const std::string& text) {
     return static_cast<std::uint64_t>(*value);
 }
 
+// One published configuration's diff, recorded by the engine publish hook
+// and drained (paired with its update) by replay_updates. Record 0 is the
+// initial compile, where everything is an install.
+struct Diff_record {
+    std::string kind = "initial";
+    bool feasible = true;
+    int rules_touched = 0;
+    int total_operations = 0;
+    std::size_t table_rules = 0;
+    std::size_t retired_tags = 0;
+    std::string text;  // to_text(diff), only kept under --emit-diffs
+};
+
+void write_diff_json(const std::string& path,
+                     const std::vector<Diff_record>& records) {
+    std::ofstream out(path);
+    if (!out) throw merlin::Error("cannot write file: " + path);
+    out << "{\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Diff_record& r = records[i];
+        out << "    {\"update\": " << i << ", \"kind\": \"" << r.kind
+            << "\", \"feasible\": " << (r.feasible ? "true" : "false")
+            << ", \"rules_touched\": " << r.rules_touched
+            << ", \"total_operations\": " << r.total_operations
+            << ", \"table_rules\": " << r.table_rules
+            << ", \"retired_tags\": " << r.retired_tags << "}"
+            << (i + 1 < records.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+}
+
 // Replays the delta script against the engine, printing one line per
-// update plus an engine-totals summary. Returns the number of updates.
-int replay_updates(merlin::core::Engine& engine, const std::string& script) {
+// update plus an engine-totals summary. When `diffs` is non-null, each
+// update's publish-hook diff record (appended by the hook during the
+// engine call) is labeled with the update kind and, under `emit_diffs`,
+// printed after the update line. Returns the number of updates.
+int replay_updates(merlin::core::Engine& engine, const std::string& script,
+                   std::vector<Diff_record>* diffs, bool emit_diffs) {
     using namespace merlin;
     int count = 0;
     std::istringstream in(script);
@@ -134,6 +176,20 @@ int replay_updates(merlin::core::Engine& engine, const std::string& script) {
                   << w.solves << (update.warm_started ? " warm" : "") << ")";
         if (!update.feasible) std::cout << " — " << update.diagnostic;
         std::cout << '\n';
+        if (diffs != nullptr &&
+            static_cast<std::size_t>(count) < diffs->size()) {
+            Diff_record& rec = (*diffs)[static_cast<std::size_t>(count)];
+            rec.kind = update.kind;
+            if (rec.feasible) {
+                std::cout << "  diff: rules_touched=" << rec.rules_touched
+                          << " total_ops=" << rec.total_operations
+                          << " table_rules=" << rec.table_rules
+                          << " retired_tags=" << rec.retired_tags << '\n';
+                if (emit_diffs && !rec.text.empty()) std::cout << rec.text;
+            } else {
+                std::cout << "  diff: skipped (infeasible state)\n";
+            }
+        }
     }
     const core::Engine_stats& t = engine.totals();
     std::cout << "engine totals: updates=" << t.incremental_updates
@@ -156,6 +212,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> positional;
     std::string generate_spec;
     std::string updates_file;
+    std::string diff_json_file;
+    bool emit_diffs = false;
     bool print_programs = false;
     bool print_stats = false;
     bool quiet = false;
@@ -165,6 +223,10 @@ int main(int argc, char** argv) {
             generate_spec = argv[++i];
         } else if (arg == "--updates" && i + 1 < argc) {
             updates_file = argv[++i];
+        } else if (arg == "--emit-diffs") {
+            emit_diffs = true;
+        } else if (arg == "--diff-json" && i + 1 < argc) {
+            diff_json_file = argv[++i];
         } else if (arg == "--heuristic" && i + 1 < argc) {
             const std::string h = argv[++i];
             if (h == "wsp")
@@ -205,6 +267,9 @@ int main(int argc, char** argv) {
     }
     const std::size_t expected_args = generate_spec.empty() ? 2u : 1u;
     if (positional.size() != expected_args) return usage();
+    // Diff emission is defined relative to an update sequence.
+    if ((emit_diffs || !diff_json_file.empty()) && updates_file.empty())
+        return usage();
 
     try {
         const topo::Topology network =
@@ -272,7 +337,43 @@ int main(int argc, char** argv) {
             print_compiled(engine.current());
         }
         if (!updates_file.empty()) {
-            replay_updates(engine, read_file(updates_file));
+            // Delta-aware codegen rides the publish hook: every published
+            // compilation is re-generated through one long-lived Naming and
+            // diffed against the previous configuration. The apply check is
+            // live on every update — a diff that does not reconstruct the
+            // regenerated table is a hard error, not a statistic.
+            std::vector<Diff_record> diff_records;
+            codegen::Incremental incremental;
+            const bool track_diffs = emit_diffs || !diff_json_file.empty();
+            if (track_diffs) {
+                engine.on_publish([&](const core::Compilation& compiled,
+                                      const topo::Topology& topo) {
+                    Diff_record rec;
+                    if (!compiled.feasible) {
+                        rec.feasible = false;
+                        diff_records.push_back(std::move(rec));
+                        return;
+                    }
+                    codegen::Configuration before = incremental.config();
+                    const codegen::Diff d = incremental.update(compiled, topo);
+                    if (!codegen::equal(
+                            codegen::apply(std::move(before), d),
+                            incremental.config()))
+                        throw Error(
+                            "incremental diff does not reconstruct the "
+                            "regenerated configuration");
+                    rec.rules_touched = d.rules_touched();
+                    rec.total_operations = d.total_operations();
+                    rec.table_rules = incremental.config().flow_rules.size();
+                    rec.retired_tags = d.retired_tags.size();
+                    if (emit_diffs) rec.text = codegen::to_text(d);
+                    diff_records.push_back(std::move(rec));
+                });
+            }
+            replay_updates(engine, read_file(updates_file),
+                           track_diffs ? &diff_records : nullptr, emit_diffs);
+            if (!diff_json_file.empty())
+                write_diff_json(diff_json_file, diff_records);
             if (!engine.current().feasible) {
                 std::cerr << "infeasible after updates: "
                           << engine.current().diagnostic << '\n';

@@ -19,9 +19,15 @@
 #     BENCH_adaptation.json (incremental engine delta latency vs full
 #     recompile, per delta kind); committing the refreshed files each PR
 #     makes git history the perf trajectory;
+#   - a delta-aware codegen leg: the smoke update script replayed through
+#     `merlinc --updates --emit-diffs` under ASan, with the live
+#     apply-equality check on every two-phase diff and the per-update
+#     diff-size statistics archived at BENCH_diffs.json;
 #   - a fixed-seed merlin-fuzz smoke leg (Release build): differential
 #     scenarios across all four topology families, every cross-layer oracle
-#     checked after every delta. On failure the shrunk repro is archived at
+#     (including the incremental-vs-batch diff oracle) checked after every
+#     delta, plus a long-trace leg of sustained add/tune/remove churn that
+#     stresses tag recycling. On failure the shrunk repro is archived at
 #     FUZZ_repro.txt (replay with `merlin-fuzz --replay FUZZ_repro.txt`).
 set -euo pipefail
 
@@ -62,12 +68,25 @@ MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_adaptation.json" \
     ./build-release/bench/bench_adaptation
 test -s BENCH_adaptation.json
 
+# --- diff replay: two-phase update diffs, apply-checked live, under ASan ----
+./build-asan/merlinc --generate fat-tree:4 tests/data/smoke_policy.mln \
+    --quiet --updates tests/data/smoke_updates.upd --emit-diffs \
+    --diff-json "$PWD/BENCH_diffs.json" > /dev/null
+test -s BENCH_diffs.json
+
 # --- fuzz smoke: fixed-seed differential scenarios, cross-layer oracles -----
 FUZZ_REPRO="$PWD/FUZZ_repro.txt"
 rm -f "$FUZZ_REPRO"
-if ! ./build-release/merlin-fuzz --iters 60 --seed 1 --out "$FUZZ_REPRO"; then
+if ! ./build-release/merlin-fuzz --iters 200 --seed 1 --out "$FUZZ_REPRO"; then
     echo "merlin-fuzz FAILED; shrunk repro archived at $FUZZ_REPRO" >&2
     echo "replay with: ./build-release/merlin-fuzz --replay $FUZZ_REPRO" >&2
+    exit 1
+fi
+# Long-trace churn: one scenario, no random deltas, 60 add/tune/remove
+# cycles — tag recycling and diff minimality under sustained turnover.
+if ! ./build-release/merlin-fuzz --iters 1 --seed 3 --max-deltas 0 \
+        --long-traces 60 --out "$FUZZ_REPRO"; then
+    echo "merlin-fuzz long-trace FAILED; repro at $FUZZ_REPRO" >&2
     exit 1
 fi
 
