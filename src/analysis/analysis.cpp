@@ -1,0 +1,79 @@
+#include "analysis/analysis.h"
+
+#include <sstream>
+
+namespace merlin::analysis {
+
+const char* to_string(Severity severity) {
+    return severity == Severity::error ? "error" : "warning";
+}
+
+bool has_errors(const Report& report) { return error_count(report) > 0; }
+
+std::size_t error_count(const Report& report) {
+    std::size_t count = 0;
+    for (const Diagnostic& d : report)
+        if (d.severity == Severity::error) ++count;
+    return count;
+}
+
+std::string to_text(const Diagnostic& diagnostic) {
+    std::ostringstream out;
+    out << to_string(diagnostic.severity) << '[' << diagnostic.check << "] ";
+    if (!diagnostic.subject.empty()) out << diagnostic.subject << ": ";
+    out << diagnostic.message;
+    if (!diagnostic.witness.empty())
+        out << " (witness: " << diagnostic.witness << ')';
+    return out.str();
+}
+
+std::string to_text(const Report& report) {
+    std::ostringstream out;
+    for (const Diagnostic& d : report) out << to_text(d) << '\n';
+    return out.str();
+}
+
+namespace {
+
+// Minimal JSON string escape: quotes, backslashes, control characters.
+std::string escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_json(const Report& report) {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < report.size(); ++i) {
+        const Diagnostic& d = report[i];
+        out << "  {\"severity\": \"" << to_string(d.severity)
+            << "\", \"check\": \"" << escape(d.check) << "\", \"subject\": \""
+            << escape(d.subject) << "\", \"message\": \"" << escape(d.message)
+            << "\", \"witness\": \"" << escape(d.witness) << "\"}"
+            << (i + 1 < report.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    return out.str();
+}
+
+}  // namespace merlin::analysis

@@ -1,0 +1,59 @@
+// Static analysis & verification (merlin-verify).
+//
+// The layers below this one *construct* network state: the compiler plans
+// it, codegen emits it, netsim replays concrete packets over it. This layer
+// *proves* properties about it symbolically, using the same BDD engine the
+// pre-processor already trusts for predicate disjointness — so a property
+// holds for all 2^k headers at once rather than for the packets a fuzzer
+// happened to send. Three analyses share the diagnostic vocabulary below:
+//
+//   * the policy linter (lint.h): unsatisfiable / overlapping / shadowed
+//     predicates, vacuous path expressions, dead best-effort statements,
+//     and bandwidth-formula conflicts, before any compilation is attempted;
+//   * the refinement verifier (refine.h): the paper's Section 4.2
+//     delegation check — predicate partition, path-language inclusion,
+//     allocation-sum bounds — with witnesses for every violation;
+//   * the symbolic dataplane checker (dataplane.h): generated rule tables
+//     lifted to per-device packet-set transfer functions, proving no
+//     blackholes, loops, shadowed rules, ambiguous priority bands or tag
+//     leaks for every traffic class, on both endpoints of a two-phase
+//     update diff and at each intermediate phase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace merlin::analysis {
+
+enum class Severity : std::uint8_t { error, warning };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+// One structured finding. `check` is a stable kebab-case identifier (the
+// lint catalogue in README.md enumerates them); `subject` names what the
+// finding is about — a statement id for policy-level checks, a device name
+// for dataplane checks. `witness` is a concrete exhibit extracted from a
+// satisfying BDD path (a packet for predicate findings, a location word for
+// path-language findings); empty when the violation needs no exhibit.
+struct Diagnostic {
+    Severity severity = Severity::error;
+    std::string check;
+    std::string subject;
+    std::string message;
+    std::string witness;
+};
+
+using Report = std::vector<Diagnostic>;
+
+[[nodiscard]] bool has_errors(const Report& report);
+[[nodiscard]] std::size_t error_count(const Report& report);
+
+// One line per diagnostic: "error[check] subject: message (witness ...)".
+[[nodiscard]] std::string to_text(const Diagnostic& diagnostic);
+[[nodiscard]] std::string to_text(const Report& report);
+
+// A JSON array of {severity, check, subject, message, witness} objects
+// (the `merlinc --lint-json` / `merlin-verify --json` machine interface).
+[[nodiscard]] std::string to_json(const Report& report);
+
+}  // namespace merlin::analysis

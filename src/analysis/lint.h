@@ -1,0 +1,40 @@
+// The policy linter: static checks on a parsed policy against a topology,
+// before any compilation is attempted. The checks mirror what the engine
+// front-end would reject at compile time (overlapping predicates, unknown
+// formula ids) plus defects it would silently provision around (vacuous
+// paths, dead best-effort statements, unsatisfiable predicates) — each with
+// a concrete witness extracted from a satisfying BDD path where one exists.
+//
+// Check catalogue (stable ids; see README.md):
+//   unsat-predicate        warning  predicate matches no packets
+//   shadowed-predicate     error    a statement's packets are all claimed by
+//                                   another statement (containment)
+//   overlapping-predicates error    two statements match a common packet
+//                                   (partial overlap; paper Section 2.1
+//                                   requires disjoint predicates)
+//   vacuous-path           error    path expression accepts no location word
+//                                   over this topology
+//   unknown-location       error    path expression names a location/function
+//                                   the topology does not have
+//   dead-best-effort       warning  best-effort statement whose expression
+//                                   admits no switch-level word (Section 3.3
+//                                   routes best-effort over switches only)
+//   rate-conflict          error    min > max for one id, or a max() term's
+//                                   rate below the sum of its members'
+//                                   guarantees
+//   unknown-id             error    formula references a statement id the
+//                                   policy does not define
+//   unenforceable-formula  warning  formula uses or/! (accepted by the
+//                                   language, not enforceable statically)
+#pragma once
+
+#include "analysis/analysis.h"
+#include "ir/ast.h"
+#include "topo/topology.h"
+
+namespace merlin::analysis {
+
+[[nodiscard]] Report lint_policy(const ir::Policy& policy,
+                                 const topo::Topology& topo);
+
+}  // namespace merlin::analysis

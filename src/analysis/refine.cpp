@@ -1,0 +1,169 @@
+#include "analysis/refine.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/witness.h"
+#include "pred/analysis.h"
+#include "presburger/localize.h"
+
+namespace merlin::analysis {
+
+namespace {
+
+ir::PredPtr union_of(const ir::Policy& policy) {
+    ir::PredPtr u = ir::pred_false();
+    for (const ir::Statement& s : policy.statements)
+        u = ir::pred_or(u, s.predicate);
+    return u;
+}
+
+std::string term_text(const presburger::Aggregate& term) {
+    return (term.is_max ? "max(" : "min(") +
+           ir::to_string(ir::Term{0, term.ids}) + ", " +
+           to_string(term.rate) + ")";
+}
+
+}  // namespace
+
+Report check_refinement(const ir::Policy& original, const ir::Policy& refined,
+                        const automata::Alphabet& alphabet) {
+    Report report;
+    pred::Analyzer analyzer;
+
+    // ---- Totality: the refined statements must cover exactly the traffic
+    // the original covers (refining may partition, never gain or lose).
+    const ir::PredPtr original_union = union_of(original);
+    const ir::PredPtr refined_union = union_of(refined);
+    if (!analyzer.implies(original_union, refined_union))
+        report.push_back(
+            {Severity::error, "refine-totality", "",
+             "refinement does not cover all traffic of the original policy "
+             "(partition must be total)",
+             packet_witness(analyzer, ir::pred_and(original_union,
+                                                   ir::pred_not(
+                                                       refined_union)))});
+    if (!analyzer.implies(refined_union, original_union))
+        report.push_back(
+            {Severity::error, "refine-extra-traffic", "",
+             "refinement claims traffic outside the original policy",
+             packet_witness(analyzer, ir::pred_and(refined_union,
+                                                   ir::pred_not(
+                                                       original_union)))});
+
+    // ---- Partition: refined statements must be pairwise disjoint. (The
+    // engine's pre-processor would reject the adoption later; surfacing it
+    // here keeps a broken partition out of the negotiator entirely.)
+    const auto& children = refined.statements;
+    for (std::size_t i = 0; i < children.size(); ++i)
+        for (std::size_t j = i + 1; j < children.size(); ++j)
+            if (!analyzer.disjoint(children[i].predicate,
+                                   children[j].predicate))
+                report.push_back(
+                    {Severity::error, "refine-partition", children[i].id,
+                     "overlaps refined statement '" + children[j].id +
+                         "' (a partition requires disjoint predicates)",
+                     packet_witness(analyzer,
+                                    ir::pred_and(children[i].predicate,
+                                                 children[j].predicate))});
+
+    // ---- Per-overlap path inclusion, collecting the overlap map for the
+    // bandwidth checks below. DFAs are memoized per statement.
+    std::map<const ir::Statement*, automata::Dfa> dfas;
+    auto dfa_of = [&](const ir::Statement& s) -> const automata::Dfa& {
+        const auto it = dfas.find(&s);
+        if (it != dfas.end()) return it->second;
+        return dfas
+            .emplace(&s, automata::determinize(
+                             automata::thompson(s.path, alphabet)))
+            .first->second;
+    };
+
+    // original statement id -> refined statements overlapping it.
+    std::map<std::string, std::vector<const ir::Statement*>> overlaps;
+    for (const ir::Statement& parent : original.statements) {
+        for (const ir::Statement& child : refined.statements) {
+            if (analyzer.disjoint(parent.predicate, child.predicate))
+                continue;
+            overlaps[parent.id].push_back(&child);
+            const automata::Dfa escape = automata::intersect(
+                dfa_of(child), automata::complement(dfa_of(parent)));
+            if (const auto word = automata::shortest_word(escape))
+                report.push_back(
+                    {Severity::error, "refine-path-escape", child.id,
+                     "statement '" + child.id +
+                         "' allows paths outside those of original "
+                         "statement '" +
+                         parent.id + "'",
+                     describe_word(alphabet, *word)});
+        }
+    }
+
+    // ---- Bandwidth: refined allocations must imply the original's, term
+    // by term. A constraint over several identifiers (max(x + y, R)) bounds
+    // the SUM of the traffic its statements match, so tenants may re-divide
+    // freely within a term ("the sum of the new allocations must not exceed
+    // the original allocation", Section 4.1). The refined side is read in
+    // localized per-statement form.
+    const presburger::Rate_table refined_rates =
+        presburger::requirements(presburger::localize(refined.formula));
+    for (const presburger::Aggregate& term :
+         presburger::terms(original.formula)) {
+        // Union of refined statements overlapping any of the term's ids.
+        std::set<const ir::Statement*> members;
+        for (const std::string& id : term.ids) {
+            const auto it = overlaps.find(id);
+            if (it == overlaps.end()) continue;
+            members.insert(it->second.begin(), it->second.end());
+        }
+        const std::string text = term_text(term);
+        if (term.is_max) {
+            Bandwidth sum;
+            bool summable = true;
+            for (const ir::Statement* child : members) {
+                const auto cap = refined_rates.caps.find(child->id);
+                if (cap == refined_rates.caps.end()) {
+                    report.push_back({Severity::error, "refine-bandwidth",
+                                      child->id,
+                                      "statement '" + child->id +
+                                          "' is uncapped but refines the "
+                                          "capped original term " +
+                                          text,
+                                      ""});
+                    summable = false;
+                    continue;
+                }
+                sum += cap->second;
+            }
+            if (summable && sum > term.rate)
+                report.push_back({Severity::error, "refine-bandwidth", "",
+                                  "refined caps for original term " + text +
+                                      " sum to " + to_string(sum) +
+                                      ", above its cap",
+                                  ""});
+        } else {
+            if (members.empty()) {
+                report.push_back({Severity::error, "refine-bandwidth", "",
+                                  "guaranteed original term " + text +
+                                      " has no refined counterpart",
+                                  ""});
+                continue;
+            }
+            Bandwidth sum;
+            for (const ir::Statement* child : members)
+                sum += refined_rates.guarantee_of(child->id);
+            if (sum < term.rate)
+                report.push_back({Severity::error, "refine-bandwidth", "",
+                                  "refined guarantees for original term " +
+                                      text + " sum to " + to_string(sum) +
+                                      ", below its guarantee",
+                                  ""});
+        }
+    }
+
+    return report;
+}
+
+}  // namespace merlin::analysis

@@ -1,0 +1,41 @@
+// The refinement verifier: the paper's Section 4.2 delegation check,
+// producing a full diagnostic report instead of a first-failure verdict.
+//
+// `refined` is a valid refinement of `original` iff the report carries no
+// errors. The checks, in report order:
+//
+//   refine-totality      error  the refined statements do not cover all
+//                               traffic of the original (partition must be
+//                               total); witness: an uncovered packet
+//   refine-extra-traffic error  the refinement claims traffic outside the
+//                               original policy; witness: a claimed packet
+//   refine-partition     error  two refined statements overlap (a partition
+//                               requires disjoint predicates); witness: a
+//                               packet both match
+//   refine-path-escape   error  a refined statement with traffic inside an
+//                               original statement allows paths outside the
+//                               original's language; witness: a shortest
+//                               escaping location word
+//   refine-bandwidth     error  per original constraint term: summed refined
+//                               caps above the term's cap, an uncapped child
+//                               under a capped term, or summed refined
+//                               guarantees below the term's guarantee
+//
+// Predicate reasoning is BDD-based and path-language inclusion is decided by
+// product-automaton emptiness (child ∩ ¬parent), as in negotiator/verify.h —
+// which now delegates here.
+#pragma once
+
+#include "analysis/analysis.h"
+#include "automata/automata.h"
+#include "ir/ast.h"
+
+namespace merlin::analysis {
+
+// Throws Policy_error when either policy's formula uses or/! (the bandwidth
+// comparison needs positive-conjunction form), matching the negotiator.
+[[nodiscard]] Report check_refinement(const ir::Policy& original,
+                                      const ir::Policy& refined,
+                                      const automata::Alphabet& alphabet);
+
+}  // namespace merlin::analysis

@@ -1,0 +1,45 @@
+#include "analysis/witness.h"
+
+#include <sstream>
+
+#include "ir/fields.h"
+
+namespace merlin::analysis {
+
+std::string describe(const pred::Packet& packet) {
+    std::ostringstream out;
+    bool first = true;
+    for (const auto& [name, value] : packet.fields) {
+        if (!first) out << ' ';
+        first = false;
+        const auto field = ir::find_field(name);
+        out << name << '=';
+        if (field)
+            out << ir::format_field_value(*field, value);
+        else
+            out << value;
+    }
+    if (!packet.payload.empty()) {
+        if (!first) out << ' ';
+        first = false;
+        out << "payload=\"" << packet.payload << '"';
+    }
+    if (first) out << "any packet";
+    return out.str();
+}
+
+std::string packet_witness(pred::Analyzer& analyzer, const ir::PredPtr& p) {
+    if (!analyzer.satisfiable(p)) return {};
+    return describe(analyzer.witness(p));
+}
+
+std::string describe_word(const automata::Alphabet& alphabet,
+                          const std::vector<int>& word) {
+    if (word.empty()) return "the empty path";
+    std::ostringstream out;
+    out << "path";
+    for (const int symbol : word) out << ' ' << alphabet.name(symbol);
+    return out.str();
+}
+
+}  // namespace merlin::analysis

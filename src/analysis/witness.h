@@ -1,0 +1,28 @@
+// Witness rendering shared by the analyses: every error a BDD or automaton
+// proves is backed by a concrete exhibit — a packet read off a satisfying
+// BDD path, or a location word read off a shortest accepted path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/automata.h"
+#include "ir/ast.h"
+#include "pred/analysis.h"
+#include "pred/packet.h"
+
+namespace merlin::analysis {
+
+// "tcp.dst=80 ip.src=10.0.0.1" (fields in dictionary order, payload last);
+// "any packet" for the packet with no constrained fields.
+[[nodiscard]] std::string describe(const pred::Packet& packet);
+
+// A concrete packet satisfying `p`, rendered; empty when unsatisfiable.
+[[nodiscard]] std::string packet_witness(pred::Analyzer& analyzer,
+                                         const ir::PredPtr& p);
+
+// "path s1 mb0 s2" for a symbol word; "the empty path" for no symbols.
+[[nodiscard]] std::string describe_word(const automata::Alphabet& alphabet,
+                                        const std::vector<int>& word);
+
+}  // namespace merlin::analysis

@@ -171,7 +171,9 @@ Verdict Negotiator::redistribute(
                               "' ignored (no allocation to re-divide)");
     }
     if (ids.empty()) {
-        Verdict verdict{false, "active policy has no caps to re-divide"};
+        Verdict verdict;
+        verdict.valid = false;
+        verdict.reason = "active policy has no caps to re-divide";
         verdict.diagnostics = std::move(ignored);
         return verdict;
     }

@@ -1,121 +1,25 @@
 #include "negotiator/verify.h"
 
-#include <map>
-#include <set>
-#include <vector>
-
-#include "pred/analysis.h"
-#include "presburger/localize.h"
+#include "analysis/refine.h"
 
 namespace merlin::negotiator {
-namespace {
 
-// Caps / guarantees per statement id; missing ids are unconstrained.
-presburger::Rate_table rates_of(const ir::Policy& p) {
-    return presburger::requirements(presburger::localize(p.formula));
-}
-
-}  // namespace
-
+// The delegation check itself lives in the analysis layer (it is one of the
+// three merlin-verify analyses); this wrapper folds its full diagnostic
+// report into the negotiator's first-failure Verdict shape.
 Verdict verify_refinement(const ir::Policy& original,
                           const ir::Policy& refined,
                           const automata::Alphabet& alphabet) {
-    pred::Analyzer analyzer;
-
-    // ---- Totality: the refined statements must cover exactly the traffic
-    // the original covers (refining may partition, never gain or lose).
-    bdd::Node original_union = bdd::kFalse;
-    for (const ir::Statement& s : original.statements)
-        original_union = analyzer.manager().apply_or(
-            original_union, analyzer.compile(s.predicate));
-    bdd::Node refined_union = bdd::kFalse;
-    for (const ir::Statement& s : refined.statements)
-        refined_union = analyzer.manager().apply_or(
-            refined_union, analyzer.compile(s.predicate));
-    if (!analyzer.manager().implies(original_union, refined_union))
-        return {false,
-                "refinement does not cover all traffic of the original "
-                "policy (partition must be total)"};
-    if (!analyzer.manager().implies(refined_union, original_union))
-        return {false, "refinement claims traffic outside the original policy"};
-
-    // ---- Per-overlap path inclusion, collecting the overlap map for the
-    // bandwidth checks below. DFAs are memoized per statement.
-    std::map<const ir::Statement*, automata::Dfa> dfas;
-    auto dfa_of = [&](const ir::Statement& s) -> const automata::Dfa& {
-        const auto it = dfas.find(&s);
-        if (it != dfas.end()) return it->second;
-        return dfas
-            .emplace(&s, automata::determinize(
-                             automata::thompson(s.path, alphabet)))
-            .first->second;
-    };
-
-    // original statement id -> refined statements overlapping it.
-    std::map<std::string, std::vector<const ir::Statement*>> overlaps;
-    for (const ir::Statement& parent : original.statements) {
-        const bdd::Node parent_pred = analyzer.compile(parent.predicate);
-        for (const ir::Statement& child : refined.statements) {
-            const bdd::Node child_pred = analyzer.compile(child.predicate);
-            if (analyzer.manager().disjoint(parent_pred, child_pred)) continue;
-            overlaps[parent.id].push_back(&child);
-            if (!automata::subset_of(dfa_of(child), dfa_of(parent)))
-                return {false, "statement '" + child.id +
-                                   "' allows paths outside those of "
-                                   "original statement '" +
-                                   parent.id + "'"};
-        }
+    const analysis::Report report =
+        analysis::check_refinement(original, refined, alphabet);
+    Verdict verdict;
+    verdict.valid = !analysis::has_errors(report);
+    for (const analysis::Diagnostic& d : report) {
+        if (verdict.reason.empty() && d.severity == analysis::Severity::error)
+            verdict.reason = d.message;
+        verdict.diagnostics.push_back(analysis::to_text(d));
     }
-
-    // ---- Bandwidth: refined allocations must imply the original's, term by
-    // term. A constraint over several identifiers (max(x + y, R)) bounds the
-    // SUM of the traffic its statements match, so tenants may re-divide
-    // freely within a term ("the sum of the new allocations must not exceed
-    // the original allocation", Section 4.1). The refined side is read in
-    // localized per-statement form.
-    const presburger::Rate_table refined_rates = rates_of(refined);
-    for (const presburger::Aggregate& term :
-         presburger::terms(original.formula)) {
-        // Union of refined statements overlapping any of the term's ids.
-        std::set<const ir::Statement*> children;
-        for (const std::string& id : term.ids) {
-            const auto it = overlaps.find(id);
-            if (it == overlaps.end()) continue;
-            children.insert(it->second.begin(), it->second.end());
-        }
-        const std::string term_text =
-            (term.is_max ? "max(" : "min(") + ir::to_string(ir::Term{0, term.ids}) +
-            ", " + to_string(term.rate) + ")";
-        if (term.is_max) {
-            Bandwidth sum;
-            for (const ir::Statement* child : children) {
-                const auto cap = refined_rates.caps.find(child->id);
-                if (cap == refined_rates.caps.end())
-                    return {false, "statement '" + child->id +
-                                       "' is uncapped but refines the capped "
-                                       "original term " +
-                                       term_text};
-                sum += cap->second;
-            }
-            if (sum > term.rate)
-                return {false, "refined caps for original term " + term_text +
-                                   " sum to " + to_string(sum) +
-                                   ", above its cap"};
-        } else {
-            if (children.empty())
-                return {false, "guaranteed original term " + term_text +
-                                   " has no refined counterpart"};
-            Bandwidth sum;
-            for (const ir::Statement* child : children)
-                sum += refined_rates.guarantee_of(child->id);
-            if (sum < term.rate)
-                return {false, "refined guarantees for original term " +
-                                   term_text + " sum to " + to_string(sum) +
-                                   ", below its guarantee"};
-        }
-    }
-
-    return {true, {}};
+    return verdict;
 }
 
 }  // namespace merlin::negotiator

@@ -1036,4 +1036,21 @@ std::optional<std::string> Diff_oracle::step(
     return failure;
 }
 
+std::optional<std::string> Symbolic_oracle::step(
+    const core::Compilation& compilation, const topo::Topology& topo,
+    bool check_transition) {
+    if (!compilation.feasible) return std::nullopt;
+    analysis::Report report;
+    try {
+        report = checker_.step(compilation, topo, check_transition);
+    } catch (const Error& e) {
+        return fail("symbolic", std::string("checker threw: ") + e.what());
+    }
+    // Warnings fail the oracle too: a generated configuration is expected
+    // to contain no dead rules, so even a shadowed-rule finding marks a
+    // codegen regression (or a checker false positive worth a repro).
+    if (report.empty()) return std::nullopt;
+    return fail("symbolic", analysis::to_text(report.front()));
+}
+
 }  // namespace merlin::testgen

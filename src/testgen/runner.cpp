@@ -137,6 +137,7 @@ Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
     // may then legitimately blackhole, so the phase-transition replay is
     // skipped while the diff-vs-batch equivalences still run).
     Diff_oracle diffs;
+    Symbolic_oracle symbolic;
     bool links_changed = false;
 
     // Runs every oracle against the engine's published state; returns false
@@ -172,6 +173,9 @@ Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
         if (auto d = diffs.step(engine->current(), engine->topology(),
                                 !links_changed))
             return report("diffs", *d);
+        if (auto d = symbolic.step(engine->current(), engine->topology(),
+                                   !links_changed))
+            return report("symbolic", *d);
         return true;
     };
 

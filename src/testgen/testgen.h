@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataplane.h"
 #include "codegen/diff.h"
 #include "core/compiler.h"
 #include "topo/topology.h"
@@ -232,6 +233,25 @@ private:
     codegen::Incremental incremental_;
     core::Compilation previous_;
     bool seeded_ = false;
+};
+
+// Symbolic cross-oracle: the analysis-layer dataplane checker must agree
+// with the concrete replay above. check_codegen and Diff_oracle prove that
+// every *replayed* packet delivers; this oracle demands the converse — each
+// published configuration (and, when the topology is unchanged, each
+// two-phase transition) proves out symbolically over the *entire* header
+// space of every tracked class. A disagreement in either direction (replay
+// clean but a symbolic error, or symbolically clean while a replay trips)
+// pins a bug in the checker or the simulator respectively.
+class Symbolic_oracle {
+public:
+    // `check_transition` as in Diff_oracle: false after a link-state delta.
+    [[nodiscard]] std::optional<std::string> step(
+        const core::Compilation& compilation, const topo::Topology& topo,
+        bool check_transition);
+
+private:
+    analysis::Update_checker checker_;
 };
 
 // -------------------------------------------------------------------- runner

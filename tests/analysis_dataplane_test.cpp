@@ -1,0 +1,258 @@
+// The symbolic dataplane checker: a freshly generated configuration proves
+// out, and each historically shipped table bug — re-injected here as a
+// table mutation — is caught statically, without replaying a single packet.
+#include "analysis/dataplane.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "codegen/diff.h"
+#include "core/compiler.h"
+#include "parser/parser.h"
+#include "topo/parse.h"
+#include "topo/topology.h"
+
+namespace merlin::analysis {
+namespace {
+
+using merlin::parser::parse_policy;
+
+// Two switch paths between the hosts (direct, and the s3 detour the update
+// tests reroute onto), plus a middlebox corner for best-effort trees.
+topo::Topology diamond_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+switch s3
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 s3 1Gbps
+link s3 s2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi m1
+)");
+}
+
+constexpr const char* kGuaranteed = R"(
+[ g : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 -> .* ],
+min(g, 10MB/s)
+)";
+
+struct Fixture {
+    topo::Topology topo = diamond_topology();
+    core::Compilation compilation;
+    codegen::Naming naming;
+    codegen::Configuration config;
+
+    explicit Fixture(const char* policy_text = kGuaranteed) {
+        compilation = core::compile(parse_policy(policy_text), topo, {});
+        EXPECT_TRUE(compilation.feasible) << compilation.diagnostic;
+        config = codegen::generate(compilation, topo, naming);
+    }
+
+    [[nodiscard]] Report check() const {
+        return check_dataplane(compilation, config, topo);
+    }
+};
+
+const Diagnostic* find(const Report& report, const std::string& check) {
+    for (const Diagnostic& d : report)
+        if (d.check == check) return &d;
+    return nullptr;
+}
+
+// First rule satisfying `pick`; fails the test when absent.
+codegen::Flow_rule* find_rule(codegen::Configuration& config,
+                              bool (*pick)(const codegen::Flow_rule&)) {
+    for (codegen::Flow_rule& r : config.flow_rules)
+        if (pick(r)) return &r;
+    return nullptr;
+}
+
+TEST(AnalysisDataplane, FreshConfigurationProvesOut) {
+    const Fixture fx;
+    const Report report = fx.check();
+    EXPECT_TRUE(report.empty()) << to_text(report);
+}
+
+TEST(AnalysisDataplane, BestEffortConfigurationProvesOut) {
+    const Fixture fx(R"(
+[ b : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      and tcp.dst = 80 -> .* ],
+max(b, 50MB/s)
+)");
+    const Report report = fx.check();
+    EXPECT_TRUE(report.empty()) << to_text(report);
+}
+
+// PR-5 regression, re-injected: a forward rule emitted with the device
+// itself as its out port. There is no self link, so the traffic it carries
+// can never leave the switch.
+TEST(AnalysisDataplane, SelfForwardIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return !r.out_port.empty() && !r.drop;
+    });
+    ASSERT_NE(rule, nullptr);
+    rule->out_port = rule->device;
+    const Report report = fx.check();
+    EXPECT_TRUE(has_errors(report)) << to_text(report);
+    EXPECT_NE(find(report, "failed-link"), nullptr) << to_text(report);
+}
+
+// PR-5 regression, re-injected: the ingress classifier tags with a stale
+// tag no downstream rule matches — every classified packet blackholes one
+// hop later.
+TEST(AnalysisDataplane, StaleClassifierTagIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return r.priority == codegen::kClassifyPriority && r.set_tag;
+    });
+    ASSERT_NE(rule, nullptr);
+    rule->set_tag = 4000;  // never allocated in this configuration
+    const Report report = fx.check();
+    const Diagnostic* d = find(report, "blackhole");
+    ASSERT_NE(d, nullptr) << to_text(report);
+    EXPECT_EQ(d->subject, "g");
+    EXPECT_FALSE(d->witness.empty());
+}
+
+// PR-5 regression, re-injected: a path revisiting a switch reused its tag,
+// leaving two equal-priority rules for the same tag that forward to
+// different ports — the switch's behaviour is undefined.
+TEST(AnalysisDataplane, SameTagRevisitAmbiguityIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return r.match_tag.has_value() && !r.out_port.empty();
+    });
+    ASSERT_NE(rule, nullptr);
+    codegen::Flow_rule duplicate = *rule;
+    duplicate.out_port = duplicate.out_port == "s1" ? "s2" : "s1";
+    fx.config.flow_rules.push_back(duplicate);
+    const Report report = fx.check();
+    EXPECT_NE(find(report, "ambiguous-rules"), nullptr) << to_text(report);
+}
+
+// PR-5 regression, re-injected: the tables route over a link that has since
+// failed (here the destination's access link).
+TEST(AnalysisDataplane, FailedAccessLinkIsCaught) {
+    Fixture fx;
+    const auto link = fx.topo.link_between(fx.topo.require("s2"),
+                                           fx.topo.require("h2"));
+    ASSERT_TRUE(link.has_value());
+    fx.topo.set_link_state(*link, false);
+    const Report report = fx.check();
+    const Diagnostic* d = find(report, "failed-link");
+    ASSERT_NE(d, nullptr) << to_text(report);
+    EXPECT_NE(d->message.find("failed"), std::string::npos);
+}
+
+// A delivery rule that hands traffic to the wrong host, and one that
+// forgets to strip the tag: both violations of the delivery contract.
+TEST(AnalysisDataplane, MisdeliveryIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return r.strip_tag && r.out_port == "h2";
+    });
+    ASSERT_NE(rule, nullptr);
+    rule->out_port = "h1";
+    // s1 (the detour to the wrong edge) has no rule for the tag, or the
+    // wrong host receives it — either way the class no longer proves.
+    EXPECT_TRUE(has_errors(fx.check()));
+}
+
+TEST(AnalysisDataplane, TagLeakIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return r.strip_tag && r.out_port == "h2";
+    });
+    ASSERT_NE(rule, nullptr);
+    rule->strip_tag = false;
+    const Report report = fx.check();
+    EXPECT_NE(find(report, "tag-leak"), nullptr) << to_text(report);
+}
+
+// A forward rule bent back toward the ingress: the packet bounces between
+// the two switches on the same tag forever.
+TEST(AnalysisDataplane, ForwardingLoopIsCaught) {
+    Fixture fx;
+    codegen::Flow_rule* rule = find_rule(fx.config, [](const auto& r) {
+        return r.strip_tag && r.out_port == "h2";
+    });
+    ASSERT_NE(rule, nullptr);
+    rule->strip_tag = false;
+    rule->out_port = "s1";
+    const Report report = fx.check();
+    EXPECT_NE(find(report, "forwarding-loop"), nullptr) << to_text(report);
+}
+
+// ------------------------------------------------------------------ updates
+
+constexpr const char* kRerouted = R"(
+[ g : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02
+      -> .* s3 .* ],
+min(g, 10MB/s)
+)";
+
+TEST(AnalysisDataplane, ProperTwoPhaseUpdateProvesOut) {
+    const topo::Topology topo = diamond_topology();
+    const core::Compilation old_comp =
+        core::compile(parse_policy(kGuaranteed), topo, {});
+    const core::Compilation new_comp =
+        core::compile(parse_policy(kRerouted), topo, {});
+    ASSERT_TRUE(old_comp.feasible && new_comp.feasible);
+
+    codegen::Incremental incremental;
+    (void)incremental.update(old_comp, topo);
+    const codegen::Configuration old_config = incremental.config();
+    const codegen::Diff diff = incremental.update(new_comp, topo);
+    const Report report = check_update(old_comp, new_comp, old_config, diff,
+                                       incremental.config(), topo);
+    EXPECT_TRUE(report.empty()) << to_text(report);
+}
+
+// PR-6 regression, re-injected: applying the commit phase before prepare
+// flips the classifier to tags whose forwarding rules are not yet
+// installed — the mid-update table blackholes the class.
+TEST(AnalysisDataplane, MisorderedUpdateIsCaught) {
+    const topo::Topology topo = diamond_topology();
+    const core::Compilation old_comp =
+        core::compile(parse_policy(kGuaranteed), topo, {});
+    const core::Compilation new_comp =
+        core::compile(parse_policy(kRerouted), topo, {});
+    ASSERT_TRUE(old_comp.feasible && new_comp.feasible);
+
+    codegen::Incremental incremental;
+    (void)incremental.update(old_comp, topo);
+    codegen::Configuration misordered = incremental.config();
+    const codegen::Diff diff = incremental.update(new_comp, topo);
+    codegen::apply_commit(misordered, diff);  // commit without prepare
+    const Report report = check_dataplane(new_comp, misordered, topo);
+    EXPECT_TRUE(has_errors(report));
+    EXPECT_NE(find(report, "blackhole"), nullptr) << to_text(report);
+}
+
+TEST(AnalysisDataplane, UpdateCheckerStepsThroughGenerations) {
+    const topo::Topology topo = diamond_topology();
+    Update_checker checker;
+    const core::Compilation old_comp =
+        core::compile(parse_policy(kGuaranteed), topo, {});
+    const core::Compilation new_comp =
+        core::compile(parse_policy(kRerouted), topo, {});
+    ASSERT_TRUE(old_comp.feasible && new_comp.feasible);
+    EXPECT_TRUE(checker.step(old_comp, topo).empty());
+    const Report report = checker.step(new_comp, topo);
+    EXPECT_TRUE(report.empty()) << to_text(report);
+    EXPECT_FALSE(checker.config().flow_rules.empty());
+}
+
+}  // namespace
+}  // namespace merlin::analysis

@@ -1,0 +1,162 @@
+// The refinement verifier: a refined policy must partition the original's
+// traffic exactly, stay inside the original's path languages, and imply its
+// bandwidth formula term by term (Section 4.1 delegation).
+#include "analysis/refine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/logical.h"
+#include "parser/parser.h"
+#include "topo/parse.h"
+
+namespace merlin::analysis {
+namespace {
+
+using merlin::parser::parse_policy;
+
+topo::Topology diamond_topology() {
+    return topo::parse_topology(R"(
+host h1
+host h2
+switch s1
+switch s2
+middlebox m1
+link h1 s1 1Gbps
+link s1 s2 1Gbps
+link s2 h2 1Gbps
+link s1 m1 1Gbps
+link m1 s2 1Gbps
+function dpi m1
+)");
+}
+
+Report check(const std::string& original, const std::string& refined) {
+    const topo::Topology topo = diamond_topology();
+    return check_refinement(parse_policy(original), parse_policy(refined),
+                            core::make_alphabet(topo));
+}
+
+const Diagnostic* find(const Report& report, const std::string& check_name) {
+    for (const Diagnostic& d : report)
+        if (d.check == check_name) return &d;
+    return nullptr;
+}
+
+constexpr const char* kParent = R"(
+[ x : tcp.dst = 80 or tcp.dst = 22 -> .* ],
+min(x, 10MB/s) and max(x, 100MB/s)
+)";
+
+TEST(AnalysisRefine, ValidPartitionIsAccepted) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 -> .* ;
+  z : tcp.dst = 22 -> .* ],
+min(y, 6MB/s) and max(y, 60MB/s) and min(z, 4MB/s) and max(z, 40MB/s)
+)");
+    EXPECT_TRUE(report.empty()) << to_text(report);
+}
+
+TEST(AnalysisRefine, NonTotalPartitionIsRejected) {
+    // The port-22 slice of the parent's traffic is left unclaimed.
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 -> .* ],
+min(y, 10MB/s) and max(y, 100MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-totality");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::error);
+    EXPECT_NE(d->witness.find("tcp.dst=22"), std::string::npos);
+}
+
+TEST(AnalysisRefine, OverlappingChildrenAreRejected) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 or tcp.dst = 22 -> .* ;
+  z : tcp.dst = 22 -> .* ],
+min(y, 10MB/s) and max(y, 50MB/s) and max(z, 50MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-partition");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("disjoint"), std::string::npos);
+    EXPECT_NE(d->witness.find("tcp.dst=22"), std::string::npos);
+}
+
+TEST(AnalysisRefine, ExtraTrafficIsRejected) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 or tcp.dst = 22 or tcp.dst = 443 -> .* ],
+min(y, 10MB/s) and max(y, 100MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-extra-traffic");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->witness.find("tcp.dst=443"), std::string::npos);
+}
+
+TEST(AnalysisRefine, PathEscapeIsRejectedWithWordWitness) {
+    // The parent pins its traffic through the dpi middlebox; a child
+    // claiming the unconstrained language can route around it.
+    const Report report = check(R"(
+[ x : tcp.dst = 80 -> .* m1 .* ],
+max(x, 100MB/s)
+)",
+                                R"(
+[ y : tcp.dst = 80 -> .* ],
+max(y, 100MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-path-escape");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("outside those of original statement 'x'"),
+              std::string::npos);
+    // The witness is a concrete location word accepted by the child only.
+    EXPECT_NE(d->witness.find("path"), std::string::npos);
+    EXPECT_EQ(d->witness.find("m1"), std::string::npos);
+}
+
+TEST(AnalysisRefine, NarrowedPathLanguageIsAccepted) {
+    const Report report = check(R"(
+[ x : tcp.dst = 80 -> .* ],
+max(x, 100MB/s)
+)",
+                                R"(
+[ y : tcp.dst = 80 -> .* m1 .* ],
+max(y, 100MB/s)
+)");
+    EXPECT_EQ(find(report, "refine-path-escape"), nullptr);
+}
+
+TEST(AnalysisRefine, CapOverrunIsRejected) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 -> .* ;
+  z : tcp.dst = 22 -> .* ],
+min(y, 10MB/s) and max(y, 80MB/s) and max(z, 80MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-bandwidth");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("above its cap"), std::string::npos);
+}
+
+TEST(AnalysisRefine, UncappedChildOfCappedTermIsRejected) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 -> .* ;
+  z : tcp.dst = 22 -> .* ],
+min(y, 10MB/s) and max(y, 50MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-bandwidth");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("uncapped"), std::string::npos);
+    EXPECT_EQ(d->subject, "z");
+}
+
+TEST(AnalysisRefine, GuaranteeShortfallIsRejected) {
+    const Report report = check(kParent, R"(
+[ y : tcp.dst = 80 -> .* ;
+  z : tcp.dst = 22 -> .* ],
+min(y, 3MB/s) and min(z, 3MB/s) and max(y, 50MB/s) and max(z, 50MB/s)
+)");
+    const Diagnostic* d = find(report, "refine-bandwidth");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("below its guarantee"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merlin::analysis

@@ -25,6 +25,13 @@
 //   --diff-json <file>          with --updates: write per-update diff-size
 //                               statistics (rules touched, total operations,
 //                               table size, retired tags) as JSON
+//   --lint                      run the policy linter and exit (status 1
+//                               when it reports errors); no compilation
+//   --lint-json                 like --lint, with a JSON report
+//   --verify                    after compiling, run the symbolic dataplane
+//                               checker on the generated configuration —
+//                               and, with --updates, on every published
+//                               two-phase update; analysis errors exit 1
 //   --quiet                     only print the summary line
 //
 // Update script grammar (one command per line, '#' comments):
@@ -42,6 +49,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataplane.h"
+#include "analysis/lint.h"
 #include "codegen/codegen.h"
 #include "codegen/diff.h"
 #include "core/compiler.h"
@@ -69,7 +78,8 @@ int usage() {
            "       merlinc --generate <spec> <policy-file>\n"
            "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
            "       [--jobs <n>] [--updates <file>] [--emit-diffs]\n"
-           "       [--diff-json <file>] [--programs] [--stats] [--quiet]\n"
+           "       [--diff-json <file>] [--lint] [--lint-json] [--verify]\n"
+           "       [--programs] [--stats] [--quiet]\n"
            "specs: fat-tree:<k>  balanced-tree:<depth>:<fanout>:<hosts>  "
            "campus:<subnets>  zoo:<switches>:<seed>\n";
     return 2;
@@ -127,8 +137,12 @@ void write_diff_json(const std::string& path,
 // update's publish-hook diff record (appended by the hook during the
 // engine call) is labeled with the update kind and, under `emit_diffs`,
 // printed after the update line. Returns the number of updates.
+// `link_change` is set before each engine call so the --verify publish hook
+// knows whether the previous tables are still comparable (a failed link
+// legitimately breaks the old configuration).
 int replay_updates(merlin::core::Engine& engine, const std::string& script,
-                   std::vector<Diff_record>* diffs, bool emit_diffs) {
+                   std::vector<Diff_record>* diffs, bool emit_diffs,
+                   bool& link_change) {
     using namespace merlin;
     int count = 0;
     std::istringstream in(script);
@@ -141,6 +155,7 @@ int replay_updates(merlin::core::Engine& engine, const std::string& script,
         ++count;
         core::Update_result update;
         const std::string& command = args[0];
+        link_change = command == "fail" || command == "restore";
         if (command == "bandwidth" &&
             (args.size() == 3 || args.size() == 4)) {
             std::optional<Bandwidth> cap;
@@ -217,6 +232,9 @@ int main(int argc, char** argv) {
     bool print_programs = false;
     bool print_stats = false;
     bool quiet = false;
+    bool lint = false;
+    bool lint_json = false;
+    bool verify = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--generate" && i + 1 < argc) {
@@ -253,6 +271,13 @@ int main(int argc, char** argv) {
             const auto value = merlin::parse_whole_int(argv[++i]);
             if (!value || *value < 1 || *value > 1024) return usage();
             options.jobs = static_cast<int>(*value);
+        } else if (arg == "--lint") {
+            lint = true;
+        } else if (arg == "--lint-json") {
+            lint = true;
+            lint_json = true;
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg == "--programs") {
             print_programs = true;
         } else if (arg == "--stats") {
@@ -278,6 +303,21 @@ int main(int argc, char** argv) {
                 : topo::from_spec(generate_spec);
         const ir::Policy policy =
             parser::parse_policy(read_file(positional.back()));
+
+        if (lint) {
+            const analysis::Report report =
+                analysis::lint_policy(policy, network);
+            if (lint_json) {
+                std::cout << analysis::to_json(report);
+            } else {
+                std::cout << analysis::to_text(report) << "lint: "
+                          << analysis::error_count(report) << " errors, "
+                          << report.size() - analysis::error_count(report)
+                          << " warnings\n";
+            }
+            return analysis::has_errors(report) ? 1 : 0;
+        }
+
         // The one-shot path and the --updates path share the engine: a
         // plain compile is just an engine built and read once.
         core::Engine engine(policy, network, options);
@@ -327,6 +367,23 @@ int main(int argc, char** argv) {
                       << " ms)\n";
         };
 
+        // --verify: the symbolic dataplane checker runs over the generated
+        // configuration (and, with --updates, over every published
+        // two-phase update through its own persistent Incremental).
+        analysis::Update_checker verifier;
+        std::size_t verify_errors = 0;
+        const auto run_verify = [&](const std::string& label,
+                                    const core::Compilation& compiled,
+                                    const topo::Topology& topo,
+                                    bool check_transition) {
+            const analysis::Report report =
+                verifier.step(compiled, topo, check_transition);
+            verify_errors += analysis::error_count(report);
+            if (!report.empty())
+                std::cout << "verify " << label << ":\n"
+                          << analysis::to_text(report);
+        };
+
         if (!engine.current().feasible) {
             std::cerr << "infeasible: " << engine.current().diagnostic
                       << '\n';
@@ -335,6 +392,9 @@ int main(int argc, char** argv) {
             if (updates_file.empty()) return 1;
         } else {
             print_compiled(engine.current());
+            if (verify)
+                run_verify("initial", engine.current(), engine.topology(),
+                           true);
         }
         if (!updates_file.empty()) {
             // Delta-aware codegen rides the publish hook: every published
@@ -345,9 +405,17 @@ int main(int argc, char** argv) {
             std::vector<Diff_record> diff_records;
             codegen::Incremental incremental;
             const bool track_diffs = emit_diffs || !diff_json_file.empty();
-            if (track_diffs) {
-                engine.on_publish([&](const core::Compilation& compiled,
-                                      const topo::Topology& topo) {
+            bool link_change = false;
+            if (track_diffs || verify) {
+                int published = 0;
+                engine.on_publish([&, published](
+                                      const core::Compilation& compiled,
+                                      const topo::Topology& topo) mutable {
+                    ++published;
+                    if (verify && compiled.feasible)
+                        run_verify("update " + std::to_string(published),
+                                   compiled, topo, !link_change);
+                    if (!track_diffs) return;
                     Diff_record rec;
                     if (!compiled.feasible) {
                         rec.feasible = false;
@@ -371,7 +439,8 @@ int main(int argc, char** argv) {
                 });
             }
             replay_updates(engine, read_file(updates_file),
-                           track_diffs ? &diff_records : nullptr, emit_diffs);
+                           track_diffs ? &diff_records : nullptr, emit_diffs,
+                           link_change);
             if (!diff_json_file.empty())
                 write_diff_json(diff_json_file, diff_records);
             if (!engine.current().feasible) {
@@ -379,6 +448,10 @@ int main(int argc, char** argv) {
                           << engine.current().diagnostic << '\n';
                 return 1;
             }
+        }
+        if (verify) {
+            std::cout << "verify: " << verify_errors << " errors\n";
+            if (verify_errors > 0) return 1;
         }
         return 0;
     } catch (const Error& e) {

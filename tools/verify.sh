@@ -4,6 +4,9 @@
 #   tools/verify.sh          # tier-1: configure, build, run the full suite
 #
 # Then:
+#   - a clang-tidy lint leg over src/analysis, src/codegen and tools/
+#     (profile in .clang-tidy, compile database exported by the tier-1
+#     build), skipped with a notice when the binary is not installed;
 #   - an ASan/UBSan leg over the solver-path and long-lived-state suites
 #     (lp, mip, core — which includes the incremental engine — plus
 #     negotiator and netsim, the layers that now hold or drive persistent
@@ -25,19 +28,34 @@
 #     diff-size statistics archived at BENCH_diffs.json;
 #   - a fixed-seed merlin-fuzz smoke leg (Release build): differential
 #     scenarios across all four topology families, every cross-layer oracle
-#     (including the incremental-vs-batch diff oracle) checked after every
-#     delta, plus a long-trace leg of sustained add/tune/remove churn that
-#     stresses tag recycling. On failure the shrunk repro is archived at
-#     FUZZ_repro.txt (replay with `merlin-fuzz --replay FUZZ_repro.txt`).
+#     (the incremental-vs-batch diff oracle and the symbolic dataplane
+#     oracle, which re-proves every published table and two-phase update
+#     with the src/analysis checker) checked after every delta, plus a
+#     long-trace leg of sustained add/tune/remove churn that stresses tag
+#     recycling. On failure the shrunk repro is archived at FUZZ_repro.txt
+#     (replay with `merlin-fuzz --replay FUZZ_repro.txt`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
 # --- tier 1: the verify command from ROADMAP.md -----------------------------
-cmake -B build -S .
+# -Werror is on for the tier-1 build (the whole tree is warning-clean;
+# src/analysis and src/codegen additionally carry -Wshadow -Wconversion),
+# and the build exports compile_commands.json for the lint leg below.
+cmake -B build -S . -DMERLIN_WERROR=ON
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+# --- lint leg: clang-tidy over the analysis/codegen/tools sources -----------
+# Gated on the binary being installed (the default container ships only the
+# gcc toolchain); the curated profile lives in .clang-tidy.
+if command -v clang-tidy > /dev/null 2>&1; then
+    clang-tidy -p build --quiet \
+        src/analysis/*.cpp src/codegen/*.cpp tools/*.cpp
+else
+    echo "verify.sh: clang-tidy not installed; lint leg skipped" >&2
+fi
 
 # --- sanitizer leg: solver paths + persistent engine state under ASan/UBSan -
 cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
