@@ -90,6 +90,88 @@ Nfa_set build_nfa_set(const std::vector<const ir::PathPtr*>& paths,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+
+struct Engine_checkpoint_state {
+    std::vector<Engine::Entry> entries;
+    std::vector<Guaranteed_request> requests;
+    std::vector<std::size_t> request_entry;
+    lp::Basis basis;
+    Provision_result provision;
+    std::vector<bool> link_up;
+    Compilation current;
+    Compilation::Timing timing;
+    std::uint64_t generation = 0;
+};
+
+Engine::Checkpoint Engine::checkpoint() const {
+    auto state = std::make_shared<Engine_checkpoint_state>();
+    state->entries = entries_;
+    state->requests = requests_;
+    state->request_entry = request_entry_;
+    state->basis = basis_;
+    state->provision = provision_;
+    state->link_up.reserve(static_cast<std::size_t>(topo_.link_count()));
+    for (topo::LinkId l = 0; l < topo_.link_count(); ++l)
+        state->link_up.push_back(topo_.link_up(l));
+    state->current = current_;
+    state->timing = timing_;
+    state->generation = generation_;
+    Checkpoint out;
+    out.state_ = std::move(state);
+    return out;
+}
+
+void Engine::restore(const Checkpoint& saved) {
+    expects(saved.state_ != nullptr, "restore() of an empty checkpoint");
+    const Engine_checkpoint_state& state = *saved.state_;
+    entries_ = state.entries;
+    requests_ = state.requests;
+    request_entry_ = state.request_entry;
+    basis_ = state.basis;
+    provision_ = state.provision;
+    // The skeleton may have been patched or re-encoded for the abandoned
+    // state; dropping it is always safe (lazy re-encode on the next solve).
+    skeleton_valid_ = false;
+    bool links_differ = false;
+    for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+        const bool up = state.link_up[static_cast<std::size_t>(l)];
+        if (topo_.link_up(l) == up) continue;
+        topo_.set_link_state(l, up);
+        links_differ = true;
+    }
+    if (links_differ) {
+        // Cached sink trees were built against the abandoned link state.
+        switch_graph_ = make_switch_graph(topo_);
+        tree_cache_.clear();
+    }
+    current_ = state.current;
+    timing_ = state.timing;
+    generation_ = state.generation;
+    // No publish hook: the caller rewound its own consumers (see engine.h).
+}
+
+struct Engine::Delta_guard {
+    Engine& engine;
+    Checkpoint saved;
+    bool armed = true;
+
+    explicit Delta_guard(Engine& e) : engine(e), saved(e.checkpoint()) {}
+    Delta_guard(const Delta_guard&) = delete;
+    Delta_guard& operator=(const Delta_guard&) = delete;
+    void commit() { armed = false; }
+    ~Delta_guard() {
+        if (armed) engine.restore(saved);
+    }
+};
+
+void Engine::set_mip_node_limit(int max_nodes) {
+    if (max_nodes < 1)
+        throw Policy_error("node limit must be at least 1");
+    options_.mip.max_nodes = max_nodes;
+}
+
 Engine_stats Engine_stats::since(const Engine_stats& earlier) const {
     Engine_stats d;
     d.automata_built = automata_built - earlier.automata_built;
@@ -589,13 +671,22 @@ void Engine::publish() {
 }
 
 void Engine::publish_bandwidth(std::size_t index) {
+    // Stage every throwing copy first, then install with noexcept moves:
+    // an allocation failure must not leave current_ half-updated (the
+    // delta ops' strong exception guarantee leans on this).
+    Provision_result provision_copy;
+    std::vector<Provisioned_path> paths_copy;
+    if (!requests_.empty()) {
+        provision_copy = provision_;
+        paths_copy = provision_.paths;
+    }
     Statement_plan& plan = current_.plans[index];
     plan.guarantee = entries_[index].guarantee;
     plan.cap = entries_[index].cap;
     if (requests_.empty()) return;
-    current_.provision = provision_;
-    for (std::size_t r = 0; r < provision_.paths.size(); ++r)
-        current_.plans[request_entry_[r]].path = provision_.paths[r];
+    current_.provision = std::move(provision_copy);
+    for (std::size_t r = 0; r < paths_copy.size(); ++r)
+        current_.plans[request_entry_[r]].path = std::move(paths_copy[r]);
 }
 
 // ---------------------------------------------------------------------------
@@ -662,18 +753,15 @@ Update_result Engine::add_statement(const ir::Statement& statement,
     fresh.dst_host = ep.dst;
     if (options_.check_disjoint) check_disjoint_against(fresh);
 
+    // Everything above only validates; everything below mutates under the
+    // guard, so any throw (an unresolvable path expression, a rethrown NFA
+    // build failure inside publish) rewinds to exactly the pre-delta state.
+    Delta_guard guard(*this);
     bool solver_run = false;
     if (fresh.guaranteed()) {
-        // Intern the NFA before mutating engine state: an unresolvable
-        // path expression throws and must leave the policy untouched.
         entries_.push_back(std::move(fresh));
-        try {
-            ensure_guaranteed_nfas();
-            requests_.push_back(make_request(entries_.back()));
-        } catch (...) {
-            entries_.pop_back();
-            throw;
-        }
+        ensure_guaranteed_nfas();
+        requests_.push_back(make_request(entries_.back()));
         request_entry_.push_back(entries_.size() - 1);
         skeleton_valid_ = false;
         basis_ = {};
@@ -683,6 +771,7 @@ Update_result Engine::add_statement(const ir::Statement& statement,
         entries_.push_back(std::move(fresh));
     }
     publish();
+    guard.commit();
     return finish_update("add_statement", start, before, solver_run, false);
 }
 
@@ -692,6 +781,7 @@ Update_result Engine::remove_statement(const std::string& id) {
     const std::size_t index = entry_index(id);
     const bool was_guaranteed = entries_[index].guaranteed();
 
+    Delta_guard guard(*this);
     bool solver_run = false;
     if (was_guaranteed) {
         const std::size_t r = request_of_entry(index);
@@ -709,6 +799,7 @@ Update_result Engine::remove_statement(const std::string& id) {
         solve_provisioning(/*try_warm=*/false);
     }
     publish();
+    guard.commit();
     return finish_update("remove_statement", start, before, solver_run,
                          false);
 }
@@ -724,15 +815,19 @@ Update_result Engine::set_bandwidth(const std::string& id,
     Entry& entry = entries_[index];
     const Bandwidth old = entry.guarantee;
     const std::optional<Bandwidth> old_cap = entry.cap;
-    entry.cap = cap;
 
     if (old == guarantee) {
         // Cap-only (or no-op) change: no re-provisioning at all — caps are
         // enforced by rate limiters, not by the path solver.
-        publish_bandwidth(index);
+        entry.cap = cap;
+        try {
+            publish_bandwidth(index);
+        } catch (...) {
+            entry.cap = old_cap;
+            throw;
+        }
         return finish_update("set_bandwidth", start, before, false, false);
     }
-    entry.guarantee = guarantee;
 
     bool solver_run = true;
     bool warm = false;
@@ -741,45 +836,57 @@ Update_result Engine::set_bandwidth(const std::string& id,
         // The paper's fast path ("changes to bandwidth allocations do not
         // require recompilation"): patch the live encoding, warm-start
         // branch & bound. No automata, logical-topology, sink-tree or
-        // re-encoding work.
+        // re-encoding work — and no Delta_guard state capture either; the
+        // three mutated scalars roll back by hand and the patched skeleton
+        // is dropped, preserving the strong guarantee at fast-path cost.
         const std::size_t r = request_of_entry(index);
-        requests_[r].rate = guarantee;
-        if (mip_selected() && skeleton_valid_) {
-            patch_request_rate(skeleton_, requests_, r);
-            ++totals_.lp_patches;
+        Provision_result saved_provision = provision_;
+        try {
+            entry.cap = cap;
+            entry.guarantee = guarantee;
+            requests_[r].rate = guarantee;
+            if (mip_selected() && skeleton_valid_) {
+                patch_request_rate(skeleton_, requests_, r);
+                ++totals_.lp_patches;
+            }
+            warm = solve_provisioning(/*try_warm=*/true);
+            if (was_feasible && provision_.feasible)
+                publish_bandwidth(index);
+            else
+                publish();
+        } catch (...) {
+            entry.guarantee = old;
+            entry.cap = old_cap;
+            requests_[r].rate = old;
+            provision_ = std::move(saved_provision);
+            skeleton_valid_ = false;
+            throw;
         }
-        warm = solve_provisioning(/*try_warm=*/true);
-        if (was_feasible && provision_.feasible)
-            publish_bandwidth(index);
-        else
-            publish();
     } else if (guarantee.bps() > 0) {
         // Promotion: the statement leaves the best-effort world and gains a
         // provisioning request — a structural change to the encoding.
+        Delta_guard guard(*this);
+        entry.cap = cap;
+        entry.guarantee = guarantee;
         std::size_t r = 0;
         for (std::size_t i = 0; i < index; ++i)
             if (entries_[i].guaranteed()) ++r;
-        try {
-            ensure_guaranteed_nfas();
-            requests_.insert(
-                requests_.begin() + static_cast<std::ptrdiff_t>(r),
-                make_request(entry));
-        } catch (...) {
-            // Argument errors leave the engine untouched — including the
-            // cap written above.
-            entry.guarantee = old;
-            entry.cap = old_cap;
-            throw;
-        }
+        ensure_guaranteed_nfas();
+        requests_.insert(requests_.begin() + static_cast<std::ptrdiff_t>(r),
+                         make_request(entry));
         request_entry_.insert(
             request_entry_.begin() + static_cast<std::ptrdiff_t>(r), index);
         skeleton_valid_ = false;
         basis_ = {};
         solve_provisioning(/*try_warm=*/false);
         publish();
+        guard.commit();
     } else {
         // Demotion to best-effort.
+        Delta_guard guard(*this);
         const std::size_t r = request_of_entry(index);
+        entry.cap = cap;
+        entry.guarantee = guarantee;
         requests_.erase(requests_.begin() + static_cast<std::ptrdiff_t>(r));
         request_entry_.erase(request_entry_.begin() +
                              static_cast<std::ptrdiff_t>(r));
@@ -788,6 +895,7 @@ Update_result Engine::set_bandwidth(const std::string& id,
         solver_run = !requests_.empty();
         solve_provisioning(/*try_warm=*/false);
         publish();
+        guard.commit();
     }
     return finish_update("set_bandwidth", start, before, solver_run, warm);
 }
@@ -800,6 +908,7 @@ Update_result Engine::set_link_state(topo::LinkId link, bool up,
         throw Topology_error("unknown link id");
     if (topo_.link_up(link) == up)
         return finish_update(kind, start, before, false, false);
+    Delta_guard guard(*this);
     topo_.set_link_state(link, up);
 
     bool solver_run = false;
@@ -833,6 +942,7 @@ Update_result Engine::set_link_state(topo::LinkId link, bool up,
     switch_graph_ = make_switch_graph(topo_);
     tree_cache_.clear();
     publish();
+    guard.commit();
     return finish_update(kind, start, before, solver_run, warm);
 }
 
@@ -860,6 +970,7 @@ Update_result Engine::restore_link(const std::string& a,
 Update_result Engine::recompile() {
     const auto start = Clock::now();
     const Engine_stats before = totals_;
+    Delta_guard guard(*this);
     const auto lp_start = Clock::now();
     rebuild_requests();
     timing_.lp_construction_ms = ms_since(lp_start);
@@ -867,6 +978,7 @@ Update_result Engine::recompile() {
     solve_provisioning(/*try_warm=*/false);
     timing_.lp_solve_ms = ms_since(solve_start);
     publish();
+    guard.commit();
     return finish_update("recompile", start, before, !requests_.empty(),
                          false);
 }

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,6 +55,10 @@
 #include "pred/analysis.h"
 
 namespace merlin::core {
+
+// Opaque state capture backing Engine::checkpoint()/restore(); defined in
+// engine.cpp, shared immutably by Checkpoint copies.
+struct Engine_checkpoint_state;
 
 // Cumulative work counters. A bandwidth-only delta must leave
 // automata_built, logical_builds, trees_built and lp_encodings untouched —
@@ -141,12 +146,59 @@ public:
     // Moves the built compilation out (the one-shot compile() wrapper).
     [[nodiscard]] Compilation take() && { return std::move(current_); }
 
+    // ---- transactional rollback --------------------------------------------
+    // A checkpoint captures every piece of delta-visible state: the policy
+    // entries, the provisioning requests, solver warm-start state, link
+    // states, the published Compilation, and generation(). The NFA and
+    // sink-tree interns are content-addressed caches shared across states,
+    // so they are not captured; restore() only evicts trees built under a
+    // different link state. Checkpoints share their capture immutably, so
+    // copying one is a pointer copy.
+    //
+    // restore() rewinds the engine to the checkpoint — including
+    // generation() — and fires no publish hook: a shadow-apply caller (the
+    // src/daemon transaction protocol) already observed the candidate state
+    // itself and must rewind its own consumers (codegen::Incremental,
+    // analysis::Update_checker) alongside. The live LP skeleton is dropped
+    // rather than captured, so a rolled-back delta costs one lazy re-encode
+    // on the next solve — never correctness: engine-vs-batch equivalence
+    // holds across any checkpoint/restore sequence (pinned by engine_test).
+    class Checkpoint {
+        friend class Engine;
+        std::shared_ptr<const Engine_checkpoint_state> state_;
+    };
+    [[nodiscard]] Checkpoint checkpoint() const;
+    void restore(const Checkpoint& saved);
+
+    // Branch & bound node budget for subsequent solves. This is the
+    // daemon's escalating-retry and timeout-injection knob: a truncated
+    // (node-limited, unproven) solve is transient, and a retry may raise
+    // the budget. Throws Policy_error when `max_nodes` < 1.
+    void set_mip_node_limit(int max_nodes);
+    [[nodiscard]] int mip_node_limit() const {
+        return options_.mip.max_nodes;
+    }
+
     // Observation point for delta-aware consumers (codegen::Incremental
     // lives a layer above core, so the engine exposes a hook rather than
     // owning diff state). The hook runs after every delta operation with
     // the published compilation — feasible or not — and the engine's
     // topology, and once immediately at registration with the already-
     // published state, so a late subscriber starts from the live tables.
+    //
+    // Contract (pinned by engine_test, relied on by src/daemon):
+    //   * the hook fires exactly once per *completed* delta operation,
+    //     after the compilation (feasible or not) is published and
+    //     generation() has advanced;
+    //   * a refused delta — any throw, whether an argument error or a
+    //     failure inside the update — fires no hook and leaves
+    //     generation() and every published byte unchanged: delta
+    //     operations are strongly exception safe;
+    //   * restore() fires no hook and rewinds generation(); shadow-apply
+    //     callers rewind their hook-fed consumers themselves;
+    //   * a hook that throws propagates to the delta caller, but the
+    //     publication has already happened — state and generation keep
+    //     their new values.
     using Publish_hook =
         std::function<void(const Compilation&, const topo::Topology&)>;
     void on_publish(Publish_hook hook);
@@ -154,6 +206,15 @@ public:
     [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
 private:
+    friend struct Engine_checkpoint_state;
+
+    // Scope guard giving every delta operation the strong exception
+    // guarantee wholesale: capture a checkpoint, restore it on unwind
+    // unless the operation committed. Used on the structural paths (which
+    // re-encode and re-solve anyway, dwarfing the capture); the
+    // set_bandwidth fast path rolls back its three scalars by hand instead.
+    struct Delta_guard;
+
     struct Entry {
         ir::Statement stmt;
         std::string path_text;  // ir::to_string(stmt.path), the intern key

@@ -1,0 +1,198 @@
+#include "daemon/fault.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace merlin::daemon {
+
+namespace {
+
+// Fixed-increment splitmix64: the deterministic bit source for corruption
+// choices (the plan must replay identically from a repro file).
+std::uint64_t splitmix(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(Fault_kind kind) {
+    switch (kind) {
+        case Fault_kind::crash_before_publish:
+            return "crash-before-publish";
+        case Fault_kind::crash_between_prepare_and_commit:
+            return "crash-between-prepare-and-commit";
+        case Fault_kind::solver_timeout:
+            return "solver-timeout";
+        case Fault_kind::corrupt_line:
+            return "corrupt-line";
+        case Fault_kind::duplicate_line:
+            return "duplicate-line";
+        case Fault_kind::reorder_lines:
+            return "reorder-lines";
+    }
+    return "?";
+}
+
+std::optional<Fault_kind> parse_fault_kind(const std::string& name) {
+    for (const Fault_kind kind :
+         {Fault_kind::crash_before_publish,
+          Fault_kind::crash_between_prepare_and_commit,
+          Fault_kind::solver_timeout, Fault_kind::corrupt_line,
+          Fault_kind::duplicate_line, Fault_kind::reorder_lines})
+        if (name == to_string(kind)) return kind;
+    return std::nullopt;
+}
+
+bool is_stream_fault(Fault_kind kind) {
+    return kind == Fault_kind::corrupt_line ||
+           kind == Fault_kind::duplicate_line ||
+           kind == Fault_kind::reorder_lines;
+}
+
+std::vector<Fault_event> Fault_plan::at(int step) const {
+    std::vector<Fault_event> hits;
+    for (const Fault_event& event : events_)
+        if (event.step == step) hits.push_back(event);
+    return hits;
+}
+
+bool Fault_plan::has_stream_faults() const {
+    return std::any_of(events_.begin(), events_.end(), [](const Fault_event& e) {
+        return is_stream_fault(e.kind);
+    });
+}
+
+Fault_plan parse_fault_plan(const std::string& text) {
+    Fault_plan plan;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos) end = text.size();
+        const std::string item = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty()) continue;
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos)
+            throw Error("malformed fault (expected <kind>@<step>[x<count>]): " +
+                        item);
+        const auto kind = parse_fault_kind(item.substr(0, at));
+        if (!kind) throw Error("unknown fault kind: " + item.substr(0, at));
+        Fault_event event;
+        event.kind = *kind;
+        std::string rest = item.substr(at + 1);
+        int count = 1;
+        if (const std::size_t x = rest.find('x'); x != std::string::npos) {
+            try {
+                count = std::stoi(rest.substr(x + 1));
+            } catch (...) {
+                throw Error("malformed fault count: " + item);
+            }
+            rest.resize(x);
+        }
+        try {
+            event.step = std::stoi(rest);
+        } catch (...) {
+            throw Error("malformed fault step: " + item);
+        }
+        if (event.step < 0 || count < 1)
+            throw Error("fault step/count out of range: " + item);
+        event.count = count;
+        plan.add(event);
+    }
+    return plan;
+}
+
+std::string format_fault_plan(const Fault_plan& plan) {
+    std::string out;
+    for (const Fault_event& event : plan.events()) {
+        if (!out.empty()) out += ',';
+        out += to_string(event.kind);
+        out += '@';
+        out += std::to_string(event.step);
+        if (event.count != 1) out += 'x' + std::to_string(event.count);
+    }
+    return out;
+}
+
+std::string corrupt_control_line(const std::string& line,
+                                 std::uint64_t seed) {
+    std::uint64_t state = seed * 0x2545f4914f6cdd1dull + 0x9e3779b9ull;
+    std::string out = line;
+    switch (splitmix(state) % 3) {
+        case 0: {  // clobber one character with protocol noise
+            if (out.empty()) return "\x7f?";
+            const std::size_t i = splitmix(state) % out.size();
+            const char noise[] = {'\x7f', '~', '@', '\\'};
+            out[i] = noise[splitmix(state) % 4];
+            if (out == line) out[i] = out[i] == '~' ? '@' : '~';
+            return out;
+        }
+        case 1:  // truncate mid-command
+            out.resize(out.size() / 2);
+            return out + "\x7f";
+        default:  // prepend a garbage token
+            return "?garbled? " + out;
+    }
+}
+
+std::vector<std::string> apply_stream_faults(
+    const std::vector<std::string>& lines, const Fault_plan& plan,
+    std::uint64_t seed) {
+    // Per original line: corrupt, then duplicate the (possibly corrupted)
+    // text — each original index expands to a block of delivered lines.
+    std::vector<std::vector<std::string>> blocks(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string text = lines[i];
+        bool duplicate = false;
+        for (const Fault_event& event : plan.at(static_cast<int>(i))) {
+            if (event.kind == Fault_kind::corrupt_line)
+                text = corrupt_control_line(text, seed ^ (i * 0x9e37ull));
+            else if (event.kind == Fault_kind::duplicate_line)
+                duplicate = true;
+        }
+        blocks[i].push_back(text);
+        if (duplicate) blocks[i].push_back(blocks[i].front());
+    }
+    // Reorder swaps whole blocks with their successor (steps index the
+    // original sequence; the last line has no successor, so a reorder
+    // anchored there is a no-op).
+    for (const Fault_event& event : plan.events()) {
+        if (event.kind != Fault_kind::reorder_lines) continue;
+        const auto i = static_cast<std::size_t>(event.step);
+        if (i + 1 < blocks.size()) std::swap(blocks[i], blocks[i + 1]);
+    }
+    std::vector<std::string> out;
+    for (std::vector<std::string>& block : blocks)
+        for (std::string& text : block) out.push_back(std::move(text));
+    return out;
+}
+
+Fault_plan random_fault_plan(Rng& rng, int steps, int max_events) {
+    Fault_plan plan;
+    if (steps <= 0 || max_events <= 0) return plan;
+    const Fault_kind kinds[] = {
+        Fault_kind::crash_before_publish,
+        Fault_kind::crash_between_prepare_and_commit,
+        Fault_kind::solver_timeout,
+        Fault_kind::corrupt_line,
+        Fault_kind::duplicate_line,
+        Fault_kind::reorder_lines,
+    };
+    const int events = static_cast<int>(rng.uniform(0, max_events));
+    for (int i = 0; i < events; ++i) {
+        Fault_event event;
+        event.kind = kinds[rng.uniform(0, 5)];
+        event.step = static_cast<int>(rng.uniform(0, steps - 1));
+        if (event.kind == Fault_kind::solver_timeout)
+            event.count = static_cast<int>(rng.uniform(1, 3));
+        plan.add(event);
+    }
+    return plan;
+}
+
+}  // namespace merlin::daemon

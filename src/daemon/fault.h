@@ -1,0 +1,107 @@
+// Deterministic fault injection for the control-plane daemon.
+//
+// A Fault_plan is a schedule of injected failures, each anchored to a
+// control-command *step* (the 0-based index of the command in the stream).
+// Two families exist:
+//
+//   * controller faults — consumed by daemon::Controller inside its
+//     transaction protocol: `crash_before_publish` and
+//     `crash_between_prepare_and_commit` tear the transaction down at the
+//     two publication points (the daemon must recover to the last-good
+//     snapshot with an unchanged generation), `solver_timeout` clamps the
+//     branch & bound node budget to 1 for the first `count` attempts of
+//     that command (exercising the transient-failure retry path);
+//
+//   * stream faults — applied to the control-line sequence *before* it
+//     reaches the controller: `corrupt_line` mangles the line text,
+//     `duplicate_line` delivers it twice, `reorder_lines` swaps it with
+//     its successor. They model a lossy/duplicating control channel; the
+//     daemon must refuse what no longer parses and stay consistent under
+//     replays and reorderings.
+//
+// Plans serialize to a compact CLI form ("<kind>@<step>[x<count>]",
+// comma-separated) and to per-event repro lines ("fault <step> <kind>
+// [<count>]") embedded in merlin-fuzz scenario files; both round-trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace merlin::daemon {
+
+enum class Fault_kind : std::uint8_t {
+    crash_before_publish,
+    crash_between_prepare_and_commit,
+    solver_timeout,
+    corrupt_line,
+    duplicate_line,
+    reorder_lines,
+};
+
+[[nodiscard]] const char* to_string(Fault_kind kind);
+// Kebab-case name -> kind ("crash-before-publish", ...).
+[[nodiscard]] std::optional<Fault_kind> parse_fault_kind(
+    const std::string& name);
+// True for the faults applied to the line stream rather than consumed by
+// the controller's transaction protocol.
+[[nodiscard]] bool is_stream_fault(Fault_kind kind);
+
+struct Fault_event {
+    Fault_kind kind = Fault_kind::solver_timeout;
+    int step = 0;   // 0-based control-command index the fault fires at
+    int count = 1;  // solver_timeout: attempts that keep timing out
+
+    friend bool operator==(const Fault_event&, const Fault_event&) = default;
+};
+
+class Fault_plan {
+public:
+    Fault_plan() = default;
+    explicit Fault_plan(std::vector<Fault_event> events)
+        : events_(std::move(events)) {}
+
+    [[nodiscard]] bool empty() const { return events_.empty(); }
+    [[nodiscard]] const std::vector<Fault_event>& events() const {
+        return events_;
+    }
+    void add(Fault_event event) { events_.push_back(event); }
+    // Events anchored at `step`, in plan order.
+    [[nodiscard]] std::vector<Fault_event> at(int step) const;
+    [[nodiscard]] bool has_stream_faults() const;
+
+    friend bool operator==(const Fault_plan&, const Fault_plan&) = default;
+
+private:
+    std::vector<Fault_event> events_;
+};
+
+// CLI form: comma-separated "<kind>@<step>" or "<kind>@<step>x<count>".
+// Throws merlin::Error on malformed input; parse(format(p)) == p.
+[[nodiscard]] Fault_plan parse_fault_plan(const std::string& text);
+[[nodiscard]] std::string format_fault_plan(const Fault_plan& plan);
+
+// Deterministic mangle of one control line (seeded): the result is stable
+// across runs, almost never parses, and never equals the input.
+[[nodiscard]] std::string corrupt_control_line(const std::string& line,
+                                               std::uint64_t seed);
+
+// Applies the plan's stream faults to an ordered control-line sequence;
+// controller faults pass through untouched. Steps index the *original*
+// sequence; per line, corruption applies first, then duplication (of the
+// corrupted text), then reordering (swap with the next surviving line's
+// expansion).
+[[nodiscard]] std::vector<std::string> apply_stream_faults(
+    const std::vector<std::string>& lines, const Fault_plan& plan,
+    std::uint64_t seed);
+
+// Draws up to `max_events` faults over `steps` command slots (any kind,
+// uniform step); used by merlin-fuzz --daemon-faults. Deterministic in the
+// Rng state.
+[[nodiscard]] Fault_plan random_fault_plan(Rng& rng, int steps,
+                                           int max_events);
+
+}  // namespace merlin::daemon

@@ -1,7 +1,11 @@
 // The scenario runner (a real core::Engine vs the runner's independent
-// model, oracles at every step) and the shrinker (bounded ddmin over deltas
-// and statements, keeping only reductions that trip the same oracle).
+// model, oracles at every step; in daemon mode a daemon::Controller fed
+// control lines under an injected fault plan) and the shrinker (bounded
+// ddmin over deltas, statements and fault events, keeping only reductions
+// that trip the same oracle).
+#include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -9,6 +13,7 @@
 
 #include "core/engine.h"
 #include "core/logical.h"
+#include "daemon/daemon.h"
 #include "negotiator/negotiator.h"
 #include "testgen/testgen.h"
 #include "util/error.h"
@@ -115,9 +120,274 @@ void apply_to_engine(core::Engine& engine, const Delta& delta,
     }
 }
 
+// ---------------------------------------------------------------- daemon mode
+
+// Renders one testgen delta as the control-channel command merlind speaks.
+daemon::Command to_command(const Delta& delta) {
+    daemon::Command cmd;
+    using Kind = daemon::Command::Kind;
+    switch (delta.kind) {
+        case Delta_kind::set_bandwidth:
+            cmd.kind = Kind::bandwidth;
+            cmd.id = delta.stmt.stmt.id;
+            cmd.guarantee = delta.stmt.guarantee;
+            cmd.cap = delta.stmt.cap;
+            break;
+        case Delta_kind::add_statement:
+            cmd.kind = Kind::add;
+            cmd.stmt = delta.stmt.stmt;
+            cmd.guarantee = delta.stmt.guarantee;
+            cmd.cap = delta.stmt.cap;
+            break;
+        case Delta_kind::remove_statement:
+            cmd.kind = Kind::remove;
+            cmd.id = delta.stmt.stmt.id;
+            break;
+        case Delta_kind::fail_link:
+        case Delta_kind::restore_link:
+            cmd.kind = delta.kind == Delta_kind::fail_link ? Kind::fail
+                                                           : Kind::restore;
+            cmd.node_a = delta.node_a;
+            cmd.node_b = delta.node_b;
+            break;
+        case Delta_kind::redistribute:
+            cmd.kind = Kind::redistribute;
+            cmd.demands = delta.demands;
+            break;
+    }
+    return cmd;
+}
+
+// The inverse mapping, for commands the model vocabulary can express
+// (stream corruption may synthesize admin/invalid lines: nullopt).
+std::optional<Delta> to_delta(const daemon::Command& cmd) {
+    using Kind = daemon::Command::Kind;
+    Delta delta;
+    switch (cmd.kind) {
+        case Kind::bandwidth:
+            delta.kind = Delta_kind::set_bandwidth;
+            delta.stmt.stmt.id = cmd.id;
+            delta.stmt.guarantee = cmd.guarantee;
+            delta.stmt.cap = cmd.cap;
+            return delta;
+        case Kind::add:
+            delta.kind = Delta_kind::add_statement;
+            delta.stmt.stmt = cmd.stmt;
+            delta.stmt.guarantee = cmd.guarantee;
+            delta.stmt.cap = cmd.cap;
+            return delta;
+        case Kind::remove:
+            delta.kind = Delta_kind::remove_statement;
+            delta.stmt.stmt.id = cmd.id;
+            return delta;
+        case Kind::fail:
+        case Kind::restore:
+            delta.kind = cmd.kind == Kind::fail ? Delta_kind::fail_link
+                                                : Delta_kind::restore_link;
+            delta.node_a = cmd.node_a;
+            delta.node_b = cmd.node_b;
+            return delta;
+        case Kind::redistribute:
+            delta.kind = Delta_kind::redistribute;
+            delta.demands = cmd.demands;
+            return delta;
+        default:
+            return std::nullopt;
+    }
+}
+
+// Commands that run the transaction protocol (publish on success), as
+// opposed to queries and admin.
+bool is_transactional(daemon::Command::Kind kind) {
+    using Kind = daemon::Command::Kind;
+    switch (kind) {
+        case Kind::add:
+        case Kind::remove:
+        case Kind::bandwidth:
+        case Kind::fail:
+        case Kind::restore:
+        case Kind::redistribute:
+        case Kind::reload:
+            return true;
+        default:
+            return false;
+    }
+}
+
+// Drives the trace through a daemon::Controller as control lines, with the
+// scenario's fault plan injected (controller faults consumed per command,
+// stream faults pre-applied to the line sequence). The snapshot-atomicity
+// oracle runs around every command; accepted publications additionally run
+// the full engine-mode oracle set against a batch compile of the model.
+// The model only advances on accepted commands, so it always describes the
+// serving snapshot — which is exactly the old-complete-or-new-complete
+// invariant under test.
+Run_result run_daemon_scenario(const Scenario& scenario,
+                               const Run_options& options) {
+    Run_result result;
+    topo::Topology reference_topo;
+    std::vector<Statement_spec> model = scenario.statements;
+    std::optional<daemon::Controller> controller;
+    daemon::Options dopts;
+    // Quarantine off (the oracle tracks per-command outcomes, not stream
+    // health), no-op sleeper (replays must not wait out real backoff), and
+    // lint off: the linter is a style gate whose errors are not engine
+    // divergences, and the engine-mode fuzzer runs lint-free too. The
+    // symbolic verify gate stays on — refusing what it flags is part of
+    // the behavior under test.
+    dopts.quarantine_after = 0;
+    dopts.lint_policies = false;
+    dopts.reload_drain_timeout = std::chrono::milliseconds(0);
+    dopts.sleeper = [](std::chrono::milliseconds) {};
+    try {
+        reference_topo = make_topology(scenario);
+        controller.emplace(initial_policy(scenario), reference_topo,
+                           scenario.options, dopts);
+    } catch (const Error& e) {
+        return invalid(std::string("scenario rejected at construction: ") +
+                           e.what(),
+                       -1);
+    }
+    controller->set_fault_plan(scenario.faults);
+
+    Diff_oracle diffs;
+    Symbolic_oracle symbolic;
+
+    const auto report = [&](int step, const char* oracle,
+                            std::string detail) {
+        result.status = Run_result::Status::failed;
+        result.oracle = oracle;
+        result.detail = std::move(detail);
+        result.failing_step = step;
+        return false;
+    };
+
+    // The engine-mode oracle set over one published snapshot vs the model.
+    const auto check = [&](int step, const daemon::Snapshot& snap,
+                           bool link_delta) {
+        if (snap.checksum != daemon::snapshot_fingerprint(snap))
+            return report(step, "daemon-atomicity",
+                          "published snapshot checksum does not validate");
+        core::Compilation fresh;
+        try {
+            fresh = core::compile(make_policy(model), reference_topo,
+                                  scenario.options);
+        } catch (const Error& e) {
+            return report(step, "engine-vs-batch",
+                          std::string("batch compile threw: ") + e.what());
+        }
+        if (auto d = describe_difference(snap.compilation, fresh,
+                                         reference_topo, scenario.options))
+            return report(step, "engine-vs-batch", *d);
+        if (auto d = check_capacity(snap.topology, snap.compilation.provision))
+            return report(step, "capacity", *d);
+        if (auto d = check_routes(snap.compilation, snap.topology))
+            return report(step, "routes", *d);
+        if (auto d = check_codegen(snap.compilation, snap.topology))
+            return report(step, "codegen", *d);
+        if (auto d = diffs.step(snap.compilation, snap.topology, !link_delta))
+            return report(step, "diffs", *d);
+        if (auto d =
+                symbolic.step(snap.compilation, snap.topology, !link_delta))
+            return report(step, "symbolic", *d);
+        return true;
+    };
+
+    if (!check(-1, *controller->snapshot(), false)) return result;
+
+    std::vector<std::string> lines;
+    lines.reserve(scenario.deltas.size());
+    for (const Delta& delta : scenario.deltas)
+        lines.push_back(daemon::format_command(to_command(delta)));
+    lines = daemon::apply_stream_faults(lines, scenario.faults, scenario.seed);
+    const bool stream_faulted = scenario.faults.has_stream_faults();
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const int step = static_cast<int>(i);
+        const daemon::Command cmd = daemon::parse_command(lines[i]);
+        const std::shared_ptr<const daemon::Snapshot> before =
+            controller->snapshot();
+        const daemon::Response r = controller->apply_line(lines[i]);
+        const std::shared_ptr<const daemon::Snapshot> after =
+            controller->snapshot();
+        if (r.ok && is_transactional(cmd.kind)) {
+            // New-complete: exactly one generation ahead, and the model
+            // must accept the same command (a rogue acceptance means the
+            // daemon applied something the engine vocabulary refuses).
+            if (after->generation != before->generation + 1) {
+                report(step, "daemon-atomicity",
+                       "accepted command published generation " +
+                           std::to_string(after->generation) + ", expected " +
+                           std::to_string(before->generation + 1) + ": " +
+                           lines[i]);
+                return result;
+            }
+            const std::optional<Delta> delta = to_delta(cmd);
+            if (!delta || !apply_delta(model, reference_topo, *delta)) {
+                report(step, "daemon-model",
+                       "daemon accepted a command the model refuses: " +
+                           lines[i]);
+                return result;
+            }
+            ++result.deltas_applied;
+            const bool link_delta =
+                cmd.kind == daemon::Command::Kind::fail ||
+                cmd.kind == daemon::Command::Kind::restore;
+            if (!check(step, *after, link_delta)) return result;
+        } else if (r.ok) {
+            // Queries and admin never publish.
+            if (after.get() != before.get()) {
+                report(step, "daemon-atomicity",
+                       "non-transactional command republished the snapshot: " +
+                           lines[i]);
+                return result;
+            }
+        } else {
+            // Old-complete: a refusal of any kind leaves the serving
+            // snapshot pointer-identical with an unchanged generation.
+            if (after.get() != before.get() ||
+                after->generation != before->generation) {
+                report(step, "daemon-atomicity",
+                       "refusal (" + std::string(daemon::to_string(r.code)) +
+                           ") disturbed the serving snapshot: " + lines[i]);
+                return result;
+            }
+            // Feasibility, verification, timeout and crash refusals can be
+            // legitimate; parse/argument refusals of a line the model
+            // accepts cannot — unless stream faults rewrote the lines.
+            if (!stream_faulted && (r.code == daemon::Refusal::parse ||
+                                    r.code == daemon::Refusal::argument)) {
+                const std::optional<Delta> delta = to_delta(cmd);
+                std::vector<Statement_spec> model_copy = model;
+                topo::Topology topo_copy = reference_topo;
+                if (delta && apply_delta(model_copy, topo_copy, *delta)) {
+                    report(step, "daemon-model",
+                           "daemon spuriously refused (" +
+                               std::string(daemon::to_string(r.code)) +
+                               ") a model-valid command: " + lines[i] +
+                               " — " + r.detail);
+                    return result;
+                }
+            }
+        }
+    }
+    if (options.solver_oracles) {
+        if (auto d = check_solvers(reference_topo, model, scenario.options)) {
+            result.status = Run_result::Status::failed;
+            result.oracle = "solvers";
+            result.detail = *d;
+            result.failing_step = static_cast<int>(lines.size());
+            return result;
+        }
+    }
+    result.status = Run_result::Status::passed;
+    return result;
+}
+
 }  // namespace
 
 Run_result run_scenario(const Scenario& scenario, const Run_options& options) {
+    if (options.daemon) return run_daemon_scenario(scenario, options);
     Run_result result;
     topo::Topology reference_topo;
     std::vector<Statement_spec> model = scenario.statements;
@@ -301,6 +571,20 @@ Scenario without_statements(const Scenario& scenario,
     return out;
 }
 
+// Removes the fault events at the given indices. Surviving events keep
+// their original step anchors: a fault whose command disappeared simply
+// never fires, which is harmless and keeps candidates simple.
+Scenario without_faults(const Scenario& scenario,
+                        const std::set<std::size_t>& removed) {
+    Scenario out = scenario;
+    std::vector<daemon::Fault_event> kept;
+    const std::vector<daemon::Fault_event>& events = scenario.faults.events();
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (!removed.contains(i)) kept.push_back(events[i]);
+    out.faults = daemon::Fault_plan(std::move(kept));
+    return out;
+}
+
 }  // namespace
 
 Scenario shrink(const Scenario& failing, const Run_options& options,
@@ -359,11 +643,21 @@ Scenario shrink(const Scenario& failing, const Run_options& options,
         if (reduce([](const Scenario& s) { return s.statements.size(); },
                    without_statements))
             improved = true;
+        if (reduce(
+                [](const Scenario& s) { return s.faults.events().size(); },
+                without_faults))
+            improved = true;
     }
-    // A failure that needs no deltas at all may still drop the whole trace.
+    // A failure that needs no deltas (or no faults) at all may still drop
+    // the whole trace or schedule.
     if (!best.deltas.empty()) {
         Scenario candidate = best;
         candidate.deltas.clear();
+        if (reproduces(candidate)) best = candidate;
+    }
+    if (!best.faults.empty()) {
+        Scenario candidate = best;
+        candidate.faults = daemon::Fault_plan();
         if (reproduces(candidate)) best = candidate;
     }
     return best;

@@ -580,6 +580,12 @@ std::string format_scenario(const Scenario& scenario) {
         }
         out << '\n';
     }
+    for (const daemon::Fault_event& event : scenario.faults.events()) {
+        out << "fault " << event.step << ' '
+            << daemon::to_string(event.kind);
+        if (event.count != 1) out << ' ' << event.count;
+        out << '\n';
+    }
     return out.str();
 }
 
@@ -717,6 +723,21 @@ Scenario parse_scenario(const std::string& text) {
                 throw Error("unknown delta kind: " + kind);
             }
             scenario.deltas.push_back(std::move(delta));
+        } else if (word == "fault") {
+            std::string step_text;
+            std::string kind_text;
+            if (!(tokens >> step_text >> kind_text))
+                throw Error("malformed fault line: " + line);
+            daemon::Fault_event event;
+            event.step = static_cast<int>(parse_int(step_text, "fault step"));
+            const auto kind = daemon::parse_fault_kind(kind_text);
+            if (!kind) throw Error("unknown fault kind: " + kind_text);
+            event.kind = *kind;
+            std::string count_text;
+            if (tokens >> count_text)
+                event.count =
+                    static_cast<int>(parse_int(count_text, "fault count"));
+            scenario.faults.add(event);
         } else {
             throw Error("unknown repro line: " + line);
         }

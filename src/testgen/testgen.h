@@ -41,6 +41,7 @@
 #include "analysis/dataplane.h"
 #include "codegen/diff.h"
 #include "core/compiler.h"
+#include "daemon/fault.h"
 #include "topo/topology.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -96,6 +97,11 @@ struct Scenario {
 
     std::vector<Statement_spec> statements;
     std::vector<Delta> deltas;
+    // Daemon-mode fault schedule (empty for engine-mode scenarios): injected
+    // crashes, solver timeouts and control-stream corruption, anchored to
+    // command steps. Serialized as "fault <step> <kind> [<count>]" lines and
+    // shrunk event-by-event like deltas.
+    daemon::Fault_plan faults;
 };
 
 // The physical network a scenario runs on (spec + middlebox grafts),
@@ -268,6 +274,18 @@ struct Run_options {
     Inject inject = Inject::none;
     bool check_each_delta = true;  // oracles after every delta (else: end)
     bool solver_oracles = true;    // run check_solvers on the final state
+    // Daemon mode: render the trace as control lines and drive a
+    // daemon::Controller (with the scenario's fault plan injected) instead
+    // of a bare engine. Two oracles join the cross-layer set:
+    //   * daemon-atomicity — every published snapshot is new-complete
+    //     (generation advanced by exactly one, checksum validates) and
+    //     every refusal is old-complete (the serving snapshot is pointer-
+    //     identical, generation unchanged);
+    //   * daemon-model    — the daemon accepts exactly the commands the
+    //     model accepts (spurious refusals and rogue acceptances both trip).
+    // Accepted publications then run through the full engine-mode oracle
+    // set against a batch compile of the model.
+    bool daemon = false;
 };
 
 [[nodiscard]] std::optional<Run_options::Inject> parse_inject(
@@ -293,10 +311,11 @@ struct Run_result {
 
 // ------------------------------------------------------------------ shrinker
 
-// Reduces a failing scenario by delta- and statement-chunk bisection (a
-// bounded ddmin): a candidate reduction is kept only when it still fails
-// the *same* oracle. Removing a statement also removes the deltas that
-// reference it, so candidates stay valid. `runs` bounds the re-executions.
+// Reduces a failing scenario by delta-, statement- and fault-event-chunk
+// bisection (a bounded ddmin): a candidate reduction is kept only when it
+// still fails the *same* oracle. Removing a statement also removes the
+// deltas that reference it, so candidates stay valid. `runs` bounds the
+// re-executions.
 [[nodiscard]] Scenario shrink(const Scenario& failing,
                               const Run_options& options, int runs = 250);
 

@@ -1,0 +1,12 @@
+# Scripted merlind e2e session (tests/CMakeLists.txt: merlind_session).
+# Run with --fault crash-before-publish@3: step 3 (the first `fail`) is
+# torn down at the publication point and must recover to the last-good
+# snapshot; the identical retry on the next line then succeeds.
+gen                       # step 0: query, generation stays 1
+bandwidth g 20            # step 1: ok gen=2
+bandwidth g 100000        # step 2: refused code=infeasible, gen pinned at 2
+fail c0 a0_0              # step 3: injected crash -> refused code=crash
+fail c0 a0_0              # step 4: ok gen=3 (checker rewound with engine)
+restore c0 a0_0           # step 5: ok gen=4
+stats                     # step 6: accepted=3 refused=2 crashes=1
+shutdown

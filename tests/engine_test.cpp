@@ -11,8 +11,10 @@
 // branch & bound from the previous basis on MIP-solved configurations.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/compiler.h"
@@ -569,6 +571,92 @@ TEST(Engine, PromotionFailureRestoresCapToo) {
     EXPECT_EQ(engine.guarantee_of("bad"), Bandwidth{});
     EXPECT_EQ(engine.cap_of("bad"), std::optional(mbps(40)));
     expect_matches_fresh_compile(engine, options);
+}
+
+// ------------------------------- transactional rollback & the hook contract
+
+TEST(Engine, RefusedDeltasAreStronglyExceptionSafe) {
+    const topo::Topology t = diamond();
+    const core::Compile_options options = mip_options();
+    Engine engine(diamond_policy(t, mbps(50)), t, options);
+    int hook_calls = 0;
+    engine.on_publish(
+        [&](const Compilation&, const topo::Topology&) { ++hook_calls; });
+    ASSERT_EQ(hook_calls, 1);  // registration replays the live state once
+    const Compilation before = engine.current();
+    const std::uint64_t generation = engine.generation();
+
+    EXPECT_THROW((void)engine.set_bandwidth("zzz", mbps(5)), Error);
+    ir::Statement duplicate;
+    duplicate.id = "g";  // already present
+    duplicate.predicate = ir::pred_test("tcp.dst", 80);
+    duplicate.path = ir::path_any_star();
+    EXPECT_THROW((void)engine.add_statement(duplicate, mbps(1), std::nullopt),
+                 Error);
+    EXPECT_THROW((void)engine.remove_statement("zzz"), Error);
+    EXPECT_THROW((void)engine.fail_link("s1", "nope"), Error);
+
+    // Not one byte of published state moved, the generation is pinned, and
+    // no consumer heard about any of it.
+    EXPECT_EQ(engine.generation(), generation);
+    EXPECT_EQ(hook_calls, 1);
+    expect_equivalent(engine.current(), before);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, CheckpointRestoreRewindsEverythingAndFiresNoHook) {
+    const topo::Topology t = diamond();
+    const core::Compile_options options = mip_options();
+    Engine engine(diamond_policy(t, mbps(50)), t, options);
+    int hook_calls = 0;
+    engine.on_publish(
+        [&](const Compilation&, const topo::Topology&) { ++hook_calls; });
+    const Compilation before = engine.current();
+    const std::uint64_t generation = engine.generation();
+    const Engine::Checkpoint saved = engine.checkpoint();
+
+    ASSERT_TRUE(engine.set_bandwidth("g", mbps(200)).feasible);
+    ASSERT_TRUE(engine.fail_link("s1", "s2").feasible);
+    ASSERT_EQ(hook_calls, 3);
+
+    engine.restore(saved);
+    // The rewind is complete — policy, link states, generation — and
+    // silent: shadow-apply callers rewind their own hook-fed consumers.
+    EXPECT_EQ(engine.generation(), generation);
+    EXPECT_EQ(hook_calls, 3);
+    const auto link =
+        engine.topology().link_between(engine.topology().require("s1"),
+                                       engine.topology().require("s2"));
+    ASSERT_TRUE(link);
+    EXPECT_TRUE(engine.topology().link_up(*link));
+    expect_equivalent(engine.current(), before);
+    expect_matches_fresh_compile(engine, options);
+
+    // The engine stays fully functional after a restore (the LP skeleton
+    // was dropped, so this re-encodes lazily).
+    ASSERT_TRUE(engine.set_bandwidth("g", mbps(120)).feasible);
+    EXPECT_EQ(hook_calls, 4);
+    expect_matches_fresh_compile(engine, options);
+}
+
+TEST(Engine, PublishHookFiresOncePerCompletedDeltaIncludingInfeasible) {
+    const topo::Topology t = diamond();
+    const core::Compile_options options = mip_options();
+    Engine engine(diamond_policy(t, mbps(50)), t, options);
+    std::vector<std::pair<std::uint64_t, bool>> published;
+    engine.on_publish([&](const Compilation& c, const topo::Topology&) {
+        published.emplace_back(engine.generation(), c.feasible);
+    });
+    ASSERT_EQ(published.size(), 1u);
+
+    ASSERT_TRUE(engine.set_bandwidth("g", mbps(100)).feasible);
+    // 600 Mbps exceeds both disjoint paths: the delta *completes* with an
+    // infeasible compilation, so it publishes (and the hook fires) — only
+    // thrown refusals are silent.
+    ASSERT_FALSE(engine.set_bandwidth("g", mbps(600)).feasible);
+    ASSERT_EQ(published.size(), 3u);
+    EXPECT_EQ(published[1], (std::pair<std::uint64_t, bool>{2, true}));
+    EXPECT_EQ(published[2], (std::pair<std::uint64_t, bool>{3, false}));
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// merlin-ctl — control-channel client for a running merlind.
+//
+//   merlin-ctl --socket <path> <command...>   # one command from argv
+//   merlin-ctl --socket <path>                # commands from stdin
+//
+// Sends the command line(s) to the daemon's unix control socket, half-
+// closes the write side, and prints every response line. Exit status: 0
+// when every response was "ok", 1 when any was refused, 2 on usage or
+// connection errors.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: merlin-ctl --socket <path> [<command...>]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::vector<std::string> words;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc)
+            socket_path = argv[++i];
+        else if (!arg.empty() && arg[0] == '-' && words.empty())
+            return usage();
+        else
+            words.push_back(arg);
+    }
+    if (socket_path.empty()) return usage();
+
+    std::string request;
+    if (!words.empty()) {
+        for (std::size_t i = 0; i < words.size(); ++i)
+            request += (i ? " " : "") + words[i];
+        request += '\n';
+    } else {
+        std::stringstream buffer;
+        buffer << std::cin.rdbuf();
+        request = buffer.str();
+        if (!request.empty() && request.back() != '\n') request += '\n';
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::cerr << "merlin-ctl: socket() failed\n";
+        return 2;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "merlin-ctl: socket path too long\n";
+        ::close(fd);
+        return 2;
+    }
+    std::copy(socket_path.begin(), socket_path.end(), addr.sun_path);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        std::cerr << "merlin-ctl: cannot connect to " << socket_path << '\n';
+        ::close(fd);
+        return 2;
+    }
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t wrote =
+            ::write(fd, request.data() + off, request.size() - off);
+        if (wrote <= 0) {
+            std::cerr << "merlin-ctl: write failed\n";
+            ::close(fd);
+            return 2;
+        }
+        off += static_cast<std::size_t>(wrote);
+    }
+    ::shutdown(fd, SHUT_WR);
+
+    std::string replies;
+    char chunk[4096];
+    ssize_t got;
+    while ((got = ::read(fd, chunk, sizeof chunk)) > 0)
+        replies.append(chunk, static_cast<std::size_t>(got));
+    ::close(fd);
+    std::cout << replies;
+
+    std::istringstream in(replies);
+    for (std::string line; std::getline(in, line);)
+        if (line.rfind("refused", 0) == 0) return 1;
+    return 0;
+}

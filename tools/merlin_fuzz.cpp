@@ -21,6 +21,12 @@
 //                          trace (tag-recycling and diff-minimality stress)
 //   --out <file>           repro path (default merlin-fuzz-repro.txt)
 //   --replay <file>        replay one repro deterministically, then exit
+//   --daemon-faults <n>    daemon mode: drive every scenario through a
+//                          daemon::Controller as control lines, with up to n
+//                          random faults injected per scenario (crashes at
+//                          the publication points, solver timeouts, stream
+//                          corruption/duplication/reordering); the snapshot-
+//                          atomicity oracle joins the cross-layer set
 //   --inject-bug <name>    deliberately corrupt a delta path to validate the
 //                          harness: rate-skew | drop-restore
 //   --no-shrink            write the unshrunk failing scenario
@@ -37,8 +43,10 @@
 #include <string>
 #include <vector>
 
+#include "daemon/fault.h"
 #include "testgen/testgen.h"
 #include "util/error.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace {
@@ -48,7 +56,8 @@ int usage() {
         << "usage: merlin-fuzz [--iters N] [--seed S] [--topos a,b,c]\n"
            "       [--max-statements N] [--max-deltas N] [--long-traces N]\n"
            "       [--out FILE]\n"
-           "       [--replay FILE] [--inject-bug rate-skew|drop-restore]\n"
+           "       [--replay FILE] [--daemon-faults N]\n"
+           "       [--inject-bug rate-skew|drop-restore]\n"
            "       [--no-shrink] [--no-solver-oracles] [--shrink-runs N]\n"
            "       [--verbose]\n";
     return 2;
@@ -105,6 +114,7 @@ int main(int argc, char** argv) {
     testgen::Run_options run;
     std::string out_path = "merlin-fuzz-repro.txt";
     std::string replay_path;
+    long long daemon_faults = -1;  // >= 0: daemon mode, max faults/scenario
     bool do_shrink = true;
     int shrink_runs = 250;
     bool verbose = false;
@@ -157,6 +167,12 @@ int main(int argc, char** argv) {
             const auto v = value();
             if (!v) return usage();
             replay_path = *v;
+        } else if (arg == "--daemon-faults") {
+            const auto v = value();
+            const auto n = v ? parse_count(*v) : std::nullopt;
+            if (!n) return usage();
+            daemon_faults = *n;
+            run.daemon = true;
         } else if (arg == "--inject-bug") {
             const auto v = value();
             const auto inject = v ? testgen::parse_inject(*v) : std::nullopt;
@@ -177,6 +193,9 @@ int main(int argc, char** argv) {
         if (!replay_path.empty()) {
             const testgen::Scenario scenario =
                 testgen::parse_scenario(read_file(replay_path));
+            // A repro carrying fault lines was recorded in daemon mode;
+            // replay it there even without an explicit --daemon-faults.
+            if (!scenario.faults.empty()) run.daemon = true;
             const testgen::Run_result result =
                 testgen::run_scenario(scenario, run);
             std::cout << "replay " << replay_path << ": "
@@ -199,17 +218,30 @@ int main(int argc, char** argv) {
         for (long long i = 0; i < iters; ++i) {
             const std::uint64_t iteration_seed =
                 seed + static_cast<std::uint64_t>(i);
-            const testgen::Scenario scenario =
+            testgen::Scenario scenario =
                 testgen::random_scenario(gen, iteration_seed);
+            if (daemon_faults > 0) {
+                // A separate stream (decorrelated from the generator's) so
+                // the same iteration seed yields the same base scenario
+                // with and without fault injection.
+                Rng fault_rng(iteration_seed ^ 0xfa017ab1e5ull);
+                scenario.faults = daemon::random_fault_plan(
+                    fault_rng, static_cast<int>(scenario.deltas.size()),
+                    static_cast<int>(daemon_faults));
+            }
             ++family_counts[split(scenario.topo_spec, ':').front()];
             const testgen::Run_result result =
                 testgen::run_scenario(scenario, run);
-            if (verbose)
+            if (verbose) {
                 std::cout << "iter " << i << " seed " << iteration_seed << " "
                           << scenario.topo_spec << " ("
                           << scenario.statements.size() << " statements, "
-                          << scenario.deltas.size() << " deltas): "
-                          << status_name(result.status) << '\n';
+                          << scenario.deltas.size() << " deltas";
+                if (run.daemon)
+                    std::cout << ", " << scenario.faults.events().size()
+                              << " faults";
+                std::cout << "): " << status_name(result.status) << '\n';
+            }
             if (result.status == testgen::Run_result::Status::invalid) {
                 std::cout << "merlin-fuzz: generator produced an invalid "
                              "scenario (seed "
@@ -228,8 +260,11 @@ int main(int argc, char** argv) {
                     repro = testgen::shrink(scenario, run, shrink_runs);
                     std::cout << "shrunk " << scenario.statements.size()
                               << " statements / " << scenario.deltas.size()
-                              << " deltas to " << repro.statements.size()
-                              << " / " << repro.deltas.size() << '\n';
+                              << " deltas / "
+                              << scenario.faults.events().size()
+                              << " faults to " << repro.statements.size()
+                              << " / " << repro.deltas.size() << " / "
+                              << repro.faults.events().size() << '\n';
                 }
                 std::ofstream(out_path) << testgen::format_scenario(repro);
                 std::cout << "repro written to " << out_path

@@ -33,7 +33,14 @@
 #     with the src/analysis checker) checked after every delta, plus a
 #     long-trace leg of sustained add/tune/remove churn that stresses tag
 #     recycling. On failure the shrunk repro is archived at FUZZ_repro.txt
-#     (replay with `merlin-fuzz --replay FUZZ_repro.txt`).
+#     (replay with `merlin-fuzz --replay FUZZ_repro.txt`);
+#   - a daemon leg: a scripted merlind session (accepted deltas, a proven-
+#     infeasible refusal, an injected crash at a publication point) must
+#     exit cleanly at the expected final generation with delta->publish
+#     latency percentiles archived at BENCH_daemon.json, followed by a
+#     200-iteration fixed-seed fault-injection fuzz run (crashes, solver
+#     timeouts, stream corruption/duplication/reordering) with the
+#     snapshot-atomicity oracle alongside the full cross-layer set.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,16 +68,16 @@ fi
 cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-    -L "lp|mip|core|negotiator|netsim|testgen")
+    -L "lp|mip|core|negotiator|netsim|testgen|daemon")
 
-# --- TSan leg: the parallel compilation front-end under ThreadSanitizer ----
+# --- TSan leg: parallel front-end + daemon RCU readers under ThreadSanitizer
 cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
       --target compiler_test engine_test sinktree_test automata_test \
-               thread_pool_test
+               thread_pool_test daemon_concurrency_test
 (cd build-tsan && MERLIN_THREADS=4 \
     ctest --output-on-failure -j "$JOBS" \
-          -R "compiler_test|engine_test|sinktree_test|automata_test|thread_pool_test")
+          -R "compiler_test|engine_test|sinktree_test|automata_test|thread_pool_test|daemon_concurrency_test")
 
 # --- bench smoke: Release build of every bench_* target + one tiny run ------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
@@ -105,6 +112,31 @@ fi
 if ! ./build-release/merlin-fuzz --iters 1 --seed 3 --max-deltas 0 \
         --long-traces 60 --out "$FUZZ_REPRO"; then
     echo "merlin-fuzz long-trace FAILED; repro at $FUZZ_REPRO" >&2
+    exit 1
+fi
+
+# --- daemon leg: crash-safe control plane, end to end -----------------------
+# The scripted session injects a crash at a publication point (step 3) and
+# drives a proven-infeasible delta; merlind must recover to the last-good
+# snapshot both times, finish at generation 4 with 3 accepted deltas, and
+# archive delta->publish latency percentiles.
+SESSION_OUT=$(./build-release/merlind --generate fat-tree:4 \
+    tests/data/smoke_policy.mln --fault crash-before-publish@3 \
+    --script tests/data/daemon_session.ctl \
+    --bench-json "$PWD/BENCH_daemon.json")
+echo "$SESSION_OUT" | grep -q "refused code=infeasible gen=2 kind=bandwidth"
+echo "$SESSION_OUT" | grep -q "refused code=crash gen=2 kind=fail"
+echo "$SESSION_OUT" | grep -q "merlind: exiting gen=4 accepted=3"
+test -s BENCH_daemon.json
+
+# Fault-injection fuzz: fixed-seed scenarios through a daemon::Controller
+# under random crash/timeout/stream faults; every published snapshot must
+# be old-complete or new-complete (the snapshot-atomicity oracle) on top of
+# the full cross-layer oracle set. Shrinking extends to fault-plan events.
+if ! ./build-release/merlin-fuzz --iters 200 --seed 1 --daemon-faults 4 \
+        --out "$FUZZ_REPRO"; then
+    echo "merlin-fuzz daemon-fault sweep FAILED; repro at $FUZZ_REPRO" >&2
+    echo "replay with: ./build-release/merlin-fuzz --replay $FUZZ_REPRO" >&2
     exit 1
 fi
 
