@@ -4,6 +4,15 @@
 
 namespace merlin::core {
 
+const char* to_string(Solver_mode mode) {
+    switch (mode) {
+        case Solver_mode::full: return "full";
+        case Solver_mode::colgen: return "colgen";
+        case Solver_mode::sharded: return "sharded";
+    }
+    return "?";
+}
+
 // One-shot compilation is a degenerate engine run: build the persistent
 // engine (which owns all front-end and solver state) and move its published
 // compilation out. Callers that keep re-provisioning should hold a

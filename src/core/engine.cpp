@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "core/colgen.h"
 #include "core/logical.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -374,7 +375,22 @@ bool Engine::solve_provisioning(bool try_warm) {
         if (!r.logical.solvable()) return false;  // publish() reports it
 
     bool warm_used = false;
-    if (mip_selected()) {
+    if (mip_selected() && options_.solver_mode != Solver_mode::full) {
+        // Column generation / sharding re-derive their columns from the
+        // current requests on every solve and carry an optimality
+        // certificate (with a full-encoding fallback), so they keep no
+        // cross-delta solver state: engine-after-deltas stays bit-equal to
+        // a batch compile by construction. The skeleton/basis fast paths
+        // stay dormant (skeleton_valid_ false) under these modes.
+        skeleton_valid_ = false;
+        basis_ = {};
+        provision_ =
+            options_.solver_mode == Solver_mode::colgen
+                ? provision_colgen(topo_, requests_, options_.heuristic,
+                                   options_.mip)
+                : provision_sharded(topo_, requests_, options_.heuristic,
+                                    options_.mip, options_.jobs);
+    } else if (mip_selected()) {
         if (!skeleton_valid_) {
             skeleton_ =
                 encode_provisioning(topo_, requests_, options_.heuristic);

@@ -23,6 +23,10 @@ namespace {
 // Rates are expressed in Mbps inside the MIP to keep coefficients O(1)-ish.
 double to_mbps(Bandwidth bw) { return bw.mbps(); }
 
+}  // namespace
+
+namespace detail {
+
 // Walks the selected edges from source to sink, collecting the location
 // word, physical path, crossed links and function placements.
 Provisioned_path extract_path(const Logical_topology& logical,
@@ -81,7 +85,7 @@ void fill_maxima(const topo::Topology& topo, Provision_result& out) {
     }
 }
 
-}  // namespace
+}  // namespace detail
 
 namespace {
 
@@ -118,6 +122,34 @@ struct Jitter_stream {
 };
 
 }  // namespace
+
+std::vector<std::vector<double>> detail::request_costs(
+    const std::vector<Guaranteed_request>& requests, Heuristic heuristic) {
+    // Mirrors encode_provisioning's draw order exactly (all binary base
+    // costs first, then the weighted-shortest-path overwrites), so the
+    // returned costs are bit-identical to the full encoding's objective
+    // coefficients. colgen_test pins this equivalence.
+    std::vector<std::vector<double>> costs(requests.size());
+    Jitter_stream jitter;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto& logical = requests[i].logical;
+        costs[i].reserve(static_cast<std::size_t>(logical.graph.edge_count()));
+        for (int e = 0; e < logical.graph.edge_count(); ++e)
+            costs[i].push_back(kEpsilonCost + jitter.next());
+    }
+    if (heuristic == Heuristic::weighted_shortest_path) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const double weight = std::max(to_mbps(requests[i].rate), 1.0);
+            const auto& logical = requests[i].logical;
+            for (int e = 0; e < logical.graph.edge_count(); ++e)
+                if (logical.edges[static_cast<std::size_t>(e)].link !=
+                    topo::kNoLink)
+                    costs[i][static_cast<std::size_t>(e)] =
+                        weight + kEpsilonCost + jitter.next();
+        }
+    }
+    return costs;
+}
 
 Mip_encoding encode_provisioning(const topo::Topology& topo,
                                  const std::vector<Guaranteed_request>& requests,
@@ -280,6 +312,7 @@ Provision_result solve_encoding(const topo::Topology& topo,
         return out;
     }
     out.feasible = true;
+    out.objective = solution.objective;
 
     // Recover per-request paths by walking selected edges from the source.
     for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -290,10 +323,10 @@ Provision_result solve_encoding(const topo::Topology& topo,
             used[static_cast<std::size_t>(e)] =
                 solution.x[static_cast<std::size_t>(
                     encoding.edge_vars[i][static_cast<std::size_t>(e)])] > 0.5;
-        out.paths.push_back(extract_path(logical, std::move(used),
+        out.paths.push_back(detail::extract_path(logical, std::move(used),
                                          requests[i].id, requests[i].rate));
     }
-    fill_maxima(topo, out);
+    detail::fill_maxima(topo, out);
     return out;
 }
 
@@ -416,7 +449,8 @@ Provision_result provision_greedy(
             v = logical.graph.source(e);
         }
         out.paths[i] =
-            extract_path(logical, std::move(used), request.id, request.rate);
+            detail::extract_path(logical, std::move(used), request.id,
+                                 request.rate);
         // An NFV chain can cross one physical link through several logical
         // edges (e.g. switch -> middlebox -> switch), so a link must afford
         // rate * occurrences — the per-edge Dijkstra check only guaranteed
@@ -448,7 +482,7 @@ Provision_result provision_greedy(
         }
     }
     out.feasible = true;
-    fill_maxima(topo, out);
+    detail::fill_maxima(topo, out);
     return out;
 }
 

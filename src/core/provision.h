@@ -75,6 +75,21 @@ struct Provision_result {
     long long simplex_iterations = 0;
     int lp_factorizations = 0;
     int warm_started_nodes = 0;
+    // Heuristic objective value of the selected solution (0 when
+    // infeasible or solved greedily). All solver modes minimize the same
+    // function, so values are directly comparable across full / colgen /
+    // sharded runs.
+    double objective = 0;
+    // Column-generation / sharding work counters (zero outside those
+    // modes). `lp_bound` is the column-generation dual bound — equal to
+    // the full encoding's LP relaxation optimum once pricing converges.
+    double lp_bound = 0;
+    int colgen_rounds = 0;
+    int columns_generated = 0;
+    int shards_used = 0;
+    // Number of times a certified mode had to re-solve with the full
+    // encoding because its optimality certificate did not close.
+    int full_fallbacks = 0;
 };
 
 // The encoded provisioning MIP plus the index maps needed to patch it in
@@ -140,5 +155,28 @@ void patch_request_rate(Mip_encoding& encoding,
 [[nodiscard]] Provision_result provision_greedy(
     const topo::Topology& topo, const std::vector<Guaranteed_request>& requests,
     Heuristic heuristic = Heuristic::weighted_shortest_path);
+
+// Shared helpers between the full encoder and the column-generation /
+// sharded solvers (src/core/colgen.cpp).
+namespace detail {
+
+// The effective objective cost of every (request, logical-edge) binary,
+// exactly as encode_provisioning would assign it — same epsilon, same
+// jitter stream, same draw order. Every solver mode prices paths against
+// these arrays, which is what makes objectives comparable (and the
+// colgen certificate sound) across modes.
+[[nodiscard]] std::vector<std::vector<double>> request_costs(
+    const std::vector<Guaranteed_request>& requests, Heuristic heuristic);
+
+// Walks the selected edges from source to sink, collecting the location
+// word, physical path, crossed links and function placements.
+[[nodiscard]] Provisioned_path extract_path(const Logical_topology& logical,
+                                            std::vector<bool> used,
+                                            std::string id, Bandwidth rate);
+
+// Computes the achieved r_max / R_max over `out.paths` (exact, in bps).
+void fill_maxima(const topo::Topology& topo, Provision_result& out);
+
+}  // namespace detail
 
 }  // namespace merlin::core

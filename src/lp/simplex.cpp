@@ -931,7 +931,7 @@ private:
         return Status::iteration_limit;
     }
 
-    void finalize(const Problem& p, Solution& out) const {
+    void finalize(const Problem& p, Solution& out) {
         out.x.assign(static_cast<std::size_t>(structural_count_), 0.0);
         for (int j = 0; j < structural_count_; ++j)
             out.x[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
@@ -951,6 +951,10 @@ private:
         for (int j = 0; j < phase2_vars_; ++j)
             out.basis.at_upper[static_cast<std::size_t>(j)] =
                 state_[static_cast<std::size_t>(j)] == State::at_upper ? 1 : 0;
+        // Export the duals c_B' B^-1 (phase-2 costs are restored by the
+        // time either finalize call site runs); natural-row indexed.
+        duals();
+        out.duals.assign(y_.begin(), y_.end());
     }
 
     Options opts_;

@@ -78,6 +78,11 @@ struct Solution {
     // reach optimality or the problem had no constraints. Feed it back to
     // solve() to warm-start a related problem.
     Basis basis;
+    // Dual values y = c_B' B^-1, one per constraint row, exported on every
+    // optimal solve with constraints (empty otherwise). Minimization
+    // convention: the reduced cost of column j is cost(j) - y . column(j);
+    // column generation prices candidate columns against this vector.
+    std::vector<double> duals;
     Stats stats;
 
     [[nodiscard]] bool optimal() const { return status == Status::optimal; }

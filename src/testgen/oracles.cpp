@@ -2,6 +2,7 @@
 // paper (and the PR history) promises, phrased over public layer APIs so a
 // violation pinpoints the disagreeing layers.
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -12,6 +13,7 @@
 #include "codegen/codegen.h"
 #include "codegen/diff.h"
 #include "core/addressing.h"
+#include "core/colgen.h"
 #include "core/logical.h"
 #include "core/provision.h"
 #include "netsim/sim.h"
@@ -756,6 +758,43 @@ std::optional<std::string> check_solvers(
     if (auto d = check_capacity(topo, greedy))
         return fail("greedy solution", *d);
     if (auto d = check_capacity(topo, exact)) return fail("MIP solution", *d);
+
+    // Column generation and sharded provisioning are certified-or-fallback:
+    // on every instance they must reach the full encoding's verdict — the
+    // same proven infeasibility, or a feasible capacity-clean answer whose
+    // objective matches within the jitter tolerance (strictly wider than
+    // the colgen certificate, so certified answers pass by construction).
+    // Skip when the exact solve was node-limit truncated: its incumbent is
+    // exploration-order dependent and not a comparison anchor.
+    if (exact.mip_nodes < options.mip.max_nodes) {
+        const core::Provision_result colgen = core::provision_colgen(
+            topo, requests, options.heuristic, options.mip);
+        const core::Provision_result sharded = core::provision_sharded(
+            topo, requests, options.heuristic, options.mip, options.jobs);
+        const std::pair<const char*, const core::Provision_result*> alts[] = {
+            {"colgen", &colgen}, {"sharded", &sharded}};
+        for (const auto& [name, alt] : alts) {
+            if (exact.proven_infeasible) {
+                if (alt->feasible)
+                    return fail(name,
+                                "found a witness on a MIP-proven-infeasible "
+                                "instance");
+                continue;
+            }
+            if (!exact.feasible) continue;  // truncated elsewhere: no anchor
+            if (!alt->feasible)
+                return fail(name, "infeasible where the full encoding found "
+                                  "an optimum");
+            if (auto d = check_capacity(topo, *alt))
+                return fail(std::string(name) + " solution", *d);
+            const double tol = 1e-4 * (1 + std::abs(exact.objective));
+            if (std::abs(alt->objective - exact.objective) > tol)
+                return fail(name,
+                            "objective " + std::to_string(alt->objective) +
+                                " vs full " +
+                                std::to_string(exact.objective));
+        }
+    }
 
     // Warm-started re-solve of the same encoding must land on the cold
     // optimum exactly (the engine's bandwidth fast path depends on it).

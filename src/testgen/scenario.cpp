@@ -332,6 +332,13 @@ Scenario random_scenario(const Gen_options& options, std::uint64_t seed) {
         scenario.options.solver =
             s < 6 ? core::Solver::auto_select
                   : (s < 8 ? core::Solver::mip : core::Solver::greedy);
+        // The solver mode only steers exact (MIP) solves; drawing it for
+        // greedy scenarios too is harmless and keeps the stream simple.
+        const std::int64_t m = rng.uniform(0, 9);
+        scenario.options.solver_mode =
+            m < 6 ? core::Solver_mode::full
+                  : (m < 8 ? core::Solver_mode::colgen
+                           : core::Solver_mode::sharded);
     }
 
     topo::Topology t = make_topology(scenario);
@@ -546,6 +553,7 @@ std::string format_scenario(const Scenario& scenario) {
     out << "topology " << scenario.topo_spec << " seed=" << scenario.seed
         << " middleboxes=" << scenario.middleboxes << '\n';
     out << "options solver=" << solver_name(scenario.options.solver)
+        << " mode=" << core::to_string(scenario.options.solver_mode)
         << " heuristic=" << heuristic_name(scenario.options.heuristic)
         << " check_disjoint=" << (scenario.options.check_disjoint ? 1 : 0)
         << " default_statement="
@@ -639,6 +647,18 @@ Scenario parse_scenario(const std::string& text) {
                         scenario.options.solver = core::Solver::auto_select;
                     else
                         throw Error("unknown solver: " + value);
+                } else if (key == "mode") {
+                    // Absent in pre-colgen repro files: defaults to full.
+                    if (value == "full")
+                        scenario.options.solver_mode = core::Solver_mode::full;
+                    else if (value == "colgen")
+                        scenario.options.solver_mode =
+                            core::Solver_mode::colgen;
+                    else if (value == "sharded")
+                        scenario.options.solver_mode =
+                            core::Solver_mode::sharded;
+                    else
+                        throw Error("unknown solver mode: " + value);
                 } else if (key == "heuristic") {
                     if (value == "wsp")
                         scenario.options.heuristic =

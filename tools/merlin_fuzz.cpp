@@ -29,6 +29,11 @@
 //                          atomicity oracle joins the cross-layer set
 //   --inject-bug <name>    deliberately corrupt a delta path to validate the
 //                          harness: rate-skew | drop-restore
+//   --rotate-solver        override the drawn solver: iteration i runs the
+//                          exact solver in mode {full, colgen, sharded}[i%3],
+//                          so a sweep exercises every provisioning attack
+//                          plan (and the solver cross-oracle checks each
+//                          against the full encoding)
 //   --no-shrink            write the unshrunk failing scenario
 //   --no-solver-oracles    skip the end-of-scenario solver cross-checks
 //   --shrink-runs <n>      shrink re-execution budget (default 250)
@@ -58,6 +63,7 @@ int usage() {
            "       [--out FILE]\n"
            "       [--replay FILE] [--daemon-faults N]\n"
            "       [--inject-bug rate-skew|drop-restore]\n"
+           "       [--rotate-solver]\n"
            "       [--no-shrink] [--no-solver-oracles] [--shrink-runs N]\n"
            "       [--verbose]\n";
     return 2;
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
     std::string replay_path;
     long long daemon_faults = -1;  // >= 0: daemon mode, max faults/scenario
     bool do_shrink = true;
+    bool rotate_solver = false;
     int shrink_runs = 250;
     bool verbose = false;
 
@@ -178,6 +185,8 @@ int main(int argc, char** argv) {
             const auto inject = v ? testgen::parse_inject(*v) : std::nullopt;
             if (!inject) return usage();
             run.inject = *inject;
+        } else if (arg == "--rotate-solver") {
+            rotate_solver = true;
         } else if (arg == "--no-shrink") {
             do_shrink = false;
         } else if (arg == "--no-solver-oracles") {
@@ -220,6 +229,16 @@ int main(int argc, char** argv) {
                 seed + static_cast<std::uint64_t>(i);
             testgen::Scenario scenario =
                 testgen::random_scenario(gen, iteration_seed);
+            if (rotate_solver) {
+                // Pin the exact solver so the rotated mode actually runs
+                // (greedy ignores solver_mode entirely).
+                scenario.options.solver = merlin::core::Solver::mip;
+                static const merlin::core::Solver_mode kModes[] = {
+                    merlin::core::Solver_mode::full,
+                    merlin::core::Solver_mode::colgen,
+                    merlin::core::Solver_mode::sharded};
+                scenario.options.solver_mode = kModes[i % 3];
+            }
             if (daemon_faults > 0) {
                 // A separate stream (decorrelated from the generator's) so
                 // the same iteration seed yields the same base scenario

@@ -10,7 +10,11 @@
 //                               (the grammar of topo::from_spec, shared
 //                               with merlin-fuzz)
 //   --heuristic wsp|mmr|mmres   path-selection heuristic (default wsp)
-//   --solver mip|greedy|auto    provisioning solver (default auto)
+//   --solver mip|greedy|auto|colgen|sharded
+//                               provisioning solver (default auto); colgen
+//                               and sharded select the exact solver with
+//                               the column-generation / sharded-parallel
+//                               attack plan (both certified-or-fallback)
 //   --jobs <n>                  front-end worker threads (default: the
 //                               MERLIN_THREADS env var, then all cores)
 //   --programs                  also print per-host interpreter programs
@@ -76,7 +80,8 @@ int usage() {
     std::cerr
         << "usage: merlinc <topology-file> <policy-file>\n"
            "       merlinc --generate <spec> <policy-file>\n"
-           "       [--heuristic wsp|mmr|mmres] [--solver mip|greedy|auto]\n"
+           "       [--heuristic wsp|mmr|mmres]\n"
+           "       [--solver mip|greedy|auto|colgen|sharded]\n"
            "       [--jobs <n>] [--updates <file>] [--emit-diffs]\n"
            "       [--diff-json <file>] [--lint] [--lint-json] [--verify]\n"
            "       [--programs] [--stats] [--quiet]\n"
@@ -263,7 +268,13 @@ int main(int argc, char** argv) {
                 options.solver = core::Solver::greedy;
             else if (s == "auto")
                 options.solver = core::Solver::auto_select;
-            else
+            else if (s == "colgen") {
+                options.solver = core::Solver::mip;
+                options.solver_mode = core::Solver_mode::colgen;
+            } else if (s == "sharded") {
+                options.solver = core::Solver::mip;
+                options.solver_mode = core::Solver_mode::sharded;
+            } else
                 return usage();
         } else if (arg == "--jobs" && i + 1 < argc) {
             // Bounded like MERLIN_THREADS: an absurd count would abort in
@@ -343,6 +354,17 @@ int main(int argc, char** argv) {
                           << " factorizations=" << pr.lp_factorizations
                           << " warm_started_nodes=" << pr.warm_started_nodes
                           << '\n';
+                if (options.solver_mode != core::Solver_mode::full) {
+                    std::cout << "colgen stats: mode="
+                              << core::to_string(options.solver_mode)
+                              << " objective=" << pr.objective
+                              << " lp_bound=" << pr.lp_bound
+                              << " rounds=" << pr.colgen_rounds
+                              << " columns=" << pr.columns_generated
+                              << " shards=" << pr.shards_used
+                              << " full_fallbacks=" << pr.full_fallbacks
+                              << '\n';
+                }
                 // The paper's Table-7 breakdown, plus the pre-processor pass.
                 const core::Compilation::Timing& t = compiled.timing;
                 std::cout << "timing: preprocess=" << t.preprocess_ms

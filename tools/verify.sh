@@ -8,16 +8,18 @@
 #     (profile in .clang-tidy, compile database exported by the tier-1
 #     build), skipped with a notice when the binary is not installed;
 #   - an ASan/UBSan leg over the solver-path and long-lived-state suites
-#     (lp, mip, core — which includes the incremental engine — plus
-#     negotiator and netsim, the layers that now hold or drive persistent
-#     engine state);
+#     (lp, mip, core — which includes the incremental engine and the
+#     colgen/sharded solver-mode suites — plus negotiator and netsim, the
+#     layers that now hold or drive persistent engine state);
 #   - a ThreadSanitizer leg over the compiler/engine/sinktree/automata
-#     suites (MERLIN_THREADS forces a multi-threaded front-end),
-#     race-checking the parallel compilation fan-out and the engine's
-#     parallel cache fills on every run;
+#     suites plus sharded_test (MERLIN_THREADS forces a multi-threaded
+#     front-end), race-checking the parallel compilation fan-out, the
+#     engine's parallel cache fills, and the sharded provisioner's
+#     thread-pool fan-out on every run;
 #   - a Release build of every bench_* target with one tiny bench config as
 #     a smoke check, refreshing the tracked perf datapoints
-#     BENCH_solver.json (wall-clock, simplex iterations, B&B nodes),
+#     BENCH_solver.json (per solver mode — full/colgen/sharded — wall-clock,
+#     simplex iterations, B&B nodes, colgen rounds/columns, shard counts),
 #     BENCH_compile.json (front-end timing breakdown per class count) and
 #     BENCH_adaptation.json (incremental engine delta latency vs full
 #     recompile, per delta kind); committing the refreshed files each PR
@@ -32,7 +34,9 @@
 #     oracle, which re-proves every published table and two-phase update
 #     with the src/analysis checker) checked after every delta, plus a
 #     long-trace leg of sustained add/tune/remove churn that stresses tag
-#     recycling. On failure the shrunk repro is archived at FUZZ_repro.txt
+#     recycling and a --rotate-solver sweep that runs the exact solver in
+#     every mode (full/colgen/sharded) under the solver cross-oracle. On
+#     failure the shrunk repro is archived at FUZZ_repro.txt
 #     (replay with `merlin-fuzz --replay FUZZ_repro.txt`);
 #   - a daemon leg: a scripted merlind session (accepted deltas, a proven-
 #     infeasible refusal, an injected crash at a publication point) must
@@ -74,16 +78,18 @@ cmake --build build-asan -j "$JOBS"
 cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
       --target compiler_test engine_test sinktree_test automata_test \
-               thread_pool_test daemon_concurrency_test
+               thread_pool_test daemon_concurrency_test sharded_test
 (cd build-tsan && MERLIN_THREADS=4 \
     ctest --output-on-failure -j "$JOBS" \
-          -R "compiler_test|engine_test|sinktree_test|automata_test|thread_pool_test|daemon_concurrency_test")
+          -R "compiler_test|engine_test|sinktree_test|automata_test|thread_pool_test|daemon_concurrency_test|sharded_test")
 
 # --- bench smoke: Release build of every bench_* target + one tiny run ------
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DMERLIN_BUILD_BENCHES=ON -DMERLIN_BUILD_TESTS=OFF
 cmake --build build-release -j "$JOBS"
-MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_solver.json" \
+# The solver table runs un-tiny: the k=6/k=8 rows are the point (colgen
+# and sharded keep them provisionable) and cost ~1s end to end.
+MERLIN_BENCH_JSON="$PWD/BENCH_solver.json" \
     ./build-release/bench/bench_fattree_table
 test -s BENCH_solver.json
 MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_compile.json" \
@@ -112,6 +118,16 @@ fi
 if ! ./build-release/merlin-fuzz --iters 1 --seed 3 --max-deltas 0 \
         --long-traces 60 --out "$FUZZ_REPRO"; then
     echo "merlin-fuzz long-trace FAILED; repro at $FUZZ_REPRO" >&2
+    exit 1
+fi
+# Solver-mode rotation: the exact solver runs in mode {full, colgen,
+# sharded} on iteration i%3, and the solver cross-oracle holds colgen and
+# sharded to the full encoding's verdict (same proven infeasibility, or a
+# capacity-clean objective match) on every scenario.
+if ! ./build-release/merlin-fuzz --iters 200 --seed 1 --rotate-solver \
+        --out "$FUZZ_REPRO"; then
+    echo "merlin-fuzz rotate-solver sweep FAILED; repro at $FUZZ_REPRO" >&2
+    echo "replay with: ./build-release/merlin-fuzz --replay $FUZZ_REPRO" >&2
     exit 1
 fi
 
