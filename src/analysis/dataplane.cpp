@@ -10,6 +10,7 @@
 
 #include "analysis/witness.h"
 #include "pred/analysis.h"
+#include "pred/classifier.h"
 
 namespace merlin::analysis {
 
@@ -438,12 +439,22 @@ std::vector<std::string> edge_switches(topo::NodeId src,
 std::vector<Class_check> select_classes(const core::Compilation& comp,
                                         const topo::Topology& topo,
                                         pred::Analyzer& analyzer) {
+    // Per-plan satisfiability through the shared predicate DAG: one group
+    // per distinct predicate function, so 100k statements over a small
+    // predicate pool cost one BDD compile per *distinct* predicate.
+    std::vector<ir::PredPtr> preds;
+    preds.reserve(comp.plans.size());
+    for (const core::Statement_plan& plan : comp.plans)
+        preds.push_back(plan.statement.predicate);
+    const pred::Classifier classifier(analyzer, preds);
     std::vector<Class_check> out;
-    for (const core::Statement_plan& plan : comp.plans) {
+    for (std::size_t p = 0; p < comp.plans.size(); ++p) {
+        const core::Statement_plan& plan = comp.plans[p];
         if (plan.statement.id == "__default" || plan.drop) continue;
         if (!plan.src_host || !plan.dst_host) continue;
         if (passthrough_ambiguous(plan, topo)) continue;
-        if (!analyzer.satisfiable(plan.statement.predicate)) continue;
+        if (classifier.group_root(classifier.group_of(p)) == bdd::kFalse)
+            continue;
         Class_check cls;
         cls.id = plan.statement.id;
         cls.predicate = plan.statement.predicate;

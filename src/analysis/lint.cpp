@@ -9,6 +9,7 @@
 #include "automata/automata.h"
 #include "core/logical.h"
 #include "pred/analysis.h"
+#include "pred/classifier.h"
 #include "presburger/localize.h"
 #include "util/error.h"
 
@@ -19,46 +20,53 @@ namespace {
 void lint_predicates(const ir::Policy& policy, pred::Analyzer& analyzer,
                      Report& report) {
     const auto& stmts = policy.statements;
-    std::vector<bool> unsat(stmts.size(), false);
+    std::vector<ir::PredPtr> preds;
+    preds.reserve(stmts.size());
+    for (const ir::Statement& s : stmts) preds.push_back(s.predicate);
+    // One shared DAG replaces the O(n^2) pairwise disjoint() pass: a
+    // statement is unsat iff its predicate group's root is false, and the
+    // overlapping pairs are exactly those co-occurring in some reachable
+    // terminal set. Witness/implication BDD work is then spent only on
+    // pairs that actually overlap.
+    const pred::Classifier classifier(analyzer, preds);
     for (std::size_t i = 0; i < stmts.size(); ++i) {
-        if (analyzer.satisfiable(stmts[i].predicate)) continue;
-        unsat[i] = true;
+        if (classifier.group_root(classifier.group_of(i)) != bdd::kFalse)
+            continue;
         report.push_back({Severity::warning, "unsat-predicate", stmts[i].id,
                           "predicate matches no packets", ""});
     }
-    for (std::size_t i = 0; i < stmts.size(); ++i) {
-        if (unsat[i]) continue;
-        for (std::size_t j = i + 1; j < stmts.size(); ++j) {
-            if (unsat[j]) continue;
-            const ir::PredPtr& a = stmts[i].predicate;
-            const ir::PredPtr& b = stmts[j].predicate;
-            if (analyzer.disjoint(a, b)) continue;
-            const std::string both =
-                packet_witness(analyzer, ir::pred_and(a, b));
-            // Containment means one statement's traffic is entirely claimed
-            // by the other — report the contained one as shadowed. A partial
-            // overlap violates Section 2.1 disjointness symmetrically.
-            if (analyzer.implies(b, a)) {
-                report.push_back({Severity::error, "shadowed-predicate",
-                                  stmts[j].id,
-                                  "every packet it matches is also matched "
-                                  "by statement '" +
-                                      stmts[i].id + "'",
-                                  both});
-            } else if (analyzer.implies(a, b)) {
-                report.push_back({Severity::error, "shadowed-predicate",
-                                  stmts[i].id,
-                                  "every packet it matches is also matched "
-                                  "by statement '" +
-                                      stmts[j].id + "'",
-                                  both});
-            } else {
-                report.push_back({Severity::error, "overlapping-predicates",
-                                  stmts[i].id,
-                                  "overlaps statement '" + stmts[j].id +
-                                      "' (predicates must be disjoint)",
-                                  both});
-            }
+    std::set<std::pair<std::size_t, std::size_t>> pairs;
+    for (const auto& match_set : classifier.match_sets())
+        for (std::size_t i = 0; i < match_set.size(); ++i)
+            for (std::size_t j = i + 1; j < match_set.size(); ++j)
+                pairs.emplace(match_set[i], match_set[j]);
+    for (const auto& [i, j] : pairs) {
+        const ir::PredPtr& a = stmts[i].predicate;
+        const ir::PredPtr& b = stmts[j].predicate;
+        const std::string both = packet_witness(analyzer, ir::pred_and(a, b));
+        // Containment means one statement's traffic is entirely claimed
+        // by the other — report the contained one as shadowed. A partial
+        // overlap violates Section 2.1 disjointness symmetrically.
+        if (analyzer.implies(b, a)) {
+            report.push_back({Severity::error, "shadowed-predicate",
+                              stmts[j].id,
+                              "every packet it matches is also matched "
+                              "by statement '" +
+                                  stmts[i].id + "'",
+                              both});
+        } else if (analyzer.implies(a, b)) {
+            report.push_back({Severity::error, "shadowed-predicate",
+                              stmts[i].id,
+                              "every packet it matches is also matched "
+                              "by statement '" +
+                                  stmts[j].id + "'",
+                              both});
+        } else {
+            report.push_back({Severity::error, "overlapping-predicates",
+                              stmts[i].id,
+                              "overlaps statement '" + stmts[j].id +
+                                  "' (predicates must be disjoint)",
+                              both});
         }
     }
 }

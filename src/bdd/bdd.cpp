@@ -1,5 +1,6 @@
 #include "bdd/bdd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -55,7 +56,16 @@ Node Manager::nvar(int v) {
     return make(v, kTrue, kFalse);
 }
 
+void Manager::sweep_cache_if_oversized() {
+    const std::size_t limit =
+        std::max(kCacheFloor, kCacheNodeFactor * nodes_.size());
+    if (cache_.size() < limit) return;
+    cache_.clear();
+    ++cache_sweeps_;
+}
+
 Node Manager::apply(Op op, Node a, Node b) {
+    ++apply_calls_;
     // Terminal short-cuts.
     switch (op) {
         case Op::and_:
@@ -82,7 +92,10 @@ Node Manager::apply(Op op, Node a, Node b) {
     if (a > b) std::swap(a, b);
     const std::uint64_t key = cache_key(static_cast<std::uint8_t>(op), a, b);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+    }
 
     const Node_data& na = nodes_[static_cast<std::size_t>(a)];
     const Node_data& nb = nodes_[static_cast<std::size_t>(b)];
@@ -95,6 +108,7 @@ Node Manager::apply(Op op, Node a, Node b) {
     const Node low = apply(op, a_low, b_low);
     const Node high = apply(op, a_high, b_high);
     const Node out = make(split, low, high);
+    sweep_cache_if_oversized();
     cache_.emplace(key, out);
     return out;
 }
@@ -106,16 +120,21 @@ Node Manager::apply_xor(Node a, Node b) { return apply(Op::xor_, a, b); }
 Node Manager::negate(Node a) {
     if (a == kFalse) return kTrue;
     if (a == kTrue) return kFalse;
+    ++apply_calls_;
     // not(a) = a xor true, but terminal handling above would recurse; use a
     // dedicated cached traversal keyed as xor with kTrue.
     const std::uint64_t key =
         cache_key(static_cast<std::uint8_t>(Op::xor_), a, kTrue);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+    }
     // Copy, not reference: the recursive negate calls can grow nodes_ and
     // reallocate it out from under a reference.
     const Node_data na = nodes_[static_cast<std::size_t>(a)];
     const Node out = make(na.var, negate(na.low), negate(na.high));
+    sweep_cache_if_oversized();
     cache_.emplace(key, out);
     return out;
 }
@@ -151,11 +170,18 @@ double Manager::sat_count(Node a) {
 }
 
 std::vector<bool> Manager::pick_assignment(Node a) {
+    std::vector<bool> decided;
+    return pick_assignment(a, decided);
+}
+
+std::vector<bool> Manager::pick_assignment(Node a, std::vector<bool>& decided) {
+    decided.assign(static_cast<std::size_t>(variable_count_), false);
     if (a == kFalse) return {};
     std::vector<bool> out(static_cast<std::size_t>(variable_count_), false);
     Node n = a;
     while (n != kTrue) {
         const Node_data& nd = nodes_[static_cast<std::size_t>(n)];
+        decided[static_cast<std::size_t>(nd.var)] = true;
         if (nd.high != kFalse) {
             out[static_cast<std::size_t>(nd.var)] = true;
             n = nd.high;

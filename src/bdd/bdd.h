@@ -54,14 +54,45 @@ public:
     [[nodiscard]] double sat_count(Node a);
 
     // One satisfying assignment (variable -> value), empty when a == kFalse.
-    // Variables not on the chosen path default to false.
+    // Variables not on the chosen path default to false. The second form
+    // additionally records which variables the path actually decided, so a
+    // caller can distinguish "forced to 0" from "unconstrained".
     [[nodiscard]] std::vector<bool> pick_assignment(Node a);
+    [[nodiscard]] std::vector<bool> pick_assignment(Node a,
+                                                    std::vector<bool>& decided);
 
     // Evaluates the function under a full assignment.
     [[nodiscard]] bool evaluate(Node a, const std::vector<bool>& assignment) const;
 
+    // Structure of a non-terminal node (read-only; the classifier converts
+    // BDDs into its own multi-terminal DAG through these).
+    [[nodiscard]] bool is_terminal(Node n) const { return n <= kTrue; }
+    [[nodiscard]] int node_var(Node n) const {
+        return nodes_[static_cast<std::size_t>(n)].var;
+    }
+    [[nodiscard]] Node node_low(Node n) const {
+        return nodes_[static_cast<std::size_t>(n)].low;
+    }
+    [[nodiscard]] Node node_high(Node n) const {
+        return nodes_[static_cast<std::size_t>(n)].high;
+    }
+
     // Live node count (diagnostics; includes the two terminals).
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+    // Work counters: apply/negate traversal steps and memo-cache hits.
+    [[nodiscard]] long long apply_count() const { return apply_calls_; }
+    [[nodiscard]] long long cache_hit_count() const { return cache_hits_; }
+    // Times the memo cache hit its bound and was swept (see below).
+    [[nodiscard]] long long cache_sweeps() const { return cache_sweeps_; }
+
+    // The apply memo cache is bounded: whenever it grows past
+    // `kCacheNodeFactor * node_count()` entries (at least kCacheFloor) it is
+    // cleared. The cache is a pure memo — sweeping it never changes results,
+    // it only bounds the manager's footprint to O(live nodes) instead of
+    // O(total work), which is what keeps a long-running daemon flat.
+    static constexpr std::size_t kCacheFloor = 1 << 16;
+    static constexpr std::size_t kCacheNodeFactor = 8;
 
 private:
     struct Node_data {
@@ -78,12 +109,17 @@ private:
         return nodes_[static_cast<std::size_t>(n)].var;
     }
 
+    void sweep_cache_if_oversized();
+
     int variable_count_;
     std::vector<Node_data> nodes_;
     // Unique table: (var, low, high) -> node.
     std::unordered_map<std::uint64_t, Node> unique_;
-    // Memo cache: (op, a, b) -> result.
+    // Memo cache: (op, a, b) -> result. Bounded; see kCacheNodeFactor.
     std::unordered_map<std::uint64_t, Node> cache_;
+    long long apply_calls_ = 0;
+    long long cache_hits_ = 0;
+    long long cache_sweeps_ = 0;
 };
 
 }  // namespace merlin::bdd

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ir/fields.h"
+#include "pred/analysis.h"
 #include "util/error.h"
 
 namespace merlin::codegen {
@@ -59,6 +60,21 @@ public:
             auto& text = class_text_[static_cast<std::size_t>(plan.path_class)];
             if (text.empty()) text = ir::to_string(plan.statement.path);
         }
+        // Predicate groups for classify-rule dedup: statements whose
+        // predicates hash-cons to the same BDD root share one classify rule
+        // per (device, action). The group's representative predicate is its
+        // lexicographically smallest text, independent of emission order,
+        // so the shared rule's identity survives removal of any non-minimal
+        // member and PR-6 diffs stay minimal.
+        for (const core::Statement_plan& plan : comp_.plans) {
+            std::string text = ir::to_string(plan.statement.predicate);
+            const bdd::Node root = analyzer_.compile(plan.statement.predicate);
+            pred_roots_.emplace(text, root);
+            const auto [it, inserted] =
+                reps_.try_emplace(root, text, plan.statement.predicate);
+            if (!inserted && text < it->second.first)
+                it->second = {std::move(text), plan.statement.predicate};
+        }
     }
 
     Configuration run() {
@@ -79,6 +95,28 @@ private:
     // ------------------------------------------------------------ utilities
     [[nodiscard]] const std::string& name(topo::NodeId n) const {
         return topo_.node(n).name;
+    }
+
+    // The compiled root / canonical representative of a plan's predicate
+    // (both precomputed in the constructor).
+    [[nodiscard]] bdd::Node pred_root(const ir::PredPtr& p) const {
+        return pred_roots_.at(ir::to_string(p));
+    }
+    [[nodiscard]] const ir::PredPtr& pred_rep(bdd::Node root) const {
+        return reps_.at(root).second;
+    }
+
+    // Pushes a predicate-matching rule unless an identical rule (same
+    // device and action, hash-cons-equal predicate) was already emitted;
+    // with the match normalized to the group representative, the rendered
+    // text is a sound identity key. Returns whether the rule was new.
+    bool push_classify_rule(Flow_rule rule) {
+        if (!emitted_classify_.insert(to_text(rule)).second) {
+            ++out_.classify_rules_deduped;
+            return false;
+        }
+        out_.flow_rules.push_back(std::move(rule));
+        return true;
     }
     [[nodiscard]] bool is_switch(topo::NodeId n) const {
         return topo_.node(n).kind == topo::Node_kind::switch_;
@@ -369,7 +407,7 @@ private:
         Flow_rule rule;
         rule.device = name(ingress);
         rule.priority = kClassifyPriority;
-        rule.match = plan.statement.predicate;
+        rule.match = pred_rep(pred_root(plan.statement.predicate));
         if (extra_dst_match) rule.match_dst_mac = comp_.addressing.mac(dst);
 
         const auto [accepted, hop] = fold_stay(*tree, in_sym, *entry);
@@ -383,7 +421,7 @@ private:
             rule.set_tag = tree_tag(plan.path_class, egress, hop.state);
             rule.out_port = name(sg.nodes[static_cast<std::size_t>(hop.node)]);
         }
-        out_.flow_rules.push_back(std::move(rule));
+        push_classify_rule(std::move(rule));
         emit_tree(plan.path_class, egress);
         emit_delivery(plan.path_class, egress, dst);
     }
@@ -430,9 +468,9 @@ private:
             Flow_rule rule;
             rule.device = name(sw);
             rule.priority = kDropPriority;
-            rule.match = plan.statement.predicate;
+            rule.match = pred_rep(pred_root(plan.statement.predicate));
             rule.drop = true;
-            out_.flow_rules.push_back(std::move(rule));
+            push_classify_rule(std::move(rule));
         }
     }
 
@@ -462,8 +500,13 @@ private:
     const topo::Topology& topo_;
     Naming& naming_;
     Configuration out_;
+    pred::Analyzer analyzer_;
 
     std::vector<std::string> class_text_;  // path class -> expression text
+    // Predicate text -> BDD root, and root -> (canonical text, predicate).
+    std::map<std::string, bdd::Node> pred_roots_;
+    std::map<bdd::Node, std::pair<std::string, ir::PredPtr>> reps_;
+    std::set<std::string> emitted_classify_;  // rendered-rule identity keys
     std::map<std::pair<int, int>, std::string> tree_sigs_;
     std::map<std::tuple<int, int, int>, int> tree_tags_;
     std::set<std::pair<int, int>> emitted_trees_;

@@ -99,6 +99,14 @@ struct Configuration {
     std::vector<Host_command> iptables_rules;
     std::vector<Click_config> click_configs;
 
+    // Classify-rule compression: predicate-matching rules (classify and
+    // drop) that were *not* emitted because a statement with a
+    // hash-cons-equal predicate BDD already emitted an identical rule on
+    // the same device. Emitted rules carry the group's canonical
+    // (lexicographically smallest) predicate text, so the shared rule is
+    // stable across deltas no matter which group member emits first.
+    long long classify_rules_deduped = 0;
+
     [[nodiscard]] int total_instructions() const {
         return static_cast<int>(flow_rules.size() + queues.size() +
                                 tc_commands.size() + iptables_rules.size() +

@@ -8,6 +8,7 @@
 
 #include "core/colgen.h"
 #include "core/logical.h"
+#include "pred/classifier.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -187,6 +188,14 @@ Engine_stats Engine_stats::since(const Engine_stats& earlier) const {
         warm_started_solves - earlier.warm_started_solves;
     d.incremental_updates =
         incremental_updates - earlier.incremental_updates;
+    d.predicate_compiles = predicate_compiles - earlier.predicate_compiles;
+    d.predicate_cache_hits =
+        predicate_cache_hits - earlier.predicate_cache_hits;
+    d.bdd_applies = bdd_applies - earlier.bdd_applies;
+    // bdd_nodes is a gauge, not a counter: the difference can be negative
+    // across a vacuum.
+    d.bdd_nodes = bdd_nodes - earlier.bdd_nodes;
+    d.bdd_vacuums = bdd_vacuums - earlier.bdd_vacuums;
     return d;
 }
 
@@ -209,6 +218,16 @@ Engine::Engine(const ir::Policy& policy, const topo::Topology& topo,
     solve_provisioning(/*try_warm=*/false);
     timing_.lp_solve_ms = ms_since(solve_start);
     publish();
+    sync_pred_stats();
+}
+
+void Engine::sync_pred_stats() {
+    totals_.predicate_compiles = analyzer_.compile_count();
+    totals_.predicate_cache_hits = analyzer_.compile_hit_count();
+    totals_.bdd_applies = analyzer_.bdd_apply_count();
+    totals_.bdd_nodes =
+        static_cast<long long>(analyzer_.manager().node_count());
+    totals_.bdd_vacuums = analyzer_.vacuum_count();
 }
 
 void Engine::preprocess(const ir::Policy& policy) {
@@ -244,34 +263,34 @@ void Engine::preprocess(const ir::Policy& policy) {
 }
 
 void Engine::check_disjoint_all() const {
-    // Bucket by endpoint pair; unpinned statements ("?" keys) must be
-    // checked against everything.
-    std::unordered_map<std::string, std::vector<std::size_t>> buckets;
-    std::vector<std::size_t> unpinned;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (!entries_[i].src_host && !entries_[i].dst_host)
-            unpinned.push_back(i);
-        else
-            buckets[endpoint_key(entries_[i].src_host, entries_[i].dst_host)]
-                .push_back(i);
-    }
-    auto check_pair = [&](std::size_t a, std::size_t b) {
-        if (!analyzer_.disjoint(entries_[a].stmt.predicate,
-                                entries_[b].stmt.predicate))
-            throw Policy_error("statements '" + entries_[a].stmt.id +
-                               "' and '" + entries_[b].stmt.id +
-                               "' have overlapping predicates");
+    if (entries_.size() < 2) return;
+    // One shared predicate DAG instead of O(n^2) pairwise BDD products: a
+    // reachable terminal set with two or more members is a proof that some
+    // packet matches both statements. The endpoint shortcut of the old
+    // bucketed check is preserved — statements pinning different (src, dst)
+    // pairs are disjoint by construction and are not reported; a pair is
+    // only an error when the buckets match or a side is fully unpinned.
+    std::vector<ir::PredPtr> preds;
+    preds.reserve(entries_.size());
+    for (const Entry& e : entries_) preds.push_back(e.stmt.predicate);
+    const pred::Classifier classifier(analyzer_, preds);
+    const auto reportable = [&](std::size_t a, std::size_t b) {
+        const Entry& ea = entries_[a];
+        const Entry& eb = entries_[b];
+        if ((!ea.src_host && !ea.dst_host) || (!eb.src_host && !eb.dst_host))
+            return true;
+        return endpoint_key(ea.src_host, ea.dst_host) ==
+               endpoint_key(eb.src_host, eb.dst_host);
     };
-    for (const auto& [key, bucket] : buckets) {
-        for (std::size_t i = 0; i < bucket.size(); ++i)
-            for (std::size_t j = i + 1; j < bucket.size(); ++j)
-                check_pair(bucket[i], bucket[j]);
-        for (std::size_t u : unpinned)
-            for (std::size_t i : bucket) check_pair(u, i);
+    for (const auto& set : classifier.match_sets()) {
+        for (std::size_t i = 0; i < set.size(); ++i)
+            for (std::size_t j = i + 1; j < set.size(); ++j)
+                if (reportable(set[i], set[j]))
+                    throw Policy_error(
+                        "statements '" + entries_[set[i]].stmt.id +
+                        "' and '" + entries_[set[j]].stmt.id +
+                        "' have overlapping predicates");
     }
-    for (std::size_t i = 0; i < unpinned.size(); ++i)
-        for (std::size_t j = i + 1; j < unpinned.size(); ++j)
-            check_pair(unpinned[i], unpinned[j]);
 }
 
 void Engine::check_disjoint_against(const Entry& fresh) const {
@@ -727,6 +746,12 @@ Update_result Engine::finish_update(const char* kind,
                                     const Engine_stats& before,
                                     bool solver_run, bool warm_started) {
     ++totals_.incremental_updates;
+    // Delta boundary: no bdd::Node handles are held across this point, so
+    // it is the one safe place to bound the predicate space of a
+    // long-running engine (dead unique-table entries from retired
+    // statements are unreclaimable individually).
+    analyzer_.vacuum_if_above(kBddVacuumNodeLimit);
+    sync_pred_stats();
     Update_result out;
     out.kind = kind;
     out.feasible = current_.feasible;

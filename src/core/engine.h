@@ -60,6 +60,15 @@ namespace merlin::core {
 // engine.cpp, shared immutably by Checkpoint copies.
 struct Engine_checkpoint_state;
 
+// Predicate-space memory bound: when the analyzer's BDD node count exceeds
+// this after a delta publication, the engine vacuums the whole space (nodes,
+// apply cache, compile memo). Dead unique-table entries from retired
+// statements cannot be collected individually, so without this a
+// long-running daemon's predicate memory grows monotonically. Recompilation
+// after a vacuum is demand-driven and memoized, so steady-state cost is one
+// rebuild of the *live* predicates per vacuum.
+inline constexpr std::size_t kBddVacuumNodeLimit = 1 << 16;
+
 // Cumulative work counters. A bandwidth-only delta must leave
 // automata_built, logical_builds, trees_built and lp_encodings untouched —
 // the engine_test suite asserts exactly that.
@@ -74,6 +83,15 @@ struct Engine_stats {
     long long solves = 0;              // provisioning solver runs
     long long warm_started_solves = 0; // solves seeded by the previous basis
     long long incremental_updates = 0; // delta operations applied
+    // Predicate-DAG sharing counters, synced from the engine's analyzer at
+    // every publication. predicate_compiles counts *distinct* predicate
+    // texts compiled to BDDs (the memo serves repeats), so it is bounded by
+    // distinct predicates, not statements.
+    long long predicate_compiles = 0;   // compile() memo misses
+    long long predicate_cache_hits = 0; // compile() calls served by the memo
+    long long bdd_applies = 0;          // BDD apply/negate traversal steps
+    long long bdd_nodes = 0;            // live BDD nodes (gauge; drops on vacuum)
+    long long bdd_vacuums = 0;          // full predicate-space resets
 
     // Counter-wise difference (this - earlier); used to attribute work to a
     // single update.
@@ -272,6 +290,8 @@ private:
                                 std::chrono::steady_clock::time_point start,
                                 const Engine_stats& before, bool solver_run,
                                 bool warm_started);
+    // Copies the analyzer's predicate/BDD counters into totals_.
+    void sync_pred_stats();
     Update_result set_link_state(topo::LinkId link, bool up, const char* kind);
 
     // ---- persistent state

@@ -35,6 +35,19 @@ int Analyzer::payload_variable(const std::string& needle) {
 }
 
 bdd::Node Analyzer::compile(const ir::PredPtr& p) {
+    const std::string key = ir::to_string(p);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+        ++compile_hits_;
+        return it->second;
+    }
+    ++compiles_;
+    const bdd::Node out = compile_fresh(p);
+    memo_.emplace(key, out);
+    return out;
+}
+
+bdd::Node Analyzer::compile_fresh(const ir::PredPtr& p) {
     using ir::Pred_kind;
     switch (p->kind) {
         case Pred_kind::true_: return bdd::kTrue;
@@ -43,12 +56,32 @@ bdd::Node Analyzer::compile(const ir::PredPtr& p) {
         case Pred_kind::payload:
             return manager_.var(payload_variable(p->needle));
         case Pred_kind::and_:
-            return manager_.apply_and(compile(p->lhs), compile(p->rhs));
+            return manager_.apply_and(compile_fresh(p->lhs),
+                                      compile_fresh(p->rhs));
         case Pred_kind::or_:
-            return manager_.apply_or(compile(p->lhs), compile(p->rhs));
-        case Pred_kind::not_: return manager_.negate(compile(p->lhs));
+            return manager_.apply_or(compile_fresh(p->lhs),
+                                     compile_fresh(p->rhs));
+        case Pred_kind::not_: return manager_.negate(compile_fresh(p->lhs));
     }
     throw Error("unreachable predicate kind");
+}
+
+void Analyzer::vacuum() {
+    // A fresh manager over the same variable layout: header bits plus the
+    // payload variables registered so far (payload_variable() handed out
+    // indices in needle order, which Manager(n) reproduces).
+    retired_applies_ += manager_.apply_count();
+    retired_cache_hits_ += manager_.cache_hit_count();
+    manager_ = bdd::Manager(ir::total_header_bits() +
+                            static_cast<int>(payload_needles_.size()));
+    memo_.clear();
+    ++vacuums_;
+}
+
+bool Analyzer::vacuum_if_above(std::size_t node_limit) {
+    if (manager_.node_count() <= node_limit) return false;
+    vacuum();
+    return true;
 }
 
 bool Analyzer::disjoint(const ir::PredPtr& a, const ir::PredPtr& b) {
@@ -87,23 +120,50 @@ Packet Analyzer::witness(const ir::PredPtr& p) {
     const bdd::Node node = compile(p);
     if (node == bdd::kFalse)
         throw Policy_error("witness() on unsatisfiable predicate");
-    const std::vector<bool> bits = manager_.pick_assignment(node);
+    std::vector<bool> decided;
+    const std::vector<bool> bits = manager_.pick_assignment(node, decided);
     Packet out;
     const int header_bits = ir::total_header_bits();
     for (const ir::Field& f : ir::fields()) {
         std::uint64_t value = 0;
+        bool constrained = false;
         for (int bit = 0; bit < f.width; ++bit) {
             value <<= 1;
             const auto idx = static_cast<std::size_t>(f.bit_offset + bit);
             if (idx < bits.size() && bits[idx]) value |= 1;
+            if (idx < decided.size() && decided[idx]) constrained = true;
         }
-        if (value != 0) out.fields[f.name] = value;
+        // A field is part of the witness when the assignment touched any of
+        // its bits — including fields *forced* to zero (e.g. tcp.dst = 0),
+        // which the value!=0 test used to misreport as unconstrained.
+        if (value != 0 || constrained) out.fields[f.name] = value;
     }
     for (std::size_t i = 0; i < payload_needles_.size(); ++i) {
         const auto var = static_cast<std::size_t>(header_bits) + i;
         if (var < bits.size() && bits[var]) out.payload += payload_needles_[i];
     }
     return out;
+}
+
+std::vector<bool> Analyzer::bits_of(const Packet& packet) const {
+    std::vector<bool> bits(
+        static_cast<std::size_t>(manager_.variable_count()), false);
+    for (const ir::Field& f : ir::fields()) {
+        const std::uint64_t value = packet.get(f.name);
+        for (int bit = 0; bit < f.width; ++bit) {
+            const auto idx = static_cast<std::size_t>(f.bit_offset + bit);
+            const int shift = f.width - 1 - bit;
+            if (idx < bits.size()) bits[idx] = ((value >> shift) & 1) != 0;
+        }
+    }
+    const auto header_bits = static_cast<std::size_t>(ir::total_header_bits());
+    for (std::size_t i = 0; i < payload_needles_.size(); ++i) {
+        const std::size_t var = header_bits + i;
+        if (var < bits.size())
+            bits[var] =
+                packet.payload.find(payload_needles_[i]) != std::string::npos;
+    }
+    return bits;
 }
 
 }  // namespace merlin::pred

@@ -12,8 +12,10 @@
 // for the equalities/negations the language can express.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -27,7 +29,10 @@ public:
     Analyzer();
 
     // Compiles a predicate; results are hash-consed, so repeated calls with
-    // equivalent predicates return identical nodes.
+    // equivalent predicates return identical nodes. Compilation is memoized
+    // on the predicate's canonical text: each distinct predicate is compiled
+    // exactly once per analyzer lifetime (until vacuum()), no matter how
+    // many statements reference it.
     [[nodiscard]] bdd::Node compile(const ir::PredPtr& p);
 
     [[nodiscard]] bool disjoint(const ir::PredPtr& a, const ir::PredPtr& b);
@@ -41,12 +46,51 @@ public:
 
     // A concrete packet matching `p` (payload patterns are reflected by
     // concatenating the needles the assignment sets). Only valid when
-    // satisfiable(p).
+    // satisfiable(p). Fields the assignment *forces* are always emitted,
+    // including those forced to zero; only genuinely unconstrained fields
+    // are omitted.
     [[nodiscard]] Packet witness(const ir::PredPtr& p);
+
+    // The packet's full variable assignment under this analyzer's variable
+    // layout: header bits (ir::fields(), MSB-first within a field) followed
+    // by one bit per registered payload needle (true iff the payload
+    // contains it). Evaluating any compiled BDD on these bits agrees with
+    // pred::matches for every predicate this analyzer has seen.
+    [[nodiscard]] std::vector<bool> bits_of(const Packet& packet) const;
 
     [[nodiscard]] bdd::Manager& manager() { return manager_; }
 
+    // Memoization counters: distinct predicates actually compiled vs. calls
+    // served from the canonical-text memo.
+    [[nodiscard]] long long compile_count() const { return compiles_; }
+    [[nodiscard]] long long compile_hit_count() const { return compile_hits_; }
+    [[nodiscard]] std::size_t memo_size() const { return memo_.size(); }
+    // Full BDD-space resets performed by vacuum().
+    [[nodiscard]] long long vacuum_count() const { return vacuums_; }
+    // BDD work counters, cumulative across vacuums (the manager's own
+    // counters reset with it; retired totals are carried here).
+    [[nodiscard]] long long bdd_apply_count() const {
+        return retired_applies_ + manager_.apply_count();
+    }
+    [[nodiscard]] long long bdd_cache_hit_count() const {
+        return retired_cache_hits_ + manager_.cache_hit_count();
+    }
+
+    // Discards the whole BDD space (nodes, apply cache, compile memo) while
+    // keeping the variable layout — payload needles keep their variable
+    // indices, so recompiled predicates mean the same thing. Every
+    // bdd::Node previously returned by compile() is invalidated; callers
+    // must only vacuum at points where none are held (the engine does so
+    // between delta publications). This is what bounds a long-running
+    // daemon's predicate memory: dead unique-table entries from retired
+    // statements cannot be collected individually, so past a node-count
+    // threshold the space is rebuilt from scratch on demand.
+    void vacuum();
+    // vacuum() iff node_count() exceeds `node_limit`; returns true if run.
+    bool vacuum_if_above(std::size_t node_limit);
+
 private:
+    [[nodiscard]] bdd::Node compile_fresh(const ir::PredPtr& p);
     [[nodiscard]] bdd::Node field_equals(const std::string& field,
                                          std::uint64_t value);
     [[nodiscard]] int payload_variable(const std::string& needle);
@@ -54,6 +98,13 @@ private:
     bdd::Manager manager_;
     std::map<std::string, int> payload_vars_;
     std::vector<std::string> payload_needles_;  // by variable order
+    // Canonical predicate text -> compiled root.
+    std::unordered_map<std::string, bdd::Node> memo_;
+    long long compiles_ = 0;
+    long long compile_hits_ = 0;
+    long long vacuums_ = 0;
+    long long retired_applies_ = 0;
+    long long retired_cache_hits_ = 0;
 };
 
 }  // namespace merlin::pred

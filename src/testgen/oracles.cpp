@@ -18,6 +18,8 @@
 #include "core/provision.h"
 #include "netsim/sim.h"
 #include "netsim/tables.h"
+#include "pred/analysis.h"
+#include "pred/classifier.h"
 #include "testgen/testgen.h"
 #include "util/error.h"
 
@@ -29,6 +31,16 @@ namespace {
 std::optional<std::string> fail(const std::string& context,
                                 const std::string& detail) {
     return context + ": " + detail;
+}
+
+// Structural equality first (cheap), then BDD equivalence: classify-rule
+// dedup rewrites an emitted rule's match to its hash-cons group's canonical
+// representative, so oracles locating "the rule for statement s" must accept
+// any predicate denoting the same packet set.
+bool same_predicate(pred::Analyzer& analyzer, const ir::PredPtr& a,
+                    const ir::PredPtr& b) {
+    if (ir::equal(a, b)) return true;
+    return analyzer.compile(a) == analyzer.compile(b);
 }
 
 }  // namespace
@@ -540,8 +552,9 @@ bool trace_to_delivery(const Rule_tables& tables, const std::string& device,
 }
 
 std::optional<std::string> check_guaranteed_rules(
-    const Rule_tables& tables, const codegen::Configuration& config,
-    const core::Statement_plan& plan, const topo::Topology& topo) {
+    pred::Analyzer& analyzer, const Rule_tables& tables,
+    const codegen::Configuration& config, const core::Statement_plan& plan,
+    const topo::Topology& topo) {
     const std::string what = "guaranteed plan '" + plan.statement.id + "'";
     const std::vector<topo::NodeId>& nodes = plan.path->nodes;
     std::optional<int> tag;
@@ -555,7 +568,8 @@ std::optional<std::string> check_guaranteed_rules(
             for (const codegen::Flow_rule* candidate : rules->second) {
                 const bool classify =
                     first && candidate->match != nullptr &&
-                    ir::equal(candidate->match, plan.statement.predicate) &&
+                    same_predicate(analyzer, candidate->match,
+                                   plan.statement.predicate) &&
                     candidate->set_tag.has_value();
                 const bool forward = !first && candidate->match_tag &&
                                      tag && *candidate->match_tag == *tag;
@@ -598,8 +612,9 @@ std::optional<std::string> check_guaranteed_rules(
 }
 
 std::optional<std::string> check_best_effort_rules(
-    const Rule_tables& tables, const core::Compilation& compilation,
-    const core::Statement_plan& plan, const topo::Topology& topo) {
+    pred::Analyzer& analyzer, const Rule_tables& tables,
+    const core::Compilation& compilation, const core::Statement_plan& plan,
+    const topo::Topology& topo) {
     if (!plan.src_host || !plan.dst_host) return std::nullopt;
     const std::string what = "best-effort plan '" + plan.statement.id + "'";
     const std::string dst_name = topo.node(*plan.dst_host).name;
@@ -614,7 +629,8 @@ std::optional<std::string> check_best_effort_rules(
         if (rules == tables.by_device.end()) continue;
         for (const codegen::Flow_rule* rule : rules->second) {
             if (rule->match == nullptr || rule->drop ||
-                !ir::equal(rule->match, plan.statement.predicate))
+                !same_predicate(analyzer, rule->match,
+                                plan.statement.predicate))
                 continue;
             if (rule->out_port == dst_name) {  // ingress == egress delivery
                 delivered = true;
@@ -648,6 +664,7 @@ std::optional<std::string> check_codegen(const core::Compilation& compilation,
         return fail("codegen", std::string("generate threw: ") + e.what());
     }
     const Rule_tables tables(config, topo);
+    pred::Analyzer analyzer;  // for dedup-aware rule matching
 
     // Structural discipline: rules sit on real switches and forward to live
     // physical neighbours.
@@ -685,11 +702,12 @@ std::optional<std::string> check_codegen(const core::Compilation& compilation,
                                 "no iptables rule on " + host);
             }
         } else if (plan.guaranteed() && plan.path) {
-            if (auto d = check_guaranteed_rules(tables, config, plan, topo))
+            if (auto d = check_guaranteed_rules(analyzer, tables, config,
+                                               plan, topo))
                 return d;
         } else if (!plan.guaranteed()) {
-            if (auto d =
-                    check_best_effort_rules(tables, compilation, plan, topo))
+            if (auto d = check_best_effort_rules(analyzer, tables,
+                                                 compilation, plan, topo))
                 return d;
         }
         if (plan.cap && plan.src_host) {
@@ -702,6 +720,58 @@ std::optional<std::string> check_codegen(const core::Compilation& compilation,
             if (!found)
                 return fail("capped plan '" + plan.statement.id + "'",
                             "no tc command on " + host);
+        }
+    }
+    return std::nullopt;
+}
+
+// --------------------------------------------------------------- classifier
+
+std::optional<std::string> check_classifier(
+    const core::Compilation& compilation) {
+    std::vector<ir::PredPtr> preds;
+    std::vector<std::string> ids;
+    for (const core::Statement_plan& plan : compilation.plans) {
+        preds.push_back(plan.statement.predicate);
+        ids.push_back(plan.statement.id);
+    }
+    if (preds.empty()) return std::nullopt;
+
+    pred::Analyzer analyzer;
+    const pred::Classifier classifier(analyzer, preds);
+
+    // Probe set: one witness packet per satisfiable statement, plus the
+    // all-zero header (every field unset, empty payload). Witnesses land in
+    // each group's satisfying region; the zero packet exercises the
+    // default/else edges of the DAG.
+    std::vector<pred::Packet> probes;
+    for (const ir::PredPtr& p : preds)
+        if (analyzer.satisfiable(p)) probes.push_back(analyzer.witness(p));
+    probes.emplace_back();
+
+    for (const pred::Packet& packet : probes) {
+        const std::vector<bool> bits = analyzer.bits_of(packet);
+        // Ground truth: each statement decided independently by its own
+        // compiled BDD (one evaluate per statement per packet).
+        std::vector<pred::Classifier::Index> want;
+        for (std::size_t i = 0; i < preds.size(); ++i)
+            if (analyzer.manager().evaluate(analyzer.compile(preds[i]),
+                                            bits))
+                want.push_back(static_cast<pred::Classifier::Index>(i));
+        const std::vector<pred::Classifier::Index>& got =
+            classifier.classify_bits(bits);
+        if (got != want) {
+            const auto names = [&](const std::vector<
+                                   pred::Classifier::Index>& set) {
+                std::string out = "{";
+                for (const pred::Classifier::Index i : set)
+                    out += (out.size() == 1 ? "" : ", ") + ids[i];
+                return out + "}";
+            };
+            return fail("classifier",
+                        "shared DAG classifies a witness packet as " +
+                            names(got) + " but per-statement evaluation "
+                            "says " + names(want));
         }
     }
     return std::nullopt;
@@ -852,11 +922,12 @@ std::optional<std::string> check_solvers(
 namespace {
 
 // Builds a netsim rule network from a configuration, abstracting every rule
-// predicate to a traffic-class id (structural predicate equality against
-// `classes`). Predicates outside the list — e.g. the compiler's catch-all —
+// predicate to a traffic-class id (semantic predicate equality against
+// `classes`, so dedup-representative rules map to their whole group's
+// class). Predicates outside the list — e.g. the compiler's catch-all —
 // match none of the modeled packets.
 netsim::Rule_network to_rule_network(
-    const codegen::Configuration& config,
+    pred::Analyzer& analyzer, const codegen::Configuration& config,
     const std::vector<std::pair<ir::PredPtr, int>>& classes,
     const core::Addressing& addressing, const topo::Topology& topo) {
     netsim::Rule_network net(topo);
@@ -866,7 +937,7 @@ netsim::Rule_network to_rule_network(
         if (r.match != nullptr) {
             rule.match_class = netsim::kMatchNothing;
             for (const auto& [pred, id] : classes)
-                if (ir::equal(pred, r.match)) {
+                if (same_predicate(analyzer, pred, r.match)) {
                     rule.match_class = id;
                     break;
                 }
@@ -929,12 +1000,14 @@ std::optional<std::string> check_two_phase(
     const core::Compilation& old_comp, const core::Compilation& new_comp,
     const codegen::Configuration& old_config, const codegen::Diff& d,
     const codegen::Configuration& new_config, const topo::Topology& topo) {
+    pred::Analyzer analyzer;
     std::vector<std::pair<ir::PredPtr, int>> classes;
     for (const core::Compilation* comp : {&old_comp, &new_comp}) {
         for (const core::Statement_plan& plan : comp->plans) {
             bool known = false;
             for (const auto& [pred, id] : classes)
-                if (ir::equal(pred, plan.statement.predicate)) {
+                if (same_predicate(analyzer, pred,
+                                   plan.statement.predicate)) {
                     known = true;
                     break;
                 }
@@ -951,10 +1024,10 @@ std::optional<std::string> check_two_phase(
 
     const core::Addressing& addressing = new_comp.addressing;
     const netsim::Rule_network nets[4] = {
-        to_rule_network(old_config, classes, addressing, topo),
-        to_rule_network(prepared, classes, addressing, topo),
-        to_rule_network(committed, classes, addressing, topo),
-        to_rule_network(new_config, classes, addressing, topo),
+        to_rule_network(analyzer, old_config, classes, addressing, topo),
+        to_rule_network(analyzer, prepared, classes, addressing, topo),
+        to_rule_network(analyzer, committed, classes, addressing, topo),
+        to_rule_network(analyzer, new_config, classes, addressing, topo),
     };
     static const char* const kPhase[4] = {"pre-update", "after prepare",
                                           "after commit", "post-update"};
@@ -992,7 +1065,7 @@ std::optional<std::string> check_two_phase(
         netsim::Packet packet;
         packet.dst = addressing.mac(*plan.dst_host);
         for (const auto& [pred, id] : classes)
-            if (ir::equal(pred, plan.statement.predicate)) {
+            if (same_predicate(analyzer, pred, plan.statement.predicate)) {
                 packet.traffic_class = id;
                 break;
             }

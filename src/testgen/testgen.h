@@ -207,6 +207,14 @@ struct Gen_options {
 [[nodiscard]] std::optional<std::string> check_codegen(
     const core::Compilation& compilation, const topo::Topology& topo);
 
+// Shared-predicate-DAG cross-oracle: classifying a packet through one
+// multi-terminal DAG over all of the compilation's statement predicates
+// must return exactly the statements whose individually compiled BDDs
+// evaluate to true on that packet's bits. Probes every statement's witness
+// packet plus the all-zero header.
+[[nodiscard]] std::optional<std::string> check_classifier(
+    const core::Compilation& compilation);
+
 // Solver cross-checks over the scenario's current guaranteed statements:
 // greedy-feasible => MIP-feasible, MIP proven-infeasible => greedy fails,
 // both solutions respect capacities, and a warm-started re-solve of the

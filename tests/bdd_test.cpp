@@ -85,6 +85,66 @@ TEST(Bdd, PickAssignmentSatisfies) {
     EXPECT_TRUE(m.pick_assignment(kFalse).empty());
 }
 
+TEST(Bdd, PickAssignmentReportsDecidedVariables) {
+    Manager m(4);
+    // var0 and !var2: vars 0 and 2 are forced (one to zero), 1 and 3 free.
+    const Node f = m.apply_and(m.var(0), m.nvar(2));
+    std::vector<bool> decided;
+    const auto assignment = m.pick_assignment(f, decided);
+    ASSERT_EQ(decided.size(), 4u);
+    EXPECT_TRUE(m.evaluate(f, assignment));
+    EXPECT_TRUE(decided[0]);
+    EXPECT_FALSE(decided[1]);
+    EXPECT_TRUE(decided[2]);   // decided *to zero* — must still be reported
+    EXPECT_FALSE(decided[3]);
+    EXPECT_FALSE(assignment[2]);
+}
+
+TEST(Bdd, WorkCountersTrackAppliesAndCacheHits) {
+    Manager m(4);
+    EXPECT_EQ(m.apply_count(), 0);
+    const Node a = m.apply_and(m.var(0), m.var(1));
+    EXPECT_GT(m.apply_count(), 0);
+    const long long before = m.apply_count();
+    EXPECT_EQ(m.apply_and(m.var(0), m.var(1)), a);
+    EXPECT_GT(m.cache_hit_count(), 0);
+    EXPECT_EQ(m.apply_count(), before + 1);  // one memoized top-level call
+}
+
+TEST(Bdd, ApplyCacheSweepsWhenOversizedAndStaysCorrect) {
+    // The cache is bounded by O(live nodes): pairwise conjunction of
+    // disjoint value-equality chains is the worst case, flooding the cache
+    // with per-pair suffix keys while every partial product is kFalse (no
+    // new nodes). The sweep must fire; results must stay correct after.
+    constexpr int kBits = 16;
+    Manager m(kBits);
+    const auto equals = [&](int value) {
+        Node f = kTrue;
+        for (int bit = kBits - 1; bit >= 0; --bit)
+            f = m.apply_and(((value >> bit) & 1) != 0 ? m.var(bit)
+                                                      : m.nvar(bit),
+                            f);
+        return f;
+    };
+    std::vector<Node> preds;
+    for (int v = 0; v < 600; ++v) preds.push_back(equals(v));
+    const std::size_t nodes_before = m.node_count();
+
+    int wrong = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        for (std::size_t j = i + 1; j < preds.size(); ++j)
+            if (m.apply_and(preds[i], preds[j]) != kFalse) ++wrong;
+    EXPECT_EQ(wrong, 0);
+    EXPECT_GT(m.cache_sweeps(), 0);
+    EXPECT_EQ(m.node_count(), nodes_before);  // the table itself never grew
+
+    // Post-sweep applies recompute and hash-cons to the same nodes.
+    EXPECT_EQ(m.apply_and(preds[7], preds[7]), preds[7]);
+    EXPECT_EQ(m.apply_or(preds[3], kFalse), preds[3]);
+    const auto witness = m.pick_assignment(preds[42]);
+    EXPECT_TRUE(m.evaluate(preds[42], witness));
+}
+
 TEST(Bdd, ImplicationAndDisjointness) {
     Manager m(3);
     const Node a = m.var(0);

@@ -1,0 +1,173 @@
+// Shared predicate DAG: grouping by hash-consed BDD root, single-traversal
+// classification against per-statement evaluation, reachable match sets as
+// the overlap oracle, and the compile memo that bounds BDD work by the
+// number of *distinct* predicates.
+#include "pred/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+#include "parser/parser.h"
+#include "pred/packet.h"
+#include "util/rng.h"
+
+namespace merlin::pred {
+namespace {
+
+using merlin::parser::parse_predicate;
+
+std::vector<ir::PredPtr> parse_all(const std::vector<std::string>& texts) {
+    std::vector<ir::PredPtr> preds;
+    preds.reserve(texts.size());
+    for (const std::string& t : texts) preds.push_back(parse_predicate(t));
+    return preds;
+}
+
+TEST(Classifier, GroupsByBddRootNotByText) {
+    Analyzer analyzer;
+    const auto preds = parse_all({
+        "tcp.dst = 80",
+        "tcp.dst = 80 and tcp.dst = 80",  // same function, different text
+        "tcp.dst = 22",
+    });
+    const Classifier classifier(analyzer, preds);
+    ASSERT_EQ(classifier.group_count(), 2u);
+    EXPECT_EQ(classifier.group_of(0), classifier.group_of(1));
+    EXPECT_NE(classifier.group_of(0), classifier.group_of(2));
+    EXPECT_EQ(classifier.group_members(classifier.group_of(0)),
+              (std::vector<Classifier::Index>{0, 1}));
+}
+
+TEST(Classifier, ClassifiesDisjointAndOverlappingPredicates) {
+    Analyzer analyzer;
+    const auto preds = parse_all({
+        "tcp.dst = 80",
+        "ip.proto = tcp",     // overlaps 0 (port tests imply nothing here)
+        "tcp.dst = 22",       // disjoint from 0, overlaps 1
+    });
+    const Classifier classifier(analyzer, preds);
+
+    Packet http;
+    http.fields["tcp.dst"] = 80;
+    http.fields["ip.proto"] = 6;
+    EXPECT_EQ(classifier.classify(http),
+              (std::vector<Classifier::Index>{0, 1}));
+
+    Packet ssh;
+    ssh.fields["tcp.dst"] = 22;
+    EXPECT_EQ(classifier.classify(ssh),
+              (std::vector<Classifier::Index>{2}));
+
+    Packet none;
+    none.fields["tcp.dst"] = 443;
+    none.fields["ip.proto"] = 17;
+    EXPECT_TRUE(classifier.classify(none).empty());
+}
+
+TEST(Classifier, MatchSetsAreExactlyTheReachableCombinations) {
+    Analyzer analyzer;
+    // 0 and 1 are disjoint; 2 overlaps both; 3 is unsatisfiable.
+    const auto preds = parse_all({
+        "tcp.dst = 80",
+        "tcp.dst = 22",
+        "ip.proto = tcp",
+        "tcp.dst = 80 and tcp.dst = 22",
+    });
+    const Classifier classifier(analyzer, preds);
+    const auto sets = classifier.match_sets();
+    // Reachable: {0,2} (http tcp), {1,2} (ssh tcp), {2} (other tcp),
+    // {0} (port 80 non-tcp), {1} (port 22 non-tcp). Never {0,1}; never 3.
+    const std::vector<std::vector<Classifier::Index>> want = {
+        {0}, {0, 2}, {1}, {1, 2}, {2}};
+    EXPECT_EQ(sets, want);
+    EXPECT_EQ(classifier.group_root(classifier.group_of(3)), bdd::kFalse);
+}
+
+TEST(Classifier, AgreesWithPerStatementEvaluationOnRandomPackets) {
+    Rng rng(7);
+    Analyzer analyzer;
+    const auto preds = parse_all({
+        "tcp.dst = 80",
+        "tcp.dst = 80 or tcp.dst = 8080",
+        "ip.proto = tcp and !(tcp.dst = 22)",
+        "ip.src = 10.0.0.1",
+        "!(ip.src = 10.0.0.1) and tcp.dst = 80",
+        "payload = \"GET /\"",
+    });
+    const Classifier classifier(analyzer, preds);
+    for (int trial = 0; trial < 200; ++trial) {
+        Packet k;
+        k.fields["tcp.dst"] = rng.chance(0.5) ? 80 : 22;
+        if (rng.chance(0.25)) k.fields["tcp.dst"] = 8080;
+        k.fields["ip.proto"] = rng.chance(0.5) ? 6 : 17;
+        if (rng.chance(0.5)) k.fields["ip.src"] = 0x0a000001;
+        if (rng.chance(0.5)) k.payload = "GET /index.html";
+        const std::vector<bool> bits = analyzer.bits_of(k);
+        std::vector<Classifier::Index> want;
+        for (std::size_t i = 0; i < preds.size(); ++i)
+            if (analyzer.manager().evaluate(analyzer.compile(preds[i]), bits))
+                want.push_back(static_cast<Classifier::Index>(i));
+        EXPECT_EQ(classifier.classify(k), want);
+        EXPECT_EQ(classifier.classify_bits(bits), want);
+    }
+}
+
+TEST(Classifier, CompileMemoBoundsWorkByDistinctPredicates) {
+    Analyzer analyzer;
+    // 1000 statements drawn from 10 distinct predicate texts.
+    std::vector<ir::PredPtr> preds;
+    for (int i = 0; i < 1000; ++i)
+        preds.push_back(parse_predicate("tcp.dst = " +
+                                        std::to_string(8000 + i % 10)));
+    const Classifier classifier(analyzer, preds);
+    EXPECT_EQ(classifier.group_count(), 10u);
+    EXPECT_LE(analyzer.compile_count(), 10);
+    EXPECT_GE(analyzer.compile_hit_count(), 990);
+    // All 1000 statements classify in one traversal of a 10-terminal DAG.
+    Packet k;
+    k.fields["tcp.dst"] = 8003;
+    EXPECT_EQ(classifier.classify(k).size(), 100u);
+}
+
+TEST(Classifier, SurvivesAnalyzerVacuum) {
+    Analyzer analyzer;
+    const auto preds = parse_all({"tcp.dst = 80", "tcp.dst = 22"});
+    const Classifier classifier(analyzer, preds);
+    analyzer.vacuum();
+    // The DAG copied everything it needs; only group_root() names retired
+    // nodes. classify() recompiles nothing — it reads packet bits directly.
+    Packet k;
+    k.fields["tcp.dst"] = 22;
+    EXPECT_EQ(classifier.classify(k),
+              (std::vector<Classifier::Index>{1}));
+    EXPECT_EQ(classifier.match_sets().size(), 2u);
+}
+
+TEST(Classifier, VacuumAccumulatesRetiredCountersAndShrinksNodes) {
+    Analyzer analyzer;
+    const auto preds = parse_all(
+        {"ip.src = 10.0.0.1 and tcp.dst = 80", "ip.src = 10.0.0.2"});
+    const Classifier classifier(analyzer, preds);
+    const long long applies = analyzer.bdd_apply_count();
+    const std::size_t grown = analyzer.manager().node_count();
+    EXPECT_GT(applies, 0);
+    EXPECT_FALSE(analyzer.vacuum_if_above(grown));  // at, not above
+    EXPECT_TRUE(analyzer.vacuum_if_above(2));
+    EXPECT_EQ(analyzer.vacuum_count(), 1);
+    EXPECT_LT(analyzer.manager().node_count(), grown);
+    // Work counters never move backwards across a vacuum.
+    EXPECT_GE(analyzer.bdd_apply_count(), applies);
+    EXPECT_EQ(analyzer.memo_size(), 0u);
+    // Recompilation after the vacuum preserves meaning (same layout).
+    Packet k;
+    k.fields["ip.src"] = 0x0a000002;
+    EXPECT_TRUE(matches(preds[1], k));
+    EXPECT_TRUE(analyzer.satisfiable(preds[1]));
+    EXPECT_EQ(analyzer.witness(preds[1]).get("ip.src"), 0x0a000002u);
+}
+
+}  // namespace
+}  // namespace merlin::pred

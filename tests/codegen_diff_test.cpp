@@ -286,6 +286,45 @@ TEST(Diff, TwoPhaseOracleHoldsAcrossEngineDeltas) {
     step(false);
 }
 
+TEST(Diff, DedupSharesClassifyRulesAndParsesBack) {
+    // Two statements whose predicates are structurally different but
+    // BDD-equal (commuted conjunction) hash-cons to one predicate group:
+    // codegen must emit their ingress classify rule once, count the
+    // duplicate, and the shared table must still parse back and deliver
+    // both statements' packets.
+    constexpr const char* kEquivalentOverlap = R"(
+[ z1 : eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 -> .* ],
+[ z2 : eth.dst = 00:00:00:00:00:02 and eth.src = 00:00:00:00:00:01 -> .* ]
+)";
+    core::Compile_options options;
+    options.check_disjoint = false;  // the overlap is the point
+    core::Engine engine(parse_policy(kEquivalentOverlap), fig2_topology(),
+                        options);
+    ASSERT_TRUE(engine.current().feasible);
+    Incremental incremental;
+    (void)incremental.update(engine.current(), engine.topology());
+    EXPECT_GE(incremental.config().classify_rules_deduped, 1);
+
+    // Deduplication leaves no textually identical rules behind.
+    std::set<std::string> texts;
+    for (const Flow_rule& rule : incremental.config().flow_rules)
+        EXPECT_TRUE(texts.insert(to_text(rule)).second) << to_text(rule);
+
+    // Parse-back: the shared rule still classifies and delivers both
+    // statements (check_codegen matches rules up to BDD equivalence), and
+    // the shared DAG agrees with per-statement evaluation.
+    const auto codegen_failure =
+        testgen::check_codegen(engine.current(), engine.topology());
+    EXPECT_FALSE(codegen_failure) << *codegen_failure;
+    const auto classifier_failure = testgen::check_classifier(engine.current());
+    EXPECT_FALSE(classifier_failure) << *classifier_failure;
+
+    // A no-op recompile diffs empty through the deduplicated tables.
+    ASSERT_TRUE(engine.recompile());
+    const Diff d = checked_update(incremental, engine);
+    EXPECT_TRUE(d.empty()) << to_text(d);
+}
+
 TEST(Naming, LongChurnKeepsTagHighWaterBounded) {
     // Three hundred add/remove cycles of a guaranteed statement: with the
     // free-list recycling tags, the high-water mark settles after the

@@ -713,4 +713,51 @@ TEST(Engine, PublishHookFiresOncePerCompletedDeltaIncludingInfeasible) {
     EXPECT_EQ(published[2], (std::pair<std::uint64_t, bool>{3, false}));
 }
 
+TEST(Engine, PredicateMemoryStaysFlatAcrossLongDeltaChurn) {
+    // 1000 deltas, each cycle introducing predicates the engine has never
+    // seen: without the vacuum threshold the BDD space (dead unique-table
+    // entries included) grows without bound. The gauge must stay at or
+    // below kBddVacuumNodeLimit at every publication, with at least one
+    // vacuum actually performed, and the memo counters must keep
+    // per-delta compilation bounded by the *new* predicate texts.
+    const topo::Topology t = topo::fat_tree(2);
+    ir::Policy p;
+    ir::Statement base;
+    base.id = "base";
+    base.predicate = ir::pred_test("tcp.dst", 1);
+    base.path = ir::path_any_star();
+    p.statements.push_back(base);
+    Engine engine(p, t, {});
+    ASSERT_TRUE(engine.current().feasible);
+
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        ir::Statement churn;
+        churn.id = "churn";
+        // Two fresh ip pairs or-ed together: ~300 new BDD nodes per cycle,
+        // disjoint from `base` via the tcp.dst test.
+        const std::uint64_t a = 0x0a000000u + 4 * i;
+        churn.predicate = ir::pred_and(
+            ir::pred_or(ir::pred_and(ir::pred_test("ip.src", a),
+                                     ir::pred_test("ip.dst", a + 1)),
+                        ir::pred_and(ir::pred_test("ip.src", a + 2),
+                                     ir::pred_test("ip.dst", a + 3))),
+            ir::pred_test("tcp.dst", 2 + (i % 60000)));
+        churn.path = ir::path_any_star();
+        ASSERT_TRUE(engine.add_statement(churn).feasible);
+        ASSERT_LE(engine.totals().bdd_nodes,
+                  static_cast<long long>(core::kBddVacuumNodeLimit));
+        ASSERT_TRUE(engine.remove_statement("churn").feasible);
+        ASSERT_LE(engine.totals().bdd_nodes,
+                  static_cast<long long>(core::kBddVacuumNodeLimit));
+    }
+    const core::Engine_stats totals = engine.totals();
+    EXPECT_EQ(totals.incremental_updates, 1000);
+    EXPECT_GE(totals.bdd_vacuums, 1);
+    // Compiles are bounded by distinct predicate texts (500 churn + base),
+    // plus one demand-driven rebuild of the live predicate per vacuum —
+    // repeats within a lifetime come from the memo.
+    EXPECT_LE(totals.predicate_compiles, 501 + totals.bdd_vacuums);
+    EXPECT_GT(totals.predicate_cache_hits, 0);
+}
+
 }  // namespace

@@ -86,6 +86,40 @@ TEST(Pred, SatisfiabilityAndWitness) {
     EXPECT_EQ(w.get("tcp.dst"), 80u);
 }
 
+TEST(Pred, WitnessEmitsFieldsForcedToZero) {
+    Analyzer a;
+    // The only satisfying assignments force tcp.src to 0: the witness must
+    // say so explicitly rather than omit the field (the old behaviour
+    // dropped every zero-valued field, constrained or not).
+    const auto p = parse_predicate("tcp.src = 0 and tcp.dst = 80");
+    ASSERT_TRUE(a.satisfiable(p));
+    const Packet w = a.witness(p);
+    EXPECT_TRUE(matches(p, w));
+    EXPECT_TRUE(w.fields.contains("tcp.src"));
+    EXPECT_EQ(w.get("tcp.src"), 0u);
+    EXPECT_EQ(w.get("tcp.dst"), 80u);
+
+    // A negated equality can also force zeros (single-bit fields aside,
+    // the chosen branch pins whatever bits the BDD walked through); but a
+    // genuinely unconstrained field must stay omitted.
+    const Packet free_dst = a.witness(parse_predicate("ip.src = 10.0.0.1"));
+    EXPECT_TRUE(free_dst.fields.contains("ip.src"));
+    EXPECT_FALSE(free_dst.fields.contains("tcp.dst"));
+}
+
+TEST(Pred, CompileMemoServesRepeatedPredicates) {
+    Analyzer a;
+    const auto p = parse_predicate("tcp.dst = 80 and ip.proto = tcp");
+    const bdd::Node first = a.compile(p);
+    const long long compiled = a.compile_count();
+    // Same text, fresh tree: served from the memo, not recompiled.
+    EXPECT_EQ(a.compile(parse_predicate("tcp.dst = 80 and ip.proto = tcp")),
+              first);
+    EXPECT_EQ(a.compile_count(), compiled);
+    EXPECT_GE(a.compile_hit_count(), 1);
+    EXPECT_EQ(a.memo_size(), static_cast<std::size_t>(compiled));
+}
+
 TEST(Pred, PayloadAtomsAreUninterpreted) {
     Analyzer a;
     const auto p1 = parse_predicate("payload = \"a\"");

@@ -10,7 +10,9 @@
 #   - an ASan/UBSan leg over the solver-path and long-lived-state suites
 #     (lp, mip, core — which includes the incremental engine and the
 #     colgen/sharded solver-mode suites — plus negotiator and netsim, the
-#     layers that now hold or drive persistent engine state);
+#     layers that now hold or drive persistent engine state, and the
+#     pred/bdd suites covering the shared predicate DAG and the bounded
+#     apply cache);
 #   - a ThreadSanitizer leg over the compiler/engine/sinktree/automata
 #     suites plus sharded_test (MERLIN_THREADS forces a multi-threaded
 #     front-end), race-checking the parallel compilation fan-out, the
@@ -20,10 +22,13 @@
 #     a smoke check, refreshing the tracked perf datapoints
 #     BENCH_solver.json (per solver mode — full/colgen/sharded — wall-clock,
 #     simplex iterations, B&B nodes, colgen rounds/columns, shard counts),
-#     BENCH_compile.json (front-end timing breakdown per class count) and
+#     BENCH_compile.json (front-end timing breakdown per class count),
 #     BENCH_adaptation.json (incremental engine delta latency vs full
-#     recompile, per delta kind); committing the refreshed files each PR
-#     makes git history the perf trajectory;
+#     recompile, per delta kind) and BENCH_policy_scale.json (shared
+#     predicate-DAG build/classify throughput and classify-rule dedup at
+#     10^5 statements, with the sharing invariants asserted in-bench);
+#     committing the refreshed files each PR makes git history the perf
+#     trajectory;
 #   - a delta-aware codegen leg: the smoke update script replayed through
 #     `merlinc --updates --emit-diffs` under ASan, with the live
 #     apply-equality check on every two-phase diff and the per-update
@@ -72,7 +77,7 @@ fi
 cmake -B build-asan -S . -DMERLIN_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-    -L "lp|mip|core|negotiator|netsim|testgen|daemon")
+    -L "lp|mip|core|negotiator|netsim|testgen|daemon|pred|bdd")
 
 # --- TSan leg: parallel front-end + daemon RCU readers under ThreadSanitizer
 cmake -B build-tsan -S . -DMERLIN_SANITIZE=thread
@@ -98,6 +103,12 @@ test -s BENCH_compile.json
 MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_adaptation.json" \
     ./build-release/bench/bench_adaptation
 test -s BENCH_adaptation.json
+# Predicate sharing at scale: the bench itself asserts compiles <= distinct
+# predicates and a >=2x classify-rule dedup, so a sharing regression fails
+# the leg rather than just shifting a datapoint.
+MERLIN_BENCH_TINY=1 MERLIN_BENCH_JSON="$PWD/BENCH_policy_scale.json" \
+    ./build-release/bench/bench_policy_scale
+test -s BENCH_policy_scale.json
 
 # --- diff replay: two-phase update diffs, apply-checked live, under ASan ----
 ./build-asan/merlinc --generate fat-tree:4 tests/data/smoke_policy.mln \
